@@ -1,0 +1,13 @@
+// Thin entry point for the ftmao experiment driver; all logic lives in
+// src/cli so it can be unit tested.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return ftmao::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,26 @@
+#pragma once
+
+// Thin adapters binding the tested reporting library (src/sim/report.hpp)
+// to the bench binaries' std::cout convention.
+
+#include <iostream>
+
+#include "common/series.hpp"
+#include "common/table.hpp"
+#include "sim/report.hpp"
+
+namespace ftmao::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  print_experiment_header(std::cout, id, claim);
+}
+
+using ftmao::log_spaced;
+
+inline void print_series_table(const std::vector<std::string>& series_names,
+                               const std::vector<const Series*>& series,
+                               std::size_t t_max) {
+  ftmao::print_series_table(std::cout, series_names, series, t_max);
+}
+
+}  // namespace ftmao::bench

@@ -1,0 +1,80 @@
+// E11 — centralized-equivalent SBG over Byzantine broadcast vs plain SBG
+// (the trade-off discussed after Theorem 2 and in [26]).
+//
+// Claim: with reliable (EIG) broadcast, honest trajectories are identical
+// and converge to a true limit, at Theta(n^f) message cost per round;
+// plain SBG is cheap (O(n) messages per agent) but its trajectory may
+// wander within Y forever under an equivocating adversary. Output: the
+// tail movement (total variation) of both variants, the identity check,
+// and the message-cost table.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "central/central_sbg.hpp"
+#include "func/library.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+  bench::print_header(
+      "E11: centralized-equivalent SBG (reliable broadcast, [26])",
+      "identical trajectories + settling vs plain SBG's bounded wander");
+
+  constexpr std::size_t kRounds = 4000;
+
+  CentralScenario cs;
+  cs.n = 7;
+  cs.f = 2;
+  cs.faulty = {5, 6};
+  cs.functions = make_spread_hubers(7, 8.0);
+  cs.initial_states = {-4.0, -2.5, -1.0, 0.5, 2.0, 3.5, 4.0};
+  cs.rounds = kRounds;
+  EigEquivocateSender equiv(40.0);
+  cs.attack.eig = &equiv;
+  cs.attack.state = 40.0;
+  cs.attack.gradient = 4.0;
+  const HarmonicStep schedule;
+  const CentralRunMetrics central = run_central_sbg(cs, schedule);
+
+  Scenario ps = make_standard_scenario(7, 2, 8.0, AttackKind::SplitBrain, kRounds);
+  ps.functions = cs.functions;
+  ps.initial_states = cs.initial_states;
+  const RunMetrics plain = run_sbg(ps);
+
+  auto tail_variation = [](const Series& s, std::size_t from) {
+    double tv = 0.0;
+    for (std::size_t t = from; t + 1 < s.size(); ++t)
+      tv += std::abs(s[t + 1] - s[t]);
+    return tv;
+  };
+
+  Table table({"variant", "identical traj", "final dist to Y",
+               "tail variation (last 25%)", "msgs/agent/round"});
+  const std::size_t tree = 1 + 6 + 30;  // EIG tree nodes for n=7, f=2
+  table.row()
+      .add("central (EIG broadcast)")
+      .add(central.identical_trajectories ? "yes" : "no")
+      .add(central.max_dist_to_y.back(), 4)
+      .add(tail_variation(central.common_trajectory, kRounds * 3 / 4), 4)
+      .add(std::to_string(2 * 7 * tree) + " (2 scalars x n trees)");
+  table.row()
+      .add("plain SBG")
+      .add("n/a (consensus only in the limit)")
+      .add(plain.final_max_dist(), 4)
+      .add("-")
+      .add("12 (n-1 tuples out)");
+  table.print(std::cout);
+
+  std::cout << "\nDisagreement across rounds (central should be identically 0\n"
+               "from round 1; plain decays as O(1/t)):\n";
+  bench::print_series_table({"central", "plain"},
+                            {&central.disagreement, &plain.disagreement},
+                            kRounds);
+
+  std::cout << "\nThe centralized variant buys a true limit and exact\n"
+               "agreement at an exponential-in-f message cost — the paper's\n"
+               "motivation for the cheap iterative SBG.\n";
+  return 0;
+}

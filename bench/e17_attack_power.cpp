@@ -1,0 +1,75 @@
+// E17 — empirical strongest adversary and seed sensitivity.
+//
+// Theorem 2 bounds what ANY attack achieves: the output stays in Y. This
+// bench (1) searches a grid of 20+ concrete attack configurations for the
+// one displacing the consensus furthest from the attack-free outcome,
+// checking that even the strongest never leaves Y; and (2) reports the
+// across-seed variance of the headline metrics so single-run numbers in
+// the other benches can be trusted.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sim/attack_search.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+  bench::print_header(
+      "E17: strongest-attack search + seed sensitivity",
+      "max realizable bias within Y; variance of metrics across seeds");
+
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 5000);
+  const AttackSearchResult search =
+      find_strongest_attack(base, standard_attack_grid());
+
+  std::cout << "Attack-free consensus: " << format_double(search.reference_state, 4)
+            << "   Y = [" << format_double(search.optima.lo(), 4) << ", "
+            << format_double(search.optima.hi(), 4) << "]\n\n";
+  Table table({"attack", "final state", "bias", "dist to Y", "disagr"});
+  for (const auto& o : search.outcomes) {
+    table.row()
+        .add(o.name)
+        .add(o.final_state, 4)
+        .add(o.bias, 4)
+        .add(o.dist_to_y, 4)
+        .add(o.disagreement, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nStrongest: " << search.strongest().name << " (bias "
+            << format_double(search.strongest().bias, 4)
+            << "); max possible within Y from the reference is "
+            << format_double(
+                   std::max(search.reference_state - search.optima.lo(),
+                            search.optima.hi() - search.reference_state),
+                   4)
+            << ". No attack leaves Y (all dist ~ 0) — Theorem 2's cap.\n";
+
+  // ---- Seed sensitivity of the noise attack (the only seeded one).
+  std::cout << "\nSeed sensitivity (noise attack, 20 seeds, n=7, f=2):\n";
+  std::vector<double> final_disagr, final_dist, final_state;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scenario s =
+        make_standard_scenario(7, 2, 8.0, AttackKind::RandomNoise, 5000, seed);
+    const RunMetrics m = run_sbg(s);
+    final_disagr.push_back(m.final_disagreement());
+    final_dist.push_back(m.final_max_dist());
+    final_state.push_back(m.final_states.front());
+  }
+  Table stats({"metric", "min", "median", "max", "mean", "stddev"});
+  auto add_stat = [&](const std::string& name, const std::vector<double>& v) {
+    const Summary s = summarize(v);
+    stats.row().add(name).add(s.min, 4).add(s.median, 4).add(s.max, 4)
+        .add(s.mean, 4).add(s.stddev, 4);
+  };
+  add_stat("final disagreement", final_disagr);
+  add_stat("final dist to Y", final_dist);
+  add_stat("final consensus value", final_state);
+  stats.print(std::cout);
+  std::cout << "\nThe consensus value varies slightly with the seed (the\n"
+               "relaxation permits any point of Y) but dist-to-Y does not:\n"
+               "the guarantee is seed-independent.\n";
+  return 0;
+}

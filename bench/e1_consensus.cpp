@@ -1,0 +1,86 @@
+// E1 — Lemma 3 / Theorem 2(i): consensus.
+//
+// Claim: under SBG with the harmonic step size, the honest disagreement
+// M[t] - m[t] decays to 0 at rate O(1/t), for every attack, at every legal
+// (n, f). Output: disagreement series for three system sizes under the
+// split-brain attack, plus the fitted log-log slope (expected ~ -1).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/series.hpp"
+#include "core/theory.hpp"
+#include "func/library.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+  bench::print_header(
+      "E1: consensus decay (Lemma 3 / Theorem 2(i))",
+      "M[t]-m[t] under split-brain attack, harmonic steps; expect O(1/t)");
+
+  constexpr std::size_t kRounds = 20000;
+  struct Config {
+    std::size_t n, f;
+  };
+  const std::vector<Config> configs{{7, 2}, {16, 5}, {31, 10}};
+
+  std::vector<RunMetrics> runs;
+  std::vector<std::string> names;
+  for (const Config& c : configs) {
+    Scenario s =
+        make_standard_scenario(c.n, c.f, 8.0, AttackKind::SplitBrain, kRounds);
+    s.attack.state_magnitude = 50.0;
+    s.attack.gradient_magnitude = 5.0;
+    runs.push_back(run_sbg(s));
+    names.push_back("n=" + std::to_string(c.n) + ",f=" + std::to_string(c.f));
+  }
+
+  // Overlay the exact Lemma 3 upper bound (10) for the first config.
+  {
+    Scenario s =
+        make_standard_scenario(configs[0].n, configs[0].f, 8.0,
+                               AttackKind::SplitBrain, kRounds);
+    const double L = family_gradient_bound(s.honest_functions());
+    const HarmonicStep schedule;
+    const Series bound = disagreement_upper_bound(
+        runs[0].disagreement[0], L, schedule,
+        configs[0].n - configs[0].f, configs[0].f, kRounds);
+    std::vector<const Series*> series{&bound};
+    std::vector<std::string> cols{"Lemma3 bound (n=7)"};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      series.push_back(&runs[i].disagreement);
+      cols.push_back(names[i]);
+    }
+    bench::print_series_table(cols, series, kRounds);
+  }
+
+  std::cout << "\nFitted log-log slope of the tail (t >= 500); O(1/t) ~ -1:\n";
+  Table fit({"config", "slope", "final disagreement"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    fit.row()
+        .add(names[i])
+        .add(fit_log_log_slope(runs[i].disagreement, 500), 3)
+        .add(runs[i].final_disagreement(), 3);
+  }
+  fit.print(std::cout);
+
+  std::cout << "\nSame system (n=7,f=2) across attacks, final disagreement:\n";
+  Table attacks({"attack", "disagreement@" + std::to_string(kRounds), "slope"});
+  const std::vector<std::pair<std::string, AttackKind>> kinds{
+      {"none", AttackKind::None},        {"silent", AttackKind::Silent},
+      {"fixed", AttackKind::FixedValue}, {"split-brain", AttackKind::SplitBrain},
+      {"hull-edge", AttackKind::HullEdgeUp}, {"noise", AttackKind::RandomNoise},
+      {"sign-flip", AttackKind::SignFlip},   {"pull", AttackKind::PullToTarget}};
+  for (const auto& [name, kind] : kinds) {
+    Scenario s = make_standard_scenario(7, 2, 8.0, kind, kRounds);
+    const RunMetrics m = run_sbg(s);
+    attacks.row()
+        .add(name)
+        .add(m.final_disagreement(), 3)
+        .add(fit_log_log_slope(m.disagreement, 500), 3);
+  }
+  attacks.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Asynchronous sensor fusion (Section 7's asynchronous extensions).
+//
+// A field of sensors estimates a common physical quantity (say, a
+// temperature). Messages cross a congested network with unpredictable
+// delays, and some sensor nodes are compromised. Two deployments:
+//
+//   * plenty of sensors (n > 5f): the lightweight quorum variant
+//     (core/async_sbg) — one message per neighbour per round;
+//   * scarce sensors (n = 3f + 1): the reliable-broadcast variant
+//     (consensus/rbc_sbg) — three protocol phases per tuple but maximal
+//     resilience.
+//
+// Build & run:  ./build/examples/async_sensors
+
+#include <iostream>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "consensus/rbc_sbg.hpp"
+#include "func/functions.hpp"
+#include "sim/async_runner.hpp"
+
+int main() {
+  using namespace ftmao;
+
+  constexpr double kTrueTemperature = 21.5;
+  Rng rng(42);
+
+  auto sensor_cost = [&](std::size_t i) -> ScalarFunctionPtr {
+    // Each sensor's reading is the truth plus calibration noise; its local
+    // cost is a Huber loss around its own reading.
+    Rng s = rng.substream("sensor", i);
+    return std::make_shared<Huber>(s.normal(kTrueTemperature, 0.8),
+                                   /*delta=*/1.0, /*scale=*/1.0);
+  };
+
+  std::cout << "True temperature: " << kTrueTemperature << " C\n\n";
+  Table table({"deployment", "n", "f", "estimate", "abs error",
+               "virtual time"});
+
+  // --- Deployment A: 11 sensors, 2 compromised, quorum variant.
+  {
+    AsyncScenario s;
+    s.n = 11;
+    s.f = 2;
+    s.faulty = {9, 10};
+    for (std::size_t i = 0; i < s.n; ++i) {
+      s.functions.push_back(sensor_cost(i));
+      s.initial_states.push_back(rng.uniform(15.0, 28.0));
+    }
+    s.attack.kind = AttackKind::SplitBrain;
+    s.attack.state_magnitude = 100.0;
+    s.attack.gradient_magnitude = 10.0;
+    s.rounds = 3000;
+    s.delay_kind = DelayKind::Uniform;
+    const AsyncRunMetrics m = run_async_sbg(s);
+    const double estimate = m.final_states.front();
+    table.row()
+        .add("A: quorum (n > 5f)")
+        .add(s.n)
+        .add(s.f)
+        .add(estimate, 4)
+        .add(std::abs(estimate - kTrueTemperature), 4)
+        .add(m.virtual_time, 1);
+  }
+
+  // --- Deployment B: only 7 sensors, still 2 compromised -> RBC variant.
+  {
+    RbcSbgConfig config;
+    config.n = 7;
+    config.f = 2;
+    config.max_rounds = 300;
+    std::vector<ScalarFunctionPtr> costs;
+    std::vector<double> init;
+    for (std::size_t i = 0; i < 5; ++i) {
+      costs.push_back(sensor_cost(100 + i));
+      init.push_back(rng.uniform(15.0, 28.0));
+    }
+    const HarmonicStep schedule;
+    UniformDelay delays(0.5, 1.5, rng.substream("delays"));
+    const RbcSbgRunResult r =
+        run_rbc_sbg(config, costs, init, 2, schedule, delays);
+    const double estimate = r.final_states.front();
+    table.row()
+        .add("B: reliable broadcast (n > 3f)")
+        .add(config.n)
+        .add(config.f)
+        .add(estimate, 4)
+        .add(std::abs(estimate - kTrueTemperature), 4)
+        .add(r.virtual_time, 1);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nBoth deployments land within the honest sensors' calibration\n"
+               "spread of the truth despite compromised nodes and arbitrary\n"
+               "delays. With only 3f+1 sensors, only the RBC variant applies.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Attack playbook: what can an adversary actually do to SBG?
+//
+// Walks the full attack API: run every built-in strategy against the same
+// deployment, search the parameter grid for the strongest configuration,
+// and verify that even that one is capped by Theorem 2 (the output never
+// leaves the valid optima interval Y). The takeaway for operators: an
+// adversary chooses WHERE in Y you land, never whether you land in Y.
+//
+// Build & run:  ./build/examples/attack_playbook
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/attack_search.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+
+  Scenario deployment =
+      make_standard_scenario(/*n=*/10, /*f=*/3, /*spread=*/10.0,
+                             AttackKind::None, /*rounds=*/5000);
+
+  std::cout << "Deployment: 10 agents, up to 3 Byzantine, optima spread over"
+               " [-5, 5]\n\n";
+
+  const AttackSearchResult search =
+      find_strongest_attack(deployment, standard_attack_grid());
+
+  std::cout << "Attack-free consensus: "
+            << format_double(search.reference_state, 4) << "\n"
+            << "Valid optima interval Y = ["
+            << format_double(search.optima.lo(), 4) << ", "
+            << format_double(search.optima.hi(), 4) << "]\n\n";
+
+  std::cout << "Top 8 attacks by realized bias:\n";
+  Table table({"attack", "lands at", "bias", "left Y?"});
+  for (std::size_t i = 0; i < 8 && i < search.outcomes.size(); ++i) {
+    const AttackOutcome& o = search.outcomes[i];
+    table.row()
+        .add(o.name)
+        .add(o.final_state, 4)
+        .add(o.bias, 4)
+        .add(o.dist_to_y > 1e-6 ? "YES (bug!)" : "no");
+  }
+  table.print(std::cout);
+
+  const double cap =
+      std::max(search.reference_state - search.optima.lo(),
+               search.optima.hi() - search.reference_state);
+  std::cout << "\nStrongest attack realized "
+            << format_double(search.strongest().bias, 4) << " of the "
+            << format_double(cap, 4)
+            << " geometrically available inside Y.\n"
+               "Every attack row shows 'left Y? no' — Theorem 2's cap in\n"
+               "action: the relaxation hands the adversary a bounded choice\n"
+               "within Y, nothing more.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Constrained resource allocation (Section 6's projected variant):
+// microgrid controllers must agree on one power setpoint x inside the
+// feasible band X = [x_min, x_max] dictated by line capacity, while each
+// controller prefers a setpoint near its own cost optimum and some
+// controllers are compromised.
+//
+// Uses projected SBG: the update is projected onto X each iteration; the
+// projection error vanishes and the agreed setpoint is an optimum over X
+// of an admissibly-weighted cost (eq. 15).
+//
+// Build & run:  ./build/examples/constrained_resource
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "func/functions.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+
+  // Feasible band and controller preferences (preferred setpoints in MW).
+  const Interval feasible(30.0, 45.0);
+  const std::vector<double> preferred{20.0, 33.0, 38.0, 41.0, 52.0, 60.0, 25.0};
+  const std::size_t n = preferred.size();
+  const std::size_t f = 2;
+
+  Scenario s;
+  s.n = n;
+  s.f = f;
+  s.faulty = {5, 6};
+  s.rounds = 8000;
+  s.constraint = feasible;
+  s.attack.kind = AttackKind::FixedValue;
+  s.attack.state_magnitude = 500.0;    // absurd setpoint reports
+  s.attack.gradient_magnitude = -20.0; // push toward overload
+  // Asymmetric softplus basins: cost rises smoothly away from the
+  // preferred setpoint, with bounded marginal cost (admissible).
+  for (std::size_t i = 0; i < n; ++i) {
+    s.functions.push_back(std::make_shared<SoftplusBasin>(
+        preferred[i] - 1.0, preferred[i] + 1.0, /*width=*/1.0, /*scale=*/1.0));
+    s.initial_states.push_back(preferred[i]);
+  }
+  // Step scale matched to the setpoint magnitudes so the travel budget
+  // covers the band.
+  s.step = {StepKind::Power, 2.0, 0.6};
+
+  const RunMetrics m = run_sbg(s);
+
+  std::cout << "Feasible band X = [" << feasible.lo() << ", " << feasible.hi()
+            << "] MW\n";
+  std::cout << "Honest preferred setpoints:";
+  for (std::size_t i = 0; i < n; ++i)
+    if (!s.is_faulty(i)) std::cout << ' ' << preferred[i];
+  std::cout << "\n\n";
+
+  Table table({"metric", "value"});
+  const double setpoint = m.final_states.front();
+  table.row().add("agreed setpoint (MW)").add(setpoint, 4);
+  table.row().add("inside feasible band").add(feasible.contains(setpoint) ? "yes" : "NO");
+  table.row().add("disagreement").add(m.final_disagreement(), 5);
+  table.row().add("projection error (tail max)").add(
+      m.max_projection_error.tail_max(100), 6);
+  table.print(std::cout);
+
+  std::cout << "\nDespite compromised controllers demanding a 500 MW\n"
+               "setpoint, the agreed value stays in the feasible band and\n"
+               "reflects the honest controllers' costs (Section 6).\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: the smallest complete SBG deployment.
+//
+// Seven agents, two of which are Byzantine, jointly minimize a weighted
+// combination of their local costs despite the faulty agents sending
+// inconsistent messages. Shows the three layers of the public API:
+//   1. define admissible local costs         (func/)
+//   2. describe the run as a Scenario        (sim/scenario.hpp)
+//   3. execute and inspect metrics           (sim/runner.hpp)
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+
+  // n = 7 agents, up to f = 2 Byzantine (n > 3f). Mixed Huber/log-cosh/
+  // smooth-abs costs with optima spread over [-4, 4]; the last two agents
+  // are faulty and mount a split-brain attack (different lies to different
+  // recipients — the hardest case for a non-broadcast algorithm).
+  Scenario scenario =
+      make_standard_scenario(/*n=*/7, /*f=*/2, /*spread=*/8.0,
+                             AttackKind::SplitBrain, /*rounds=*/5000);
+
+  const RunMetrics metrics = run_sbg(scenario);
+
+  std::cout << "valid optima set Y = [" << metrics.optima.lo() << ", "
+            << metrics.optima.hi() << "]\n";
+  std::cout << "final honest states:";
+  for (double x : metrics.final_states) std::cout << ' ' << x;
+  std::cout << "\nfinal disagreement  = " << metrics.final_disagreement()
+            << "   (consensus: -> 0)\n";
+  std::cout << "final dist to Y     = " << metrics.final_max_dist()
+            << "   (optimality: -> 0)\n";
+
+  // Theorem 2 in two lines:
+  const bool consensus = metrics.final_disagreement() < 0.05;
+  const bool optimality = metrics.final_max_dist() < 0.1;
+  std::cout << (consensus && optimality ? "SBG converged as guaranteed.\n"
+                                        : "unexpected: check configuration\n");
+  return consensus && optimality ? 0 : 1;
+}

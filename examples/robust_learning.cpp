@@ -1,0 +1,84 @@
+// Robust distributed learning: estimate a shared scalar model parameter
+// from data scattered across workers, some of which are compromised.
+//
+// Each worker holds noisy observations of an unknown location parameter
+// theta* and uses a Huber loss centered at its local sample mean — the
+// classic robust-regression setup that motivated Byzantine-tolerant ML.
+// Compromised workers run the gradient sign-flip attack (the standard
+// poisoning strategy from the Byzantine-ML literature). We compare:
+//   * SBG           — the paper's algorithm,
+//   * DGD           — fault-oblivious averaging,
+//   * local-only GD — no collaboration.
+//
+// Build & run:  ./build/examples/robust_learning
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "func/functions.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace ftmao;
+
+  constexpr double kThetaStar = 2.5;   // ground-truth parameter
+  constexpr std::size_t kWorkers = 10;
+  constexpr std::size_t kF = 3;        // tolerated compromised workers
+  constexpr std::size_t kSamples = 40; // observations per worker
+
+  Rng rng(2016);
+
+  // Each worker's local cost: Huber loss centered at its sample mean of
+  // noisy observations theta* + N(0, 1.5^2). The average of these costs is
+  // minimized near theta*, but each individual optimum is off by the
+  // worker's sampling noise — collaboration genuinely helps.
+  Scenario s;
+  s.n = kWorkers;
+  s.f = kF;
+  s.faulty = {1, 4, 7};  // compromised workers, identity unknown to others
+  s.rounds = 8000;
+  s.seed = 2016;
+  s.attack.kind = AttackKind::SignFlip;
+  s.attack.amplification = 4.0;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    Rng worker_rng = rng.substream("worker", w);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < kSamples; ++i)
+      mean += worker_rng.normal(kThetaStar, 1.5);
+    mean /= kSamples;
+    s.functions.push_back(std::make_shared<Huber>(mean, /*delta=*/1.0,
+                                                  /*scale=*/1.0));
+    s.initial_states.push_back(worker_rng.uniform(-5.0, 10.0));
+  }
+
+  const RunMetrics sbg = run_sbg(s);
+  const RunMetrics dgd = run_dgd(s);
+  const RunMetrics local = run_local_gd(s);
+
+  auto error_of = [&](const RunMetrics& m) {
+    double worst = 0.0;
+    for (double x : m.final_states)
+      worst = std::max(worst, std::abs(x - kThetaStar));
+    return worst;
+  };
+
+  std::cout << "Estimating theta* = " << kThetaStar << " with " << kWorkers
+            << " workers, " << s.faulty.size() << " compromised (sign-flip x"
+            << s.attack.amplification << ")\n\n";
+  Table table({"algorithm", "worst |theta - theta*|", "disagreement"});
+  table.row().add("SBG (this paper)").add(error_of(sbg), 4)
+      .add(sbg.final_disagreement(), 4);
+  table.row().add("DGD (fault-oblivious)").add(error_of(dgd), 4)
+      .add(dgd.final_disagreement(), 4);
+  table.row().add("local-only GD").add(error_of(local), 4)
+      .add(local.final_disagreement(), 4);
+  table.print(std::cout);
+
+  std::cout << "\nSBG aggregates the honest workers' evidence (small error,\n"
+               "consensus) despite the poisoned gradients; DGD absorbs the\n"
+               "poison; local-only forgoes the variance reduction entirely.\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "adversary/strategies.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+std::vector<double> honest_states(const RoundView<SbgPayload>& view) {
+  std::vector<double> out;
+  out.reserve(view.honest_broadcasts.size());
+  for (const auto& msg : view.honest_broadcasts) out.push_back(msg.payload.state);
+  return out;
+}
+
+double median_of(std::vector<double> v) {
+  FTMAO_EXPECTS(!v.empty());
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  return *mid;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Silent
+
+std::optional<SbgPayload> SilentAdversary::send_to(AgentId, AgentId,
+                                                   const RoundView<SbgPayload>&) {
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------- FixedValue
+
+FixedValueAdversary::FixedValueAdversary(SbgPayload payload)
+    : payload_(payload) {}
+
+std::optional<SbgPayload> FixedValueAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>&) {
+  return payload_;
+}
+
+// ----------------------------------------------------------- SplitBrain
+
+SplitBrainAdversary::SplitBrainAdversary(double state_magnitude,
+                                         double gradient_magnitude)
+    : state_magnitude_(state_magnitude), gradient_magnitude_(gradient_magnitude) {
+  FTMAO_EXPECTS(state_magnitude >= 0.0);
+  FTMAO_EXPECTS(gradient_magnitude >= 0.0);
+}
+
+std::optional<SbgPayload> SplitBrainAdversary::send_to(
+    AgentId, AgentId recipient, const RoundView<SbgPayload>&) {
+  const double sign = (recipient.value % 2 == 0) ? 1.0 : -1.0;
+  return SbgPayload{sign * state_magnitude_, sign * gradient_magnitude_};
+}
+
+// ------------------------------------------------------------- HullEdge
+
+HullEdgeAdversary::HullEdgeAdversary(bool push_up) : push_up_(push_up) {}
+
+std::optional<SbgPayload> HullEdgeAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>& view) {
+  if (view.honest_broadcasts.empty()) return std::nullopt;
+  double state = view.honest_broadcasts.front().payload.state;
+  double gradient = view.honest_broadcasts.front().payload.gradient;
+  for (const auto& msg : view.honest_broadcasts) {
+    if (push_up_) {
+      // High state + low gradient both pull the update x~ - lambda*g~ up.
+      state = std::max(state, msg.payload.state);
+      gradient = std::min(gradient, msg.payload.gradient);
+    } else {
+      state = std::min(state, msg.payload.state);
+      gradient = std::max(gradient, msg.payload.gradient);
+    }
+  }
+  return SbgPayload{state, gradient};
+}
+
+// ---------------------------------------------------------- RandomNoise
+
+RandomNoiseAdversary::RandomNoiseAdversary(Rng rng, double state_range,
+                                           double gradient_range)
+    : rng_(rng), state_range_(state_range), gradient_range_(gradient_range) {
+  FTMAO_EXPECTS(state_range >= 0.0);
+  FTMAO_EXPECTS(gradient_range >= 0.0);
+}
+
+std::optional<SbgPayload> RandomNoiseAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>&) {
+  return SbgPayload{rng_.uniform(-state_range_, state_range_),
+                    rng_.uniform(-gradient_range_, gradient_range_)};
+}
+
+// ------------------------------------------------------------- SignFlip
+
+SignFlipAdversary::SignFlipAdversary(double amplification)
+    : amplification_(amplification) {
+  FTMAO_EXPECTS(amplification > 0.0);
+}
+
+std::optional<SbgPayload> SignFlipAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>& view) {
+  if (view.honest_broadcasts.empty()) return std::nullopt;
+  double mean_gradient = 0.0;
+  for (const auto& msg : view.honest_broadcasts)
+    mean_gradient += msg.payload.gradient;
+  mean_gradient /= static_cast<double>(view.honest_broadcasts.size());
+  return SbgPayload{median_of(honest_states(view)),
+                    -amplification_ * mean_gradient};
+}
+
+// --------------------------------------------------------- PullToTarget
+
+PullToTargetAdversary::PullToTargetAdversary(double target,
+                                             double gradient_magnitude)
+    : target_(target), gradient_magnitude_(gradient_magnitude) {
+  FTMAO_EXPECTS(gradient_magnitude >= 0.0);
+}
+
+std::optional<SbgPayload> PullToTargetAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>& view) {
+  if (view.honest_broadcasts.empty())
+    return SbgPayload{target_, 0.0};
+  const double median = median_of(honest_states(view));
+  // A positive reported gradient pushes recipients' states down; point the
+  // fake gradient from the honest median toward the target.
+  const double direction = median > target_ ? 1.0 : -1.0;
+  return SbgPayload{target_, direction * gradient_magnitude_};
+}
+
+// ---------------------------------------------------- DelayedActivation
+
+DelayedActivationAdversary::DelayedActivationAdversary(Round activation_round,
+                                                       SbgAdversary& late_strategy)
+    : activation_(activation_round), late_(&late_strategy) {}
+
+DelayedActivationAdversary::DelayedActivationAdversary(
+    Round activation_round, std::unique_ptr<SbgAdversary> late_strategy)
+    : activation_(activation_round),
+      late_(late_strategy.get()),
+      owned_(std::move(late_strategy)) {
+  FTMAO_EXPECTS(late_ != nullptr);
+}
+
+std::optional<SbgPayload> DelayedActivationAdversary::send_to(
+    AgentId self, AgentId recipient, const RoundView<SbgPayload>& view) {
+  if (view.round >= activation_) return late_->send_to(self, recipient, view);
+  // Dormant phase: mimic a perfectly plausible honest agent (median state,
+  // median gradient of the honest broadcasts).
+  if (view.honest_broadcasts.empty()) return std::nullopt;
+  std::vector<double> states = honest_states(view);
+  std::vector<double> gradients;
+  gradients.reserve(view.honest_broadcasts.size());
+  for (const auto& msg : view.honest_broadcasts)
+    gradients.push_back(msg.payload.gradient);
+  return SbgPayload{median_of(std::move(states)), median_of(std::move(gradients))};
+}
+
+// ------------------------------------------------------------- FlipFlop
+
+FlipFlopAdversary::FlipFlopAdversary(std::size_t period) : period_(period) {
+  FTMAO_EXPECTS(period >= 1);
+}
+
+std::optional<SbgPayload> FlipFlopAdversary::send_to(
+    AgentId, AgentId, const RoundView<SbgPayload>& view) {
+  if (view.honest_broadcasts.empty()) return std::nullopt;
+  const bool high = (view.round.value / period_) % 2 == 0;
+  double state = view.honest_broadcasts.front().payload.state;
+  double gradient = view.honest_broadcasts.front().payload.gradient;
+  for (const auto& msg : view.honest_broadcasts) {
+    if (high) {
+      state = std::max(state, msg.payload.state);
+      gradient = std::min(gradient, msg.payload.gradient);
+    } else {
+      state = std::min(state, msg.payload.state);
+      gradient = std::max(gradient, msg.payload.gradient);
+    }
+  }
+  return SbgPayload{state, gradient};
+}
+
+}  // namespace ftmao

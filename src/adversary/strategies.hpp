@@ -1,0 +1,162 @@
+#pragma once
+
+// Byzantine strategies against SBG. Each one exploits a different weakness
+// an unprotected algorithm would have:
+//
+//   Silent            omission; recipients substitute the default tuple
+//   FixedValue        consistent extreme values (classic outlier)
+//   SplitBrain        inconsistent per-recipient values — the duplicitous
+//                     behaviour the paper stresses SBG must survive
+//   HullEdge          collude at the honest extremes so trimming cannot
+//                     discard them as outliers (they are never outside the
+//                     honest range) — maximally biases the trim midpoint
+//   RandomNoise       seeded random garbage, fresh per recipient
+//   SignFlip          plausible states, inverted+amplified gradients (the
+//                     gradient-poisoning attack from Byzantine ML)
+//   PullToTarget      adaptive: fabricates tuples that drag the system
+//                     toward an attacker-chosen point
+//
+// Every strategy implements both the synchronous and asynchronous
+// Byzantine interfaces (identical signatures), so the same attack runs
+// against SBG and async-SBG.
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/payload.hpp"
+#include "net/async.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+/// Common base: one send_to override serves both engine interfaces.
+class SbgAdversary : public ByzantineNode<SbgPayload>,
+                     public AsyncByzantineNode<SbgPayload> {
+ public:
+  std::optional<SbgPayload> send_to(AgentId self, AgentId recipient,
+                                    const RoundView<SbgPayload>& view) override = 0;
+};
+
+/// Sends nothing; honest agents fall back to the default tuple (Step 2).
+class SilentAdversary final : public SbgAdversary {
+ public:
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+};
+
+/// Sends the same fixed tuple to everyone, every round.
+class FixedValueAdversary final : public SbgAdversary {
+ public:
+  explicit FixedValueAdversary(SbgPayload payload);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  SbgPayload payload_;
+};
+
+/// Sends (+magnitude, +gradient_magnitude) to even-id recipients and the
+/// negation to odd-id recipients: different agents see contradictory
+/// worlds.
+class SplitBrainAdversary final : public SbgAdversary {
+ public:
+  SplitBrainAdversary(double state_magnitude, double gradient_magnitude);
+  std::optional<SbgPayload> send_to(AgentId self, AgentId recipient,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  double state_magnitude_;
+  double gradient_magnitude_;
+};
+
+/// Observes the honest broadcasts and sends the extreme honest values
+/// that coherently bias the trajectory: push_up pairs the max honest
+/// state with the MIN honest gradient (a low gradient drags updates
+/// upward), push_down the reverse. Because the values stay inside the
+/// honest range, trimming can never identify them as outliers; this is
+/// the optimal-bias strategy against trim-midpoint.
+class HullEdgeAdversary final : public SbgAdversary {
+ public:
+  explicit HullEdgeAdversary(bool push_up);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  bool push_up_;
+};
+
+/// Independent uniform noise per (recipient, round); deterministic per
+/// seed.
+class RandomNoiseAdversary final : public SbgAdversary {
+ public:
+  RandomNoiseAdversary(Rng rng, double state_range, double gradient_range);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  Rng rng_;
+  double state_range_;
+  double gradient_range_;
+};
+
+/// Echoes the median honest state (looks perfectly plausible) but sends
+/// the negated mean honest gradient scaled by `amplification`.
+class SignFlipAdversary final : public SbgAdversary {
+ public:
+  explicit SignFlipAdversary(double amplification);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  double amplification_;
+};
+
+/// Drags the system toward `target`: states at the target, gradients of
+/// magnitude `gradient_magnitude` pointing from the honest median toward
+/// the target.
+class PullToTargetAdversary final : public SbgAdversary {
+ public:
+  PullToTargetAdversary(double target, double gradient_magnitude);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>&) override;
+
+ private:
+  double target_;
+  double gradient_magnitude_;
+};
+
+/// Sleeper: behaves exactly like an honest median agent until
+/// `activation_round`, then switches to the wrapped strategy. Probes
+/// whether late activation (after trust/consensus built up) gains the
+/// adversary anything — it must not, since SBG is memoryless.
+class DelayedActivationAdversary final : public SbgAdversary {
+ public:
+  /// Does not own `late_strategy`; caller keeps it alive.
+  DelayedActivationAdversary(Round activation_round, SbgAdversary& late_strategy);
+  /// Owning variant (used by the scenario factory).
+  DelayedActivationAdversary(Round activation_round,
+                             std::unique_ptr<SbgAdversary> late_strategy);
+  std::optional<SbgPayload> send_to(AgentId self, AgentId recipient,
+                                    const RoundView<SbgPayload>& view) override;
+
+ private:
+  Round activation_;
+  SbgAdversary* late_;
+  std::unique_ptr<SbgAdversary> owned_;
+};
+
+/// Oscillator: alternates between pushing the extreme high and extreme low
+/// honest tuple each round (a resonance attempt against the diminishing
+/// step sizes).
+class FlipFlopAdversary final : public SbgAdversary {
+ public:
+  FlipFlopAdversary(std::size_t period = 1);
+  std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                    const RoundView<SbgPayload>& view) override;
+
+ private:
+  std::size_t period_;
+};
+
+}  // namespace ftmao

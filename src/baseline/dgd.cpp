@@ -1,0 +1,50 @@
+#include "baseline/dgd.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+DgdAgent::DgdAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                   const StepSchedule& schedule, std::size_t n,
+                   SbgPayload default_payload)
+    : id_(id),
+      cost_(std::move(cost)),
+      state_(initial_state),
+      schedule_(&schedule),
+      n_(n),
+      default_payload_(default_payload) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+  FTMAO_EXPECTS(n >= 1);
+}
+
+SbgPayload DgdAgent::broadcast(Round t) {
+  FTMAO_EXPECTS(t.value >= 1);
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+void DgdAgent::step(Round t, std::span<const Received<SbgPayload>> inbox) {
+  FTMAO_EXPECTS(t.value >= 1);
+  FTMAO_EXPECTS(inbox.size() <= n_ - 1);
+  std::vector<double> states;
+  std::vector<double> gradients;
+  states.reserve(n_);
+  gradients.reserve(n_);
+  states.push_back(state_);
+  gradients.push_back(cost_->derivative(state_));
+  for (const auto& msg : inbox) {
+    states.push_back(msg.payload.state);
+    gradients.push_back(msg.payload.gradient);
+  }
+  const std::size_t missing = (n_ - 1) - inbox.size();
+  for (std::size_t i = 0; i < missing; ++i) {
+    states.push_back(default_payload_.state);
+    gradients.push_back(default_payload_.gradient);
+  }
+  const double lambda = schedule_->at(t.value - 1);
+  state_ = mean(states) - lambda * mean(gradients);
+}
+
+}  // namespace ftmao

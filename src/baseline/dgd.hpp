@@ -1,0 +1,42 @@
+#pragma once
+
+// Fault-oblivious distributed gradient descent — the standard failure-free
+// algorithm (Nedic-Ozdaglar style consensus + gradient [19], specialised
+// to a complete graph): average all states and gradients (no trimming) and
+// step. Correct without faults; the E5 benchmark shows a single Byzantine
+// agent drives it arbitrarily far, which is the paper's motivation.
+
+#include <span>
+
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+class DgdAgent final : public SyncNode<SbgPayload> {
+ public:
+  /// `n` is the total number of agents; missing tuples get the default
+  /// payload (same convention as SBG, to keep comparisons apples-to-apples).
+  DgdAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+           const StepSchedule& schedule, std::size_t n,
+           SbgPayload default_payload = {});
+
+  SbgPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<SbgPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+
+ private:
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;
+  std::size_t n_;
+  SbgPayload default_payload_;
+};
+
+}  // namespace ftmao

@@ -1,0 +1,24 @@
+#include "baseline/local_gd.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+LocalGdAgent::LocalGdAgent(AgentId id, ScalarFunctionPtr cost,
+                           double initial_state, const StepSchedule& schedule)
+    : id_(id), cost_(std::move(cost)), state_(initial_state), schedule_(&schedule) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+}
+
+SbgPayload LocalGdAgent::broadcast(Round t) {
+  FTMAO_EXPECTS(t.value >= 1);
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+void LocalGdAgent::step(Round t, std::span<const Received<SbgPayload>>) {
+  FTMAO_EXPECTS(t.value >= 1);
+  const double lambda = schedule_->at(t.value - 1);
+  state_ -= lambda * cost_->derivative(state_);
+}
+
+}  // namespace ftmao

@@ -1,0 +1,36 @@
+#pragma once
+
+// Local-only gradient descent: each agent minimizes its own cost and never
+// communicates. Trivially immune to Byzantine agents but achieves no
+// collaboration (its "consensus" error equals the spread of the local
+// optima). Lower baseline for E5.
+
+#include <span>
+
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+class LocalGdAgent final : public SyncNode<SbgPayload> {
+ public:
+  LocalGdAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+               const StepSchedule& schedule);
+
+  SbgPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<SbgPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+
+ private:
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;
+};
+
+}  // namespace ftmao

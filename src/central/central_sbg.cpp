@@ -1,0 +1,125 @@
+#include "central/central_sbg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/valid_set.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+void CentralScenario::validate() const {
+  FTMAO_EXPECTS(n > 3 * f);
+  FTMAO_EXPECTS(faulty.size() <= f);
+  FTMAO_EXPECTS(functions.size() == n);
+  FTMAO_EXPECTS(initial_states.size() == n);
+  FTMAO_EXPECTS(rounds >= 1);
+  for (std::size_t i : faulty) FTMAO_EXPECTS(i < n);
+}
+
+CentralRunMetrics run_central_sbg(const CentralScenario& scenario,
+                                  const StepSchedule& schedule) {
+  scenario.validate();
+  const std::size_t n = scenario.n;
+
+  auto is_faulty = [&](std::size_t i) {
+    return std::find(scenario.faulty.begin(), scenario.faulty.end(), i) !=
+           scenario.faulty.end();
+  };
+
+  std::vector<ScalarFunctionPtr> honest_fns;
+  std::vector<std::size_t> honest_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_faulty(i)) {
+      honest_fns.push_back(scenario.functions[i]);
+      honest_idx.push_back(i);
+    }
+  }
+  const ValidFamily family(honest_fns, scenario.f);
+
+  // Per-honest-agent state (they should stay identical; we simulate them
+  // all independently and *check* rather than assume).
+  std::vector<double> states;
+  for (std::size_t i : honest_idx) states.push_back(scenario.initial_states[i]);
+
+  // EIG attack wiring: faulty agents use scenario.attack.eig in every
+  // instance (their own and as relayers in others').
+  EigConfig eig_config;
+  eig_config.n = n;
+  eig_config.f = scenario.f;
+  eig_config.default_value = scenario.default_value;
+  std::vector<EigAttack*> attacks(n, nullptr);
+  EigHonestBehaviour honest_stub(0.0);
+  for (std::size_t i : scenario.faulty)
+    attacks[i] = scenario.attack.eig != nullptr ? scenario.attack.eig
+                                                : &honest_stub;
+
+  CentralRunMetrics metrics;
+  metrics.optima = family.optima_set();
+
+  // Initial states legitimately differ; identity is claimed (and checked)
+  // from the end of round 1 onward, once everyone has applied the first
+  // common-knowledge update.
+  auto record = [&](bool check_identity) {
+    const auto [lo, hi] = std::minmax_element(states.begin(), states.end());
+    metrics.disagreement.push(*hi - *lo);
+    double dist = 0.0;
+    for (double x : states)
+      dist = std::max(dist, family.distance_to_optima(x));
+    metrics.max_dist_to_y.push(dist);
+    metrics.common_trajectory.push(states.front());
+    if (check_identity && *hi - *lo > 1e-12)
+      metrics.identical_trajectories = false;
+  };
+  record(false);
+
+  for (std::size_t t = 1; t <= scenario.rounds; ++t) {
+    // Assemble the true inputs of this round: honest agents report their
+    // actual state/gradient; faulty agents feed the attack's claims.
+    std::vector<double> input_states(n), input_gradients(n);
+    for (std::size_t i = 0, h = 0; i < n; ++i) {
+      if (is_faulty(i)) {
+        input_states[i] = scenario.attack.state;
+        input_gradients[i] = scenario.attack.gradient;
+      } else {
+        input_states[i] = states[h];
+        input_gradients[i] = honest_fns[h]->derivative(states[h]);
+        ++h;
+      }
+    }
+
+    // Byzantine-broadcast both scalars. Each honest agent extracts ITS OWN
+    // decisions from the protocol runs and updates independently — the
+    // identical-trajectory property is observed, not assumed (EIG
+    // agreement makes every observer's decision vector equal).
+    std::vector<std::unique_ptr<EigInstance>> state_instances;
+    std::vector<std::unique_ptr<EigInstance>> gradient_instances;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      state_instances.push_back(
+          std::make_unique<EigInstance>(eig_config, AgentId{s}, attacks));
+      state_instances.back()->run(input_states[s]);
+      gradient_instances.push_back(
+          std::make_unique<EigInstance>(eig_config, AgentId{s}, attacks));
+      gradient_instances.back()->run(input_gradients[s]);
+    }
+
+    const double lambda = schedule.at(t - 1);
+    for (std::size_t h = 0; h < honest_idx.size(); ++h) {
+      const AgentId observer{static_cast<std::uint32_t>(honest_idx[h])};
+      std::vector<double> agreed_states(n), agreed_gradients(n);
+      for (std::uint32_t s = 0; s < n; ++s) {
+        agreed_states[s] = state_instances[s]->decision(observer);
+        agreed_gradients[s] = gradient_instances[s]->decision(observer);
+      }
+      states[h] = trim_value(agreed_states, scenario.f) -
+                  lambda * trim_value(agreed_gradients, scenario.f);
+    }
+    record(true);
+  }
+
+  metrics.final_states = states;
+  return metrics;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,71 @@
+#pragma once
+
+// Centralized-equivalent SBG over Byzantine broadcast (Su-Vaidya [26] and
+// the discussion after Theorem 2).
+//
+// If every Step-1 tuple is disseminated with Byzantine broadcast instead
+// of point-to-point sends, faulty agents can no longer equivocate: all
+// honest agents agree on one (state, gradient) tuple per agent per round,
+// compute the exact same trims, and therefore evolve identically from
+// round 1 on. The cost function being optimized stops drifting with t and
+// the states acquire a true limit — at Theta(n^f) messages per round (two
+// EIG instances per agent).
+//
+// This module implements that variant over src/consensus EIG and is the
+// comparison point for plain SBG in tests and bench E11.
+
+#include <memory>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/series.hpp"
+#include "consensus/eig.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// Byzantine behaviour in the centralized variant: what the faulty agent
+/// feeds into its own broadcast instances each round (per-recipient lies
+/// are attempted through the EigAttack hooks but collapse to one agreed
+/// value by EIG's agreement property).
+struct CentralAttack {
+  /// Attack used inside every EIG instance (sender and relayer roles);
+  /// null = behave honestly inside the protocol but still feed `state` /
+  /// `gradient` below as inputs.
+  EigAttack* eig = nullptr;
+  double state = 0.0;     ///< claimed state fed to the broadcast
+  double gradient = 0.0;  ///< claimed gradient fed to the broadcast
+};
+
+struct CentralScenario {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::vector<std::size_t> faulty;
+  std::vector<ScalarFunctionPtr> functions;  ///< size n (faulty unused)
+  std::vector<double> initial_states;        ///< size n
+  CentralAttack attack;
+  std::size_t rounds = 200;
+  double default_value = 0.0;
+
+  void validate() const;
+};
+
+struct CentralRunMetrics {
+  Series disagreement;       ///< honest max - min (should be ~0 from round 1)
+  Series max_dist_to_y;      ///< vs the same valid-family Y as plain SBG
+  Series common_trajectory;  ///< the (shared) honest state per round
+  std::vector<double> final_states;
+  Interval optima{0.0};
+
+  /// True iff every honest agent held exactly the same state after every
+  /// round — the headline property of the centralized variant.
+  bool identical_trajectories = true;
+};
+
+/// Runs the centralized-equivalent SBG. Quadratic-in-tree-size cost:
+/// intended for small n (<= ~13 with f <= 2).
+CentralRunMetrics run_central_sbg(const CentralScenario& scenario,
+                                  const StepSchedule& schedule);
+
+}  // namespace ftmao

@@ -1,0 +1,18 @@
+#pragma once
+
+// The ftmao command-line experiment driver: builds a scenario from flags,
+// runs the chosen algorithm, and prints a summary table or CSV series.
+// Kept as a library so the flag->scenario translation is unit-testable;
+// apps/ftmao_cli.cpp is a thin main().
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmao::cli {
+
+/// Runs the whole tool. Returns the process exit code.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace ftmao::cli

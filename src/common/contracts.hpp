@@ -1,0 +1,44 @@
+#pragma once
+
+// Contract checking for preconditions/postconditions/invariants.
+//
+// Violations indicate programmer error (misuse of an API), so they throw
+// ftmao::ContractViolation carrying the failed expression and location.
+// Checks are always on: every caller of this library is a simulator or a
+// test harness, where catching misuse early is worth far more than the
+// branch cost (C++ Core Guidelines I.5/I.7).
+
+#include <stdexcept>
+#include <string>
+
+namespace ftmao {
+
+/// Thrown when an FTMAO_EXPECTS/FTMAO_ENSURES contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ftmao
+
+#define FTMAO_EXPECTS(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ftmao::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                     __LINE__);                           \
+  } while (false)
+
+#define FTMAO_ENSURES(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ftmao::detail::contract_fail("postcondition", #cond, __FILE__,    \
+                                     __LINE__);                           \
+  } while (false)

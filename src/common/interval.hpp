@@ -1,0 +1,64 @@
+#pragma once
+
+// Closed real interval [lo, hi]. The paper's scalar setting means every
+// set we manipulate — argmin sets of admissible functions, the valid
+// optima set Y (Lemma 1), constraint sets X (Section 6) — is a closed
+// interval, so this little type carries a lot of the library.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+/// Closed bounded interval [lo, hi] with lo <= hi.
+class Interval {
+ public:
+  /// Degenerate interval {x}.
+  constexpr explicit Interval(double x) : lo_(x), hi_(x) {}
+
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    FTMAO_EXPECTS(lo <= hi);
+  }
+
+  constexpr double lo() const { return lo_; }
+  constexpr double hi() const { return hi_; }
+  constexpr double length() const { return hi_ - lo_; }
+  constexpr double midpoint() const { return lo_ + (hi_ - lo_) / 2.0; }
+  constexpr bool is_point() const { return lo_ == hi_; }
+
+  constexpr bool contains(double x) const { return lo_ <= x && x <= hi_; }
+  constexpr bool contains(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  /// Euclidean distance from x to the interval; 0 iff contains(x).
+  constexpr double distance_to(double x) const {
+    if (x < lo_) return lo_ - x;
+    if (x > hi_) return x - hi_;
+    return 0.0;
+  }
+
+  /// Nearest point of the interval to x (the metric projection of Sec. 6).
+  constexpr double project(double x) const { return std::clamp(x, lo_, hi_); }
+
+  /// Smallest interval containing both.
+  constexpr Interval hull(const Interval& other) const {
+    return Interval(std::min(lo_, other.lo_), std::max(hi_, other.hi_));
+  }
+
+  /// Expands by eps on both sides (eps >= 0).
+  constexpr Interval inflate(double eps) const {
+    FTMAO_EXPECTS(eps >= 0.0);
+    return Interval(lo_ - eps, hi_ + eps);
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace ftmao

@@ -1,0 +1,41 @@
+#include "common/rng.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::substream(std::string_view tag, std::uint64_t index) const {
+  std::uint64_t h = seed_;
+  for (char c : tag) h = mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  h = mix64(h ^ index);
+  return Rng(h);
+}
+
+double Rng::uniform(double lo, double hi) {
+  FTMAO_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FTMAO_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  FTMAO_EXPECTS(stddev >= 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  FTMAO_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+}  // namespace ftmao

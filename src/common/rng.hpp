@@ -1,0 +1,50 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All randomness in simulations flows through Rng so that every experiment
+// is reproducible from a single 64-bit seed. Substreams (per agent, per
+// purpose) are derived with a splitmix64 hash so that adding a consumer
+// does not perturb the draws seen by existing consumers.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace ftmao {
+
+/// Deterministic pseudo-random source. Wraps std::mt19937_64 and offers
+/// the handful of distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent substream; same (seed, tag, index) -> same
+  /// stream, regardless of draw order elsewhere.
+  Rng substream(std::string_view tag, std::uint64_t index = 0) const;
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal scaled: mean + stddev * N(0,1).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p);
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// splitmix64 finalizer; good avalanche for seed derivation.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace ftmao

@@ -1,0 +1,75 @@
+#include "common/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+double Series::tail_max(std::size_t k) const {
+  FTMAO_EXPECTS(!values_.empty());
+  k = std::min(k, values_.size());
+  return *std::max_element(values_.end() - static_cast<std::ptrdiff_t>(k),
+                           values_.end());
+}
+
+double Series::tail_mean(std::size_t k) const {
+  FTMAO_EXPECTS(!values_.empty());
+  k = std::min(k, values_.size());
+  double sum = 0.0;
+  for (std::size_t i = values_.size() - k; i < values_.size(); ++i)
+    sum += values_[i];
+  return sum / static_cast<double>(k);
+}
+
+std::size_t Series::settled_below(double threshold) const {
+  std::size_t candidate = values_.size();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] <= threshold) {
+      if (candidate == values_.size()) candidate = i;
+    } else {
+      candidate = values_.size();
+    }
+  }
+  return candidate;
+}
+
+double fit_log_log_slope(const Series& s, std::size_t first) {
+  FTMAO_EXPECTS(first >= 1);  // log(t) needs t >= 1
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t count = 0;
+  for (std::size_t t = first; t < s.size(); ++t) {
+    if (s[t] <= 0.0) continue;
+    const double x = std::log(static_cast<double>(t));
+    const double y = std::log(s[t]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  // A series that collapses to exact zeros has converged faster than any
+  // power law; report NaN rather than failing (callers print it as-is).
+  if (count < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double n = static_cast<double>(count);
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::vector<double> weighted_partial_sums(const Series& s,
+                                          std::span<const double> weights) {
+  FTMAO_EXPECTS(weights.size() == s.size());
+  std::vector<double> sums;
+  sums.reserve(s.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    acc += weights[i] * s[i];
+    sums.push_back(acc);
+  }
+  return sums;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,56 @@
+#pragma once
+
+// Time-series container and the small amount of statistics the experiment
+// harness needs: rate fitting on log-log scale (to check the paper's
+// O(1/t) consensus rate), tail summaries, and partial-sum checks (for
+// Lemma 4's summability claim).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftmao {
+
+/// A value sampled once per iteration, index 0 = initial state.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::vector<double> values) : values_(std::move(values)) {}
+
+  void push(double v) { values_.push_back(v); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double operator[](std::size_t i) const { return values_[i]; }
+  double back() const { return values_.back(); }
+  std::span<const double> values() const { return values_; }
+
+  /// Maximum over the last k entries (k clamped to size).
+  double tail_max(std::size_t k) const;
+
+  /// Mean over the last k entries (k clamped to size).
+  double tail_mean(std::size_t k) const;
+
+  /// First index whose value is <= threshold AND that never exceeds the
+  /// threshold again ("rounds to epsilon" for convergence series).
+  /// Returns size() if the series never settles below the threshold.
+  std::size_t settled_below(double threshold) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Least-squares fit of log(y) = a + p*log(t) over entries with index in
+/// [first, size) and y > 0. Returns the exponent p; a series decaying as
+/// Theta(1/t) fits p near -1.
+///
+/// Entries with y <= 0 are skipped (a series that reaches exactly 0 has
+/// converged faster than any power law; skipping is conservative).
+double fit_log_log_slope(const Series& s, std::size_t first);
+
+/// Partial sums of weights[i] * s[i]; used to check Lemma 4-style
+/// summability numerically (the partial sums must flatten out).
+std::vector<double> weighted_partial_sums(const Series& s,
+                                          std::span<const double> weights);
+
+}  // namespace ftmao

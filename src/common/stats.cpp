@@ -1,0 +1,58 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+Summary summarize(std::span<const double> values) {
+  FTMAO_EXPECTS(!values.empty());
+  Summary s;
+  s.count = values.size();
+
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(sq / static_cast<double>(s.count - 1)) : 0.0;
+
+  s.median = quantile(values, 0.5);
+  return s;
+}
+
+double quantile(std::span<const double> values, double q) {
+  FTMAO_EXPECTS(!values.empty());
+  FTMAO_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  FTMAO_EXPECTS(xs.size() == ys.size());
+  FTMAO_EXPECTS(xs.size() >= 2);
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  FTMAO_EXPECTS(sx.stddev > 0.0 && sy.stddev > 0.0);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  cov /= static_cast<double>(xs.size() - 1);
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace ftmao

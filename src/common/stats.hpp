@@ -1,0 +1,32 @@
+#pragma once
+
+// Descriptive statistics for multi-seed experiment aggregation: the
+// E-series reports medians/quantiles across seeds so that a single lucky
+// run cannot masquerade as the typical behaviour.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftmao {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Summary statistics of a sample (requires at least one value).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation quantile, q in [0, 1].
+double quantile(std::span<const double> values, double q);
+
+/// Pearson correlation of two equal-length samples (size >= 2, both with
+/// positive variance).
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ftmao

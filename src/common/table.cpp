@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::defaultfloat << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FTMAO_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row() {
+  FTMAO_EXPECTS(cells_.empty() || cells_.back().size() == headers_.size());
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  FTMAO_EXPECTS(!cells_.empty());
+  FTMAO_EXPECTS(cells_.back().size() < headers_.size());
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double v, int precision) { return add(format_double(v, precision)); }
+Table& Table::add(std::size_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : cells_) print_row(row);
+}
+
+}  // namespace ftmao

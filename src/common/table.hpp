@@ -1,0 +1,43 @@
+#pragma once
+
+// Console table / CSV emission for the benchmark harness. Every bench
+// binary prints the rows a paper table would contain; Table keeps the
+// formatting consistent and machine-greppable.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmao {
+
+/// Fixed-column text table. Cells are strings; numeric helpers format with
+/// a consistent precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double v, int precision = 4);
+  Table& add(std::size_t v);
+  Table& add(int v);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Pretty aligned output with a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with reporters).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace ftmao

@@ -1,0 +1,46 @@
+#pragma once
+
+// Strongly typed identifiers used across the library.
+//
+// Agents are numbered 0..n-1. Rounds are 0-based iteration indices: the
+// paper's "iteration t >= 1" updates x[t-1] -> x[t]; in code, round t
+// computes state_after_round(t) from state_after_round(t-1).
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ftmao {
+
+/// Index of an agent in the system, 0-based. A plain integral wrapper with
+/// comparison so ids cannot be confused with counts or rounds.
+struct AgentId {
+  std::uint32_t value = 0;
+
+  constexpr AgentId() = default;
+  constexpr explicit AgentId(std::uint32_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(AgentId, AgentId) = default;
+};
+
+/// 1-based iteration index of the algorithm (t in the paper).
+struct Round {
+  std::uint32_t value = 0;
+
+  constexpr Round() = default;
+  constexpr explicit Round(std::uint32_t v) : value(v) {}
+
+  constexpr Round next() const { return Round{value + 1}; }
+
+  friend constexpr auto operator<=>(Round, Round) = default;
+};
+
+}  // namespace ftmao
+
+template <>
+struct std::hash<ftmao::AgentId> {
+  std::size_t operator()(ftmao::AgentId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

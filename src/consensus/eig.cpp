@@ -1,0 +1,164 @@
+#include "consensus/eig.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace ftmao {
+
+// ------------------------------------------------------------- behaviours
+
+double EigHonestBehaviour::initial_value(AgentId, AgentId) { return value_; }
+double EigHonestBehaviour::relay_value(AgentId, AgentId, const EigPath&,
+                                       double v) {
+  return v;
+}
+
+EigEquivocateSender::EigEquivocateSender(double magnitude)
+    : magnitude_(magnitude) {}
+
+double EigEquivocateSender::initial_value(AgentId, AgentId recipient) {
+  return recipient.value % 2 == 0 ? magnitude_ : -magnitude_;
+}
+
+double EigEquivocateSender::relay_value(AgentId, AgentId, const EigPath&,
+                                        double v) {
+  return v;
+}
+
+EigChaoticRelay::EigChaoticRelay(double magnitude) : magnitude_(magnitude) {}
+
+double EigChaoticRelay::initial_value(AgentId self, AgentId recipient) {
+  // Deterministic but recipient-dependent garbage.
+  const std::uint64_t h = mix64((static_cast<std::uint64_t>(self.value) << 32) |
+                                recipient.value);
+  return (h % 2 == 0 ? 1.0 : -1.0) * magnitude_;
+}
+
+double EigChaoticRelay::relay_value(AgentId self, AgentId recipient,
+                                    const EigPath& path, double) {
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(self.value) << 32) |
+                          recipient.value);
+  for (std::uint32_t p : path) h = mix64(h ^ p);
+  return (h % 3 == 0 ? 0.0 : (h % 3 == 1 ? magnitude_ : -magnitude_));
+}
+
+// ----------------------------------------------------------------- config
+
+void EigConfig::validate() const {
+  FTMAO_EXPECTS(n > 3 * f);
+  FTMAO_EXPECTS(n >= 2);
+}
+
+// --------------------------------------------------------------- instance
+
+EigInstance::EigInstance(const EigConfig& config, AgentId sender,
+                         std::vector<EigAttack*> attacks)
+    : config_(config), sender_(sender), attacks_(std::move(attacks)) {
+  config_.validate();
+  FTMAO_EXPECTS(sender_.value < config_.n);
+  FTMAO_EXPECTS(attacks_.size() == config_.n);
+  std::size_t byz = 0;
+  for (const auto* a : attacks_)
+    if (a != nullptr) ++byz;
+  FTMAO_EXPECTS(byz <= config_.f);
+  trees_.resize(config_.n);
+}
+
+bool EigInstance::is_byzantine(AgentId id) const {
+  return attacks_[id.value] != nullptr;
+}
+
+void EigInstance::run(double sender_value) {
+  FTMAO_EXPECTS(!ran_);
+  ran_ = true;
+  const std::size_t n = config_.n;
+
+  // Round 1: the sender distributes its value; each agent stores val((s)).
+  const EigPath root{sender_.value};
+  for (std::uint32_t k = 0; k < n; ++k) {
+    double v;
+    if (!is_byzantine(sender_)) {
+      v = sender_value;
+    } else if (k == sender_.value) {
+      v = sender_value;  // the faulty sender's own record (truth-tracking)
+    } else {
+      v = attacks_[sender_.value]->initial_value(sender_, AgentId{k});
+    }
+    trees_[k].values[root] = v;
+  }
+
+  // Rounds 2..f+1: relay the previous level.
+  std::vector<EigPath> level{root};
+  for (std::size_t round = 2; round <= config_.f + 1; ++round) {
+    std::vector<EigPath> next_level;
+    for (const EigPath& path : level) {
+      for (std::uint32_t relayer = 0; relayer < n; ++relayer) {
+        if (std::find(path.begin(), path.end(), relayer) != path.end())
+          continue;
+        EigPath child = path;
+        child.push_back(relayer);
+        next_level.push_back(child);
+        const double truth = trees_[relayer].values.at(path);
+        for (std::uint32_t k = 0; k < n; ++k) {
+          double v = truth;
+          if (k != relayer && is_byzantine(AgentId{relayer})) {
+            v = attacks_[relayer]->relay_value(AgentId{relayer}, AgentId{k},
+                                               path, truth);
+          }
+          trees_[k].values[child] = v;
+        }
+      }
+    }
+    level = std::move(next_level);
+  }
+}
+
+double EigInstance::resolve(const Tree& tree, const EigPath& path) const {
+  if (path.size() == config_.f + 1) return tree.values.at(path);
+
+  // Strict majority over the resolved children; default on no majority.
+  std::map<double, std::size_t> counts;
+  std::size_t total = 0;
+  for (std::uint32_t j = 0; j < config_.n; ++j) {
+    if (std::find(path.begin(), path.end(), j) != path.end()) continue;
+    EigPath child = path;
+    child.push_back(j);
+    ++counts[resolve(tree, child)];
+    ++total;
+  }
+  for (const auto& [value, count] : counts) {
+    if (2 * count > total) return value;
+  }
+  return config_.default_value;
+}
+
+double EigInstance::decision(AgentId agent) const {
+  FTMAO_EXPECTS(ran_);
+  FTMAO_EXPECTS(agent.value < config_.n);
+  FTMAO_EXPECTS(!is_byzantine(agent));
+  return resolve(trees_[agent.value], EigPath{sender_.value});
+}
+
+std::size_t EigInstance::tree_size() const {
+  return trees_.empty() ? 0 : trees_.front().values.size();
+}
+
+// ---------------------------------------------------------- broadcast-all
+
+std::vector<double> eig_broadcast_all(const EigConfig& config,
+                                      const std::vector<double>& values,
+                                      const std::vector<EigAttack*>& attacks,
+                                      AgentId observer) {
+  FTMAO_EXPECTS(values.size() == config.n);
+  std::vector<double> agreed(config.n);
+  for (std::uint32_t s = 0; s < config.n; ++s) {
+    EigInstance instance(config, AgentId{s}, attacks);
+    instance.run(values[s]);
+    agreed[s] = instance.decision(observer);
+  }
+  return agreed;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,143 @@
+#pragma once
+
+// Exponential Information Gathering (EIG) Byzantine broadcast — the
+// classical synchronous Byzantine Generals algorithm (Lamport-Shostak-
+// Pease OM(f) in Lynch's EIG formulation). With n > 3f agents and f + 1
+// relay rounds it guarantees, for a designated sender s:
+//
+//   * validity:  if s is honest, every honest agent decides s's value;
+//   * agreement: all honest agents decide the same value even if s and up
+//                to f - 1 relayers are Byzantine.
+//
+// This is the "reliable broadcast" building block the paper's
+// centralized-equivalent variant [26] relies on (see src/central). The
+// message volume is Theta(n^f) per instance — affordable for the small
+// systems the experiments use, and exactly why the paper stresses that
+// plain SBG avoids it.
+//
+// The implementation simulates all participants in one object so tests
+// and the central module can inject arbitrary per-recipient lies at every
+// relay step (the strongest Byzantine behaviour the model allows).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftmao {
+
+/// Label of an EIG tree node: the chain of agents a claim travelled
+/// through, starting with the sender. All entries are distinct.
+using EigPath = std::vector<std::uint32_t>;
+
+/// Byzantine behaviour hooks for one EIG instance. `true_value` is the
+/// value the faulty agent actually holds for the node (it received the
+/// protocol messages like everyone else); the attack may report anything.
+class EigAttack {
+ public:
+  virtual ~EigAttack() = default;
+
+  /// Round 1, faulty sender: the value claimed to `recipient`.
+  virtual double initial_value(AgentId self, AgentId recipient) = 0;
+
+  /// Rounds 2..f+1, faulty relayer: the value claimed to `recipient` for
+  /// tree node `path` (which does not contain self).
+  virtual double relay_value(AgentId self, AgentId recipient,
+                             const EigPath& path, double true_value) = 0;
+};
+
+/// Built-in attacks.
+
+/// Honest-equivalent behaviour (useful to isolate other agents' faults).
+class EigHonestBehaviour final : public EigAttack {
+ public:
+  double initial_value(AgentId, AgentId) override;
+  double relay_value(AgentId, AgentId, const EigPath&, double v) override;
+
+  /// The value this "honest" faulty agent would broadcast as sender.
+  explicit EigHonestBehaviour(double value) : value_(value) {}
+
+ private:
+  double value_;
+};
+
+/// Sender equivocation: +magnitude to even-id recipients, -magnitude to
+/// odd; relays honestly.
+class EigEquivocateSender final : public EigAttack {
+ public:
+  explicit EigEquivocateSender(double magnitude);
+  double initial_value(AgentId self, AgentId recipient) override;
+  double relay_value(AgentId, AgentId, const EigPath&, double v) override;
+
+ private:
+  double magnitude_;
+};
+
+/// Lies at every relay with recipient-dependent garbage; as sender,
+/// equivocates too.
+class EigChaoticRelay final : public EigAttack {
+ public:
+  explicit EigChaoticRelay(double magnitude);
+  double initial_value(AgentId self, AgentId recipient) override;
+  double relay_value(AgentId self, AgentId recipient, const EigPath&,
+                     double) override;
+
+ private:
+  double magnitude_;
+};
+
+struct EigConfig {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  double default_value = 0.0;  ///< substituted for missing/garbled claims
+
+  void validate() const;  // requires n > 3f
+};
+
+/// One broadcast instance: sender distributes one double to everyone.
+class EigInstance {
+ public:
+  /// `attacks[i]` non-null marks agent i as Byzantine with that behaviour.
+  /// Agents with null entries are honest. `attacks` must have size n.
+  EigInstance(const EigConfig& config, AgentId sender,
+              std::vector<EigAttack*> attacks);
+
+  /// Runs all f + 1 rounds. `sender_value` is used when the sender is
+  /// honest (ignored otherwise).
+  void run(double sender_value);
+
+  /// Decision of an honest agent (resolve of the tree root). Requires
+  /// run() to have completed and `agent` to be honest.
+  double decision(AgentId agent) const;
+
+  /// Total number of tree nodes per agent (diagnostic: message cost).
+  std::size_t tree_size() const;
+
+ private:
+  struct Tree {
+    // Values keyed by path; filled level by level.
+    std::map<EigPath, double> values;
+  };
+
+  bool is_byzantine(AgentId id) const;
+  double resolve(const Tree& tree, const EigPath& path) const;
+
+  EigConfig config_;
+  AgentId sender_;
+  std::vector<EigAttack*> attacks_;  // size n; nullptr = honest
+  std::vector<Tree> trees_;          // one per agent (faulty ones track truth)
+  bool ran_ = false;
+};
+
+/// Broadcast-everyone convenience: agent i's value values[i] is EIG-
+/// broadcast in its own instance; returns the agreed vector as decided by
+/// honest agent `observer` (identical for every honest observer by
+/// agreement — asserted in tests).
+std::vector<double> eig_broadcast_all(const EigConfig& config,
+                                      const std::vector<double>& values,
+                                      const std::vector<EigAttack*>& attacks,
+                                      AgentId observer);
+
+}  // namespace ftmao

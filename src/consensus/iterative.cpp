@@ -1,0 +1,100 @@
+#include "consensus/iterative.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+void IterativeConsensusConfig::validate() const {
+  FTMAO_EXPECTS(n > 3 * f);
+}
+
+IterativeConsensusAgent::IterativeConsensusAgent(
+    AgentId id, double initial_value, const IterativeConsensusConfig& config)
+    : id_(id), value_(initial_value), config_(config) {
+  config_.validate();
+}
+
+double IterativeConsensusAgent::broadcast(Round t) {
+  FTMAO_EXPECTS(t.value >= 1);
+  return value_;
+}
+
+void IterativeConsensusAgent::step(Round t,
+                                   std::span<const Received<double>> inbox) {
+  FTMAO_EXPECTS(t.value >= 1);
+  FTMAO_EXPECTS(inbox.size() <= config_.n - 1);
+  std::vector<double> values;
+  values.reserve(config_.n);
+  values.push_back(value_);
+  for (const auto& msg : inbox) values.push_back(msg.payload);
+  const std::size_t missing = (config_.n - 1) - inbox.size();
+  for (std::size_t i = 0; i < missing; ++i)
+    values.push_back(config_.default_value);
+  value_ = trim_value(values, config_.f);
+}
+
+FunctionalByzantine::FunctionalByzantine(Behaviour behaviour)
+    : behaviour_(std::move(behaviour)) {}
+
+std::optional<double> FunctionalByzantine::send_to(
+    AgentId self, AgentId recipient, const RoundView<double>& view) {
+  if (!behaviour_) return std::nullopt;
+  return behaviour_(self, recipient, view);
+}
+
+ConsensusRunResult run_iterative_consensus(
+    const IterativeConsensusConfig& config,
+    const std::vector<double>& honest_initial, std::size_t byzantine_count,
+    FunctionalByzantine::Behaviour behaviour, std::size_t rounds) {
+  config.validate();
+  FTMAO_EXPECTS(honest_initial.size() + byzantine_count == config.n);
+  FTMAO_EXPECTS(byzantine_count <= config.f);
+
+  std::vector<std::unique_ptr<IterativeConsensusAgent>> agents;
+  std::vector<std::unique_ptr<FunctionalByzantine>> byz;
+  SyncEngine<double> engine;
+  for (std::size_t i = 0; i < honest_initial.size(); ++i) {
+    agents.push_back(std::make_unique<IterativeConsensusAgent>(
+        AgentId{static_cast<std::uint32_t>(i)}, honest_initial[i], config));
+    engine.add_honest(AgentId{static_cast<std::uint32_t>(i)},
+                      agents.back().get());
+  }
+  for (std::size_t b = 0; b < byzantine_count; ++b) {
+    byz.push_back(std::make_unique<FunctionalByzantine>(behaviour));
+    engine.add_byzantine(
+        AgentId{static_cast<std::uint32_t>(honest_initial.size() + b)},
+        byz.back().get());
+  }
+
+  ConsensusRunResult result;
+  const auto [lo_it, hi_it] =
+      std::minmax_element(honest_initial.begin(), honest_initial.end());
+  result.initial_hull_lo = *lo_it;
+  result.initial_hull_hi = *hi_it;
+
+  auto record = [&] {
+    double lo = agents.front()->value();
+    double hi = lo;
+    for (const auto& a : agents) {
+      lo = std::min(lo, a->value());
+      hi = std::max(hi, a->value());
+    }
+    result.disagreement.push(hi - lo);
+    if (lo < result.initial_hull_lo - 1e-12 ||
+        hi > result.initial_hull_hi + 1e-12)
+      result.validity_held = false;
+  };
+  record();
+  for (std::size_t t = 1; t <= rounds; ++t) {
+    engine.run_round(Round{static_cast<std::uint32_t>(t)});
+    record();
+  }
+  for (const auto& a : agents) result.final_values.push_back(a->value());
+  return result;
+}
+
+}  // namespace ftmao

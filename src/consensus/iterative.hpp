@@ -1,0 +1,86 @@
+#pragma once
+
+// Iterative approximate Byzantine consensus — the skeleton SBG is built on
+// ([16, 36]; SBG = this plus a gradient term). Each round every agent
+// broadcasts its scalar, applies Trim to what it holds (own value, received
+// values, defaults for the silent), and adopts the trimmed midpoint.
+//
+// Guarantees with n > 3f on a complete network:
+//   * validity: honest values stay inside the initial honest hull;
+//   * exponential convergence: the honest spread contracts by at least
+//     (1 - 1/(2(m-f))) per round (the same factor as Lemma 3's (8)).
+//
+// Exposed separately so the consensus substrate can be tested and
+// benchmarked in isolation from optimization.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/series.hpp"
+#include "common/types.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+struct IterativeConsensusConfig {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  double default_value = 0.0;
+
+  void validate() const;  // n > 3f
+};
+
+/// One correct participant.
+class IterativeConsensusAgent final : public SyncNode<double> {
+ public:
+  IterativeConsensusAgent(AgentId id, double initial_value,
+                          const IterativeConsensusConfig& config);
+
+  double broadcast(Round t) override;
+  void step(Round t, std::span<const Received<double>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double value() const { return value_; }
+
+ private:
+  AgentId id_;
+  double value_;
+  IterativeConsensusConfig config_;
+};
+
+/// Byzantine participant defined by a lambda — consensus tests need many
+/// tiny one-off behaviours.
+class FunctionalByzantine final : public ByzantineNode<double> {
+ public:
+  using Behaviour = std::function<std::optional<double>(
+      AgentId self, AgentId recipient, const RoundView<double>& view)>;
+
+  explicit FunctionalByzantine(Behaviour behaviour);
+  std::optional<double> send_to(AgentId self, AgentId recipient,
+                                const RoundView<double>& view) override;
+
+ private:
+  Behaviour behaviour_;
+};
+
+struct ConsensusRunResult {
+  Series disagreement;               ///< honest max - min per round
+  std::vector<double> final_values;  ///< honest agents, in order
+  double initial_hull_lo = 0.0;
+  double initial_hull_hi = 0.0;
+
+  /// True when every recorded honest value stayed within the initial hull.
+  bool validity_held = true;
+};
+
+/// Runs iterative consensus for `rounds` rounds. `honest_initial` are the
+/// honest agents' starting values; `byzantine_count` faulty agents are
+/// driven by `behaviour` (nullptr behaviour = silent).
+ConsensusRunResult run_iterative_consensus(
+    const IterativeConsensusConfig& config,
+    const std::vector<double>& honest_initial, std::size_t byzantine_count,
+    FunctionalByzantine::Behaviour behaviour, std::size_t rounds);
+
+}  // namespace ftmao

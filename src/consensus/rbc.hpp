@@ -1,0 +1,137 @@
+#pragma once
+
+// Bracha-style asynchronous reliable broadcast (RBC) — the primitive the
+// paper's Section 7 suggests combining with SBG to get n > 3f resilience
+// in asynchronous systems (via [1]-style protocols).
+//
+// For each (origin, tag) instance:
+//   * origin broadcasts INIT(v);
+//   * on INIT(v) from the origin: broadcast ECHO(v) (once);
+//   * on ceil((n+f+1)/2) matching ECHO(v): broadcast READY(v) (once);
+//   * on f+1 matching READY(v): broadcast READY(v) (amplification, once);
+//   * on 2f+1 matching READY(v): deliver v.
+//
+// With n > 3f this guarantees validity (honest origin's value is
+// delivered), agreement (no two honest deliver different values for the
+// same instance), and totality (if one honest delivers, all eventually
+// do). RbcProcess is the per-participant state machine, transport-
+// agnostic: feed it messages, collect messages to send.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftmao {
+
+enum class RbcKind : std::uint8_t { Init, Echo, Ready };
+
+/// Identifies one broadcast instance: who is broadcasting, with which tag
+/// (SBG uses the round number as tag).
+struct RbcInstanceId {
+  AgentId origin;
+  std::uint32_t tag = 0;
+
+  friend auto operator<=>(const RbcInstanceId&, const RbcInstanceId&) = default;
+};
+
+template <typename V>
+struct RbcMessage {
+  RbcKind kind = RbcKind::Init;
+  RbcInstanceId instance;
+  V value{};
+};
+
+/// One participant's RBC state across all instances. V must be
+/// equality-comparable and ordered (used as a map key for vote counting).
+template <typename V>
+class RbcProcess {
+ public:
+  RbcProcess(std::size_t n, std::size_t f, AgentId self)
+      : n_(n), f_(f), self_(self) {}
+
+  std::size_t echo_quorum() const { return (n_ + f_) / 2 + 1; }
+  std::size_t ready_amplify() const { return f_ + 1; }
+  std::size_t deliver_quorum() const { return 2 * f_ + 1; }
+
+  /// Starts broadcasting `value` under (self, tag). Returns messages to
+  /// send to ALL agents (including self).
+  std::vector<RbcMessage<V>> broadcast(std::uint32_t tag, const V& value) {
+    return {RbcMessage<V>{RbcKind::Init, {self_, tag}, value}};
+  }
+
+  /// Feeds one received message; returns messages to send to all agents.
+  /// Duplicate/conflicting messages from the same sender are ignored per
+  /// protocol (one INIT per origin, one ECHO/READY per sender per
+  /// instance).
+  std::vector<RbcMessage<V>> on_message(AgentId from, const RbcMessage<V>& msg) {
+    Instance& inst = instances_[msg.instance];
+    std::vector<RbcMessage<V>> out;
+    switch (msg.kind) {
+      case RbcKind::Init:
+        // Only the origin's own INIT counts.
+        if (from != msg.instance.origin || inst.echo_sent) break;
+        inst.echo_sent = true;
+        out.push_back({RbcKind::Echo, msg.instance, msg.value});
+        break;
+      case RbcKind::Echo:
+        if (!inst.echoers.insert(from).second) break;  // one echo per sender
+        if (++inst.echo_votes[msg.value] >= echo_quorum() && !inst.ready_sent) {
+          inst.ready_sent = true;
+          out.push_back({RbcKind::Ready, msg.instance, msg.value});
+        }
+        break;
+      case RbcKind::Ready:
+        if (!inst.readiers.insert(from).second) break;
+        const std::size_t votes = ++inst.ready_votes[msg.value];
+        if (votes >= ready_amplify() && !inst.ready_sent) {
+          inst.ready_sent = true;
+          out.push_back({RbcKind::Ready, msg.instance, msg.value});
+        }
+        if (votes >= deliver_quorum() && !inst.delivered) {
+          inst.delivered = msg.value;
+          new_deliveries_.push_back(msg.instance);
+        }
+        break;
+    }
+    return out;
+  }
+
+  /// The delivered value for an instance, once available.
+  std::optional<V> delivered(const RbcInstanceId& instance) const {
+    const auto it = instances_.find(instance);
+    if (it == instances_.end()) return std::nullopt;
+    return it->second.delivered;
+  }
+
+  /// Instances that reached delivery since the last call (each instance
+  /// reported exactly once, in delivery order). Lets layered protocols
+  /// react in O(1) instead of polling every instance.
+  std::vector<RbcInstanceId> take_new_deliveries() {
+    std::vector<RbcInstanceId> out;
+    out.swap(new_deliveries_);
+    return out;
+  }
+
+ private:
+  struct Instance {
+    bool echo_sent = false;
+    bool ready_sent = false;
+    std::set<AgentId> echoers;
+    std::set<AgentId> readiers;
+    std::map<V, std::size_t> echo_votes;
+    std::map<V, std::size_t> ready_votes;
+    std::optional<V> delivered;
+  };
+
+  std::size_t n_;
+  std::size_t f_;
+  AgentId self_;
+  std::map<RbcInstanceId, Instance> instances_;
+  std::vector<RbcInstanceId> new_deliveries_;
+};
+
+}  // namespace ftmao

@@ -1,0 +1,175 @@
+#include "consensus/rbc_sbg.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+void RbcSbgConfig::validate() const {
+  FTMAO_EXPECTS(n > 3 * f);
+  FTMAO_EXPECTS(quorum() >= 2 * f + 1);  // trim precondition
+  FTMAO_EXPECTS(max_rounds >= 1);
+}
+
+RbcSbgNode::RbcSbgNode(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                       const StepSchedule& schedule, const RbcSbgConfig& config)
+    : id_(id),
+      cost_(std::move(cost)),
+      state_(initial_state),
+      schedule_(&schedule),
+      config_(config),
+      rbc_(config.n, config.f, id) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+  config_.validate();
+  history_.push_back(state_);
+}
+
+std::vector<Unicast<RbcSbgMessage>> RbcSbgNode::to_everyone(
+    std::vector<RbcSbgMessage> msgs) const {
+  std::vector<Unicast<RbcSbgMessage>> out;
+  out.reserve(msgs.size() * config_.n);
+  for (const auto& msg : msgs) {
+    for (std::uint32_t k = 0; k < config_.n; ++k) {
+      out.push_back({AgentId{k}, msg});
+    }
+  }
+  return out;
+}
+
+std::vector<Unicast<RbcSbgMessage>> RbcSbgNode::boot() {
+  return to_everyone(
+      rbc_.broadcast(1, RbcSbgTuple{state_, cost_->derivative(state_)}));
+}
+
+std::vector<Unicast<RbcSbgMessage>> RbcSbgNode::on_receive(
+    AgentId from, const RbcSbgMessage& msg) {
+  std::vector<RbcSbgMessage> out = rbc_.on_message(from, msg);
+  collect_new_deliveries();
+  // Advancing can cascade: deliveries buffered for future rounds may
+  // satisfy several quorums at once.
+  for (std::vector<RbcSbgMessage> next = maybe_advance(); !next.empty();
+       next = maybe_advance()) {
+    out.insert(out.end(), next.begin(), next.end());
+  }
+  return to_everyone(std::move(out));
+}
+
+void RbcSbgNode::collect_new_deliveries() {
+  // RbcProcess reports each delivery exactly once: O(1) per message
+  // instead of polling every (origin, tag) pair.
+  for (const RbcInstanceId& inst : rbc_.take_new_deliveries()) {
+    if (inst.tag < round_.value || inst.tag > config_.max_rounds) continue;
+    if (const auto value = rbc_.delivered(inst)) {
+      delivered_[inst.tag].emplace(inst.origin, *value);
+    }
+  }
+}
+
+std::vector<RbcSbgMessage> RbcSbgNode::maybe_advance() {
+  const auto it = delivered_.find(round_.value);
+  if (it == delivered_.end() || it->second.size() < config_.quorum()) return {};
+
+  std::vector<double> states, gradients;
+  states.reserve(it->second.size());
+  gradients.reserve(it->second.size());
+  for (const auto& [origin, tuple] : it->second) {
+    states.push_back(tuple.first);
+    gradients.push_back(tuple.second);
+  }
+  const double lambda = schedule_->at(round_.value - 1);
+  state_ = trim_value(states, config_.f) -
+           lambda * trim_value(gradients, config_.f);
+  history_.push_back(state_);
+  delivered_.erase(it);
+  round_ = round_.next();
+  if (round_.value > config_.max_rounds) return {};
+  return rbc_.broadcast(round_.value,
+                        RbcSbgTuple{state_, cost_->derivative(state_)});
+}
+
+// ------------------------------------------------------ EquivocatingRbcByz
+
+EquivocatingRbcByz::EquivocatingRbcByz(AgentId id, std::size_t n,
+                                       std::size_t max_rounds,
+                                       RbcSbgTuple value_even,
+                                       RbcSbgTuple value_odd)
+    : id_(id), n_(n), max_rounds_(max_rounds), even_(value_even), odd_(value_odd) {}
+
+std::vector<Unicast<RbcSbgMessage>> EquivocatingRbcByz::equivocate(
+    std::uint32_t tag) {
+  if (tag == 0 || tag > max_rounds_ || !tags_sent_.insert(tag).second) return {};
+  std::vector<Unicast<RbcSbgMessage>> out;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const RbcSbgTuple& v = k % 2 == 0 ? even_ : odd_;
+    out.push_back({AgentId{k}, RbcSbgMessage{RbcKind::Init, {id_, tag}, v}});
+  }
+  return out;
+}
+
+std::vector<Unicast<RbcSbgMessage>> EquivocatingRbcByz::boot() {
+  return equivocate(1);
+}
+
+std::vector<Unicast<RbcSbgMessage>> EquivocatingRbcByz::on_receive(
+    AgentId, const RbcSbgMessage& msg) {
+  // Joins each round as soon as it observes any traffic for its tag.
+  return equivocate(msg.instance.tag);
+}
+
+// ---------------------------------------------------------------- runner
+
+RbcSbgRunResult run_rbc_sbg(const RbcSbgConfig& config,
+                            const std::vector<ScalarFunctionPtr>& honest_costs,
+                            const std::vector<double>& honest_initial,
+                            std::size_t byzantine_count,
+                            const StepSchedule& schedule, DelayModel& delays) {
+  config.validate();
+  FTMAO_EXPECTS(honest_costs.size() + byzantine_count == config.n);
+  FTMAO_EXPECTS(honest_initial.size() == honest_costs.size());
+  FTMAO_EXPECTS(byzantine_count <= config.f);
+
+  ProtoEngine<RbcSbgMessage> engine(delays);
+  std::vector<std::unique_ptr<RbcSbgNode>> honest;
+  std::vector<std::unique_ptr<EquivocatingRbcByz>> byz;
+  for (std::size_t i = 0; i < honest_costs.size(); ++i) {
+    honest.push_back(std::make_unique<RbcSbgNode>(
+        AgentId{static_cast<std::uint32_t>(i)}, honest_costs[i],
+        honest_initial[i], schedule, config));
+    engine.add_node(AgentId{static_cast<std::uint32_t>(i)}, honest.back().get());
+  }
+  for (std::size_t b = 0; b < byzantine_count; ++b) {
+    const AgentId id{static_cast<std::uint32_t>(honest_costs.size() + b)};
+    byz.push_back(std::make_unique<EquivocatingRbcByz>(
+        id, config.n, config.max_rounds, RbcSbgTuple{60.0, 6.0},
+        RbcSbgTuple{-60.0, -6.0}));
+    engine.add_node(id, byz.back().get());
+  }
+
+  RbcSbgRunResult result;
+  result.virtual_time = engine.run([&] {
+    for (const auto& node : honest) {
+      if (node->current_round().value <= config.max_rounds) return false;
+    }
+    return true;
+  });
+
+  std::size_t common = config.max_rounds + 1;
+  for (const auto& node : honest)
+    common = std::min(common, node->history().size());
+  for (std::size_t t = 0; t < common; ++t) {
+    double lo = honest.front()->history()[t];
+    double hi = lo;
+    for (const auto& node : honest) {
+      lo = std::min(lo, node->history()[t]);
+      hi = std::max(hi, node->history()[t]);
+    }
+    result.disagreement.push(hi - lo);
+  }
+  for (const auto& node : honest) result.final_states.push_back(node->state());
+  result.messages_delivered = engine.messages_delivered();
+  return result;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,39 @@
+#pragma once
+
+// Runtime audits of Lemma 2 / Corollary 1: after each Trim, the effective
+// value must equal a convex combination of the *honest* inputs with a
+// (1/(2(m-f)), m-f)-admissible weight vector. audit_trim searches for that
+// witness with the LP machinery; the experiment harness runs it every
+// iteration (E3) and the property tests assert it never fails.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lp/witness.hpp"
+
+namespace ftmao {
+
+struct TrimAuditResult {
+  bool witness_found = false;
+  bool exact = true;          ///< exhaustive subset search completed
+  double min_support_weight = 0.0;  ///< smallest weight on the support
+  std::size_t support_size = 0;     ///< #weights >= beta
+  std::vector<double> weights;      ///< the witness itself (over honest values)
+};
+
+/// Verifies that `trimmed_value` lies in the admissible-combination hull of
+/// `honest_values` (the values held by the m non-faulty agents), with
+/// beta = 1/(2(m-f)) and gamma = m-f.
+TrimAuditResult audit_trim(std::span<const double> honest_values,
+                           double trimmed_value, std::size_t f,
+                           double tolerance = 1e-7);
+
+/// The best beta achievable for gamma = m-f on this instance — compare
+/// with the guaranteed 1/(2(m-f)) (it must be >= that when the audit
+/// passes) and with Theorem 1's ceiling. Exhaustive; small m only.
+double best_achievable_beta(std::span<const double> honest_values,
+                            double trimmed_value, std::size_t f,
+                            double tolerance = 1e-7);
+
+}  // namespace ftmao

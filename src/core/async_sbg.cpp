@@ -1,0 +1,63 @@
+#include "core/async_sbg.hpp"
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+void AsyncSbgConfig::validate() const {
+  FTMAO_EXPECTS(n > 5 * f);
+  FTMAO_EXPECTS(quorum() >= 2 * f + 1);  // Trim precondition
+}
+
+AsyncSbgAgent::AsyncSbgAgent(AgentId id, ScalarFunctionPtr cost,
+                             double initial_state, const StepSchedule& schedule,
+                             const AsyncSbgConfig& config)
+    : id_(id),
+      cost_(std::move(cost)),
+      state_(initial_state),
+      schedule_(&schedule),
+      config_(config) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+  config_.validate();
+  history_.push_back(state_);
+}
+
+SbgPayload AsyncSbgAgent::initial_broadcast() {
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+std::optional<SbgPayload> AsyncSbgAgent::on_message(
+    const TaggedMessage<SbgPayload>& msg) {
+  if (msg.round < round_) return std::nullopt;  // stale round, ignore
+  auto& round_buffer = buffer_[msg.round.value];
+  round_buffer.emplace(msg.from, msg.payload);  // first tuple per sender wins
+  return maybe_advance();
+}
+
+std::optional<SbgPayload> AsyncSbgAgent::maybe_advance() {
+  const auto it = buffer_.find(round_.value);
+  if (it == buffer_.end() || it->second.size() < config_.quorum())
+    return std::nullopt;
+
+  std::vector<double> states;
+  std::vector<double> gradients;
+  states.reserve(it->second.size());
+  gradients.reserve(it->second.size());
+  for (const auto& [from, payload] : it->second) {
+    states.push_back(payload.state);
+    gradients.push_back(payload.gradient);
+  }
+
+  const double trimmed_state = trim_value(states, config_.f);
+  const double trimmed_gradient = trim_value(gradients, config_.f);
+  const double lambda = schedule_->at(round_.value - 1);
+  state_ = trimmed_state - lambda * trimmed_gradient;
+  history_.push_back(state_);
+
+  buffer_.erase(it);
+  round_ = round_.next();
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+}  // namespace ftmao

@@ -1,0 +1,66 @@
+#pragma once
+
+// Asynchronous SBG variant (Section 7, second approach): requires
+// n > 5f and combines SBG's trimmed gradient step with the asynchronous
+// iterative consensus pattern of Dolev et al. [8]: in asynchronous round
+// t an agent waits for round-t tuples from n - f distinct agents
+// (counting itself), trims f from each multiset, and updates with
+// lambda[t-1]. Because up to f of the n - f collected tuples may be
+// Byzantine and another f honest tuples may be missing, the resilience
+// bound tightens from n > 3f to n > 5f.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "net/async.hpp"
+
+namespace ftmao {
+
+struct AsyncSbgConfig {
+  std::size_t n = 0;  ///< total agents; must satisfy n > 5f
+  std::size_t f = 0;
+
+  std::size_t quorum() const { return n - f; }
+  void validate() const;
+};
+
+/// Honest asynchronous agent. Buffers tagged tuples per round; first tuple
+/// per (sender, round) wins (later duplicates from a Byzantine sender are
+/// ignored).
+class AsyncSbgAgent final : public AsyncNode<SbgPayload> {
+ public:
+  AsyncSbgAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                const StepSchedule& schedule, const AsyncSbgConfig& config);
+
+  SbgPayload initial_broadcast() override;
+  std::optional<SbgPayload> on_message(const TaggedMessage<SbgPayload>& msg) override;
+  Round current_round() const override { return round_; }
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+
+  /// history()[t] = state after completing t asynchronous rounds
+  /// (history()[0] is the initial state). Lets runners rebuild per-round
+  /// series after the event-driven execution finishes.
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  std::optional<SbgPayload> maybe_advance();
+
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;
+  AsyncSbgConfig config_;
+  Round round_{1};  ///< round currently being collected
+  std::vector<double> history_;
+  // round -> (sender -> first payload received with that tag)
+  std::map<std::uint32_t, std::map<AgentId, SbgPayload>> buffer_;
+};
+
+}  // namespace ftmao

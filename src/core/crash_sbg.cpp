@@ -1,0 +1,35 @@
+#include "core/crash_sbg.hpp"
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+CrashSbgAgent::CrashSbgAgent(AgentId id, ScalarFunctionPtr cost,
+                             double initial_state, const StepSchedule& schedule)
+    : id_(id), cost_(std::move(cost)), state_(initial_state), schedule_(&schedule) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+}
+
+SbgPayload CrashSbgAgent::broadcast(Round t) {
+  FTMAO_EXPECTS(t.value >= 1);
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+void CrashSbgAgent::step(Round t, std::span<const Received<SbgPayload>> inbox) {
+  FTMAO_EXPECTS(t.value >= 1);
+  std::vector<double> states;
+  std::vector<double> gradients;
+  states.reserve(inbox.size() + 1);
+  gradients.reserve(inbox.size() + 1);
+  states.push_back(state_);
+  gradients.push_back(cost_->derivative(state_));
+  for (const auto& msg : inbox) {
+    states.push_back(msg.payload.state);
+    gradients.push_back(msg.payload.gradient);
+  }
+  const double lambda = schedule_->at(t.value - 1);
+  state_ = mean(states) - lambda * mean(gradients);
+}
+
+}  // namespace ftmao

@@ -1,0 +1,49 @@
+#pragma once
+
+// Crash-fault variant (Section 7). With crash (not Byzantine) failures the
+// algorithm performs *no trimming*: each agent averages the state and
+// gradient tuples it actually received this round (its own included) and
+// takes the gradient step. The paper (and its Part III report) shows the
+// output optimizes
+//
+//   c * ( sum_{i in N} h_i(x) + sum_{i in F} alpha_i h_i(x) ),  (17)
+//
+// with equal weights on all never-crashed agents and partial weights
+// alpha_i in [0,1] for agents that crashed mid-execution.
+//
+// Crash behaviour itself (an agent stops sending, possibly mid-round to a
+// subset of recipients) is injected by the crash runner in sim/.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+/// A correct agent in the crash-fault model. Unlike SbgAgent it never
+/// substitutes defaults: averaging over what arrived is exactly what gives
+/// crashed agents their partial weight in (17).
+class CrashSbgAgent final : public SyncNode<SbgPayload> {
+ public:
+  CrashSbgAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                const StepSchedule& schedule);
+
+  SbgPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<SbgPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+
+ private:
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;
+};
+
+}  // namespace ftmao

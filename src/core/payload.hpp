@@ -1,0 +1,13 @@
+#pragma once
+
+// The SBG wire format: Step 1 of the algorithm sends the 2-tuple
+// (x_j[t-1], h'_j(x_j[t-1])) — current estimate and local gradient at it.
+
+namespace ftmao {
+
+struct SbgPayload {
+  double state = 0.0;     ///< x_j[t-1]
+  double gradient = 0.0;  ///< h'_j(x_j[t-1])
+};
+
+}  // namespace ftmao

@@ -1,0 +1,71 @@
+#include "core/sbg.hpp"
+
+#include "common/contracts.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+
+void SbgConfig::validate() const {
+  FTMAO_EXPECTS(n > 3 * f);
+  FTMAO_EXPECTS(n >= 1);
+}
+
+SbgAgent::SbgAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                   const StepSchedule& schedule, const SbgConfig& config)
+    : id_(id),
+      cost_(std::move(cost)),
+      state_(initial_state),
+      schedule_(&schedule),
+      config_(config) {
+  FTMAO_EXPECTS(cost_ != nullptr);
+  config_.validate();
+  if (config_.constraint) state_ = config_.constraint->project(state_);
+}
+
+SbgPayload SbgAgent::broadcast(Round t) {
+  FTMAO_EXPECTS(t.value >= 1);
+  return SbgPayload{state_, cost_->derivative(state_)};
+}
+
+void SbgAgent::step(Round t, std::span<const Received<SbgPayload>> inbox) {
+  FTMAO_EXPECTS(t.value >= 1);
+  FTMAO_EXPECTS(inbox.size() <= config_.n - 1);
+
+  // Step 2: D^x and D^g include our own tuple plus one entry per other
+  // agent, substituting the default for agents we heard nothing from.
+  std::vector<double> states;
+  std::vector<double> gradients;
+  states.reserve(config_.n);
+  gradients.reserve(config_.n);
+  states.push_back(state_);
+  gradients.push_back(cost_->derivative(state_));
+  for (const auto& msg : inbox) {
+    FTMAO_EXPECTS(msg.from != id_);
+    states.push_back(msg.payload.state);
+    gradients.push_back(msg.payload.gradient);
+  }
+  const std::size_t missing = (config_.n - 1) - inbox.size();
+  for (std::size_t i = 0; i < missing; ++i) {
+    states.push_back(config_.default_payload.state);
+    gradients.push_back(config_.default_payload.gradient);
+  }
+
+  // Step 3: independent trims, then the gradient step with lambda[t-1].
+  const double trimmed_state = trim_value(states, config_.f);
+  const double trimmed_gradient = trim_value(gradients, config_.f);
+  const double lambda = schedule_->at(t.value - 1);
+  const double unprojected = trimmed_state - lambda * trimmed_gradient;
+
+  double next = unprojected;
+  double projection_error = 0.0;
+  if (config_.constraint) {
+    next = config_.constraint->project(unprojected);
+    projection_error = next - unprojected;  // e_j[t-1] in eq. (16)
+  }
+
+  last_step_ = StepDiagnostics{trimmed_state, trimmed_gradient,
+                               projection_error, missing};
+  state_ = next;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,71 @@
+#pragma once
+
+// Algorithm SBG — synchronous Byzantine gradient method (Section 4).
+//
+// Each iteration t >= 1, agent j:
+//   Step 1: sends (x_j[t-1], h'_j(x_j[t-1])) to all agents.
+//   Step 2: collects the tuples received (default value for missing ones),
+//           forming multisets D^x (states, incl. own) and D^g (gradients,
+//           incl. own).
+//   Step 3: x~ = Trim(D^x), g~ = Trim(D^g),
+//           x_j[t] = x~ - lambda[t-1] * g~.
+//
+// The constrained variant (Section 6) projects the update onto the
+// constraint interval X and records the projection error e[t-1] (eq. 16).
+
+#include <optional>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+/// Static parameters of an SBG run, shared by all agents.
+struct SbgConfig {
+  std::size_t n = 0;  ///< total number of agents (n > 3f)
+  std::size_t f = 0;  ///< max Byzantine agents tolerated
+  SbgPayload default_payload{};        ///< substituted for missing tuples
+  std::optional<Interval> constraint;  ///< Section 6 projection set X
+
+  void validate() const;
+};
+
+/// A correct agent running SBG. Pure state machine: the engine (net/sync)
+/// or any test can drive it via broadcast()/step().
+class SbgAgent final : public SyncNode<SbgPayload> {
+ public:
+  SbgAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+           const StepSchedule& schedule, const SbgConfig& config);
+
+  SbgPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<SbgPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+  const ScalarFunction& cost() const { return *cost_; }
+
+  /// Diagnostics from the most recent step (for witness audits and the
+  /// constrained variant's error series).
+  struct StepDiagnostics {
+    double trimmed_state = 0.0;      ///< x~_j[t-1]
+    double trimmed_gradient = 0.0;   ///< g~_j[t-1]
+    double projection_error = 0.0;   ///< e_j[t-1]; 0 when unconstrained
+    std::size_t missing_tuples = 0;  ///< defaults substituted this step
+  };
+  const StepDiagnostics& last_step() const { return last_step_; }
+
+ private:
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;  // non-owning; outlives the agent
+  SbgConfig config_;
+  StepDiagnostics last_step_{};
+};
+
+}  // namespace ftmao

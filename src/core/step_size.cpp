@@ -1,0 +1,63 @@
+#include "core/step_size.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+HarmonicStep::HarmonicStep(double scale) : scale_(scale) {
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double HarmonicStep::at(std::size_t k) const {
+  if (k == 0) return scale_;
+  return scale_ / static_cast<double>(k);
+}
+
+PowerStep::PowerStep(double scale, double exponent)
+    : scale_(scale), exponent_(exponent) {
+  FTMAO_EXPECTS(scale > 0.0);
+  FTMAO_EXPECTS(exponent > 0.0);
+}
+
+double PowerStep::at(std::size_t k) const {
+  return scale_ / std::pow(static_cast<double>(k + 1), exponent_);
+}
+
+ConstantStep::ConstantStep(double value) : value_(value) {
+  FTMAO_EXPECTS(value > 0.0);
+}
+
+double ConstantStep::at(std::size_t) const { return value_; }
+
+ScheduleCheck check_schedule(const StepSchedule& schedule, std::size_t horizon) {
+  FTMAO_EXPECTS(horizon >= 100);
+  ScheduleCheck check;
+  check.non_increasing = true;
+
+  double prev = schedule.at(0);
+  double sum_first_half = 0.0, sum_second_half = 0.0;
+  double sq_first_half = 0.0, sq_second_half = 0.0;
+  for (std::size_t k = 0; k < horizon; ++k) {
+    const double v = schedule.at(k);
+    if (v > prev + 1e-15) check.non_increasing = false;
+    prev = v;
+    if (k < horizon / 2) {
+      sum_first_half += v;
+      sq_first_half += v * v;
+    } else {
+      sum_second_half += v;
+      sq_second_half += v * v;
+    }
+  }
+  // Divergence proxy: the second half still contributes a non-negligible
+  // fraction of the first half's mass (true for 1/t: log growth halves
+  // slowly; false for summable schedules like 1/t^2).
+  check.sum_diverges = sum_second_half > 0.05 * sum_first_half;
+  // Square-summability proxy: squares become negligible in the tail.
+  check.sum_squares_converges = sq_second_half < 0.05 * sq_first_half;
+  return check;
+}
+
+}  // namespace ftmao

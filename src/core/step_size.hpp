@@ -1,0 +1,72 @@
+#pragma once
+
+// Diminishing step sizes lambda[t] (Section 4). The algorithm requires:
+//   lambda[t] <= lambda[t-1],  sum lambda[t] = infinity,
+//   sum lambda[t]^2 < infinity.
+// The harmonic schedule lambda[0]=c, lambda[t]=c/t additionally yields the
+// O(1/t) consensus rate of Lemma 3 / Proposition 1.
+
+#include <cstddef>
+#include <memory>
+
+namespace ftmao {
+
+/// lambda[k] for k >= 0 (the update at iteration t uses lambda[t-1]).
+class StepSchedule {
+ public:
+  virtual ~StepSchedule() = default;
+  virtual double at(std::size_t k) const = 0;
+};
+
+/// lambda[0] = scale, lambda[k] = scale / k. Satisfies all conditions.
+class HarmonicStep final : public StepSchedule {
+ public:
+  explicit HarmonicStep(double scale = 1.0);
+  double at(std::size_t k) const override;
+
+ private:
+  double scale_;
+};
+
+/// lambda[k] = scale / (k + 1)^p. Valid for p in (1/2, 1]; p <= 1/2
+/// violates square-summability and p > 1 violates divergence — both are
+/// exercised in ablations.
+class PowerStep final : public StepSchedule {
+ public:
+  PowerStep(double scale, double exponent);
+  double at(std::size_t k) const override;
+
+ private:
+  double scale_;
+  double exponent_;
+};
+
+/// lambda[k] = c. Violates square-summability; ablation only (consensus
+/// stalls at a noise floor proportional to c).
+class ConstantStep final : public StepSchedule {
+ public:
+  explicit ConstantStep(double value);
+  double at(std::size_t k) const override;
+
+ private:
+  double value_;
+};
+
+/// Numeric sanity check of the three schedule conditions over a horizon:
+/// monotone non-increasing; partial sums still growing at the horizon
+/// (divergence proxy); partial sums of squares flattening (summability
+/// proxy). Heuristic by nature — used by tests and validators.
+struct ScheduleCheck {
+  bool non_increasing = false;
+  bool sum_diverges = false;
+  bool sum_squares_converges = false;
+
+  bool all_ok() const {
+    return non_increasing && sum_diverges && sum_squares_converges;
+  }
+};
+
+ScheduleCheck check_schedule(const StepSchedule& schedule,
+                             std::size_t horizon = 100000);
+
+}  // namespace ftmao

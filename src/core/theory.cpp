@@ -1,0 +1,66 @@
+#include "core/theory.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+double contraction_factor(std::size_t honest, std::size_t f) {
+  FTMAO_EXPECTS(honest > f);
+  return 1.0 - 1.0 / (2.0 * static_cast<double>(honest - f));
+}
+
+Series disagreement_upper_bound(double initial_spread, double gradient_bound,
+                                const StepSchedule& schedule,
+                                std::size_t honest, std::size_t f,
+                                std::size_t rounds) {
+  FTMAO_EXPECTS(initial_spread >= 0.0);
+  FTMAO_EXPECTS(gradient_bound >= 0.0);
+  const double rho = contraction_factor(honest, f);
+  Series bound;
+  double d = initial_spread;
+  bound.push(d);
+  for (std::size_t t = 1; t <= rounds; ++t) {
+    d = rho * d + 2.0 * gradient_bound * schedule.at(t - 1) * rho;
+    bound.push(d);
+  }
+  return bound;
+}
+
+Series proposition1_series(double b, const StepSchedule& schedule,
+                           std::size_t rounds) {
+  FTMAO_EXPECTS(b >= 0.0 && b < 1.0);
+  Series l;
+  double acc = 0.0;
+  l.push(0.0);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    acc = b * (acc + schedule.at(t));
+    l.push(acc);
+  }
+  return l;
+}
+
+double travel_budget(double gradient_bound, const StepSchedule& schedule,
+                     std::size_t rounds) {
+  FTMAO_EXPECTS(gradient_bound >= 0.0);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < rounds; ++t) sum += schedule.at(t);
+  return gradient_bound * sum;
+}
+
+std::size_t bound_rounds_to_epsilon(double eps, double initial_spread,
+                                    double gradient_bound,
+                                    const StepSchedule& schedule,
+                                    std::size_t honest, std::size_t f,
+                                    std::size_t horizon) {
+  FTMAO_EXPECTS(eps > 0.0);
+  const double rho = contraction_factor(honest, f);
+  double d = initial_spread;
+  if (d <= eps) return 0;
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    d = rho * d + 2.0 * gradient_bound * schedule.at(t - 1) * rho;
+    if (d <= eps) return t;
+  }
+  return horizon + 1;
+}
+
+}  // namespace ftmao

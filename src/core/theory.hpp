@@ -1,0 +1,54 @@
+#pragma once
+
+// The paper's explicit constants and finite-time bounds, computed exactly
+// so runs can be checked against theory (not just against "small"):
+//
+//   * contraction factor rho = 1 - 1/(2(m-f))  (eq. (8));
+//   * the disagreement recursion (10):
+//       D[t] <= rho * D[t-1] + 2 L lambda[t-1] rho,
+//     evaluated exactly as an upper-bound series;
+//   * Proposition 1's l(t) = sum_{r<t} lambda[r] b^{t-r};
+//   * the travel budget L * sum_{t<T} lambda[t] (how far any honest state
+//     can move in T rounds).
+//
+// Tests assert measured disagreement <= bound for EVERY round of EVERY
+// attack; benches overlay bound vs measurement.
+
+#include <cstddef>
+
+#include "common/series.hpp"
+#include "core/step_size.hpp"
+
+namespace ftmao {
+
+/// rho = 1 - 1/(2(m-f)); requires m > f.
+double contraction_factor(std::size_t honest, std::size_t f);
+
+/// The exact sequence of (10)'s upper bound: bound[0] = initial_spread,
+/// bound[t] = rho * bound[t-1] + 2 L lambda[t-1] rho. Returns rounds+1
+/// values.
+Series disagreement_upper_bound(double initial_spread, double gradient_bound,
+                                const StepSchedule& schedule,
+                                std::size_t honest, std::size_t f,
+                                std::size_t rounds);
+
+/// Proposition 1's l(t) for t = 0..rounds (rolling evaluation).
+Series proposition1_series(double b, const StepSchedule& schedule,
+                           std::size_t rounds);
+
+/// L * sum_{t=0}^{rounds-1} lambda[t]: an upper bound on total state
+/// movement (and hence on how far from the initial hull any honest agent
+/// can be after `rounds` iterations).
+double travel_budget(double gradient_bound, const StepSchedule& schedule,
+                     std::size_t rounds);
+
+/// Smallest t with disagreement_upper_bound(...) <= eps, or rounds+1 if
+/// the bound does not reach eps within the horizon. A conservative
+/// (guaranteed) rounds-to-epsilon.
+std::size_t bound_rounds_to_epsilon(double eps, double initial_spread,
+                                    double gradient_bound,
+                                    const StepSchedule& schedule,
+                                    std::size_t honest, std::size_t f,
+                                    std::size_t horizon);
+
+}  // namespace ftmao

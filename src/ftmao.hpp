@@ -1,0 +1,81 @@
+#pragma once
+
+// Umbrella header: the whole public API in one include. Prefer the
+// per-module headers in larger projects; this exists for quick starts and
+// for the API smoke test.
+
+// foundations
+#include "common/contracts.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "common/series.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+// cost functions
+#include "func/combination.hpp"
+#include "func/functions.hpp"
+#include "func/library.hpp"
+#include "func/nonsmooth.hpp"
+#include "func/scalar_function.hpp"
+#include "func/spec.hpp"
+#include "func/validate.hpp"
+
+// numerics
+#include "lp/simplex.hpp"
+#include "lp/witness.hpp"
+#include "opt/argmin.hpp"
+#include "opt/bisection.hpp"
+#include "opt/brent.hpp"
+#include "opt/golden.hpp"
+#include "trim/trim.hpp"
+
+// networking / engines
+#include "net/async.hpp"
+#include "net/delay.hpp"
+#include "net/proto_engine.hpp"
+#include "net/sync.hpp"
+
+// the algorithm and its variants
+#include "core/admissibility.hpp"
+#include "core/async_sbg.hpp"
+#include "core/crash_sbg.hpp"
+#include "core/payload.hpp"
+#include "core/sbg.hpp"
+#include "core/step_size.hpp"
+#include "core/theory.hpp"
+#include "core/valid_set.hpp"
+
+// consensus substrates
+#include "consensus/eig.hpp"
+#include "consensus/iterative.hpp"
+#include "consensus/rbc.hpp"
+#include "consensus/rbc_sbg.hpp"
+
+// variants and baselines
+#include "adversary/strategies.hpp"
+#include "baseline/consistent.hpp"
+#include "baseline/dgd.hpp"
+#include "baseline/local_gd.hpp"
+#include "central/central_sbg.hpp"
+#include "graph/graph_runner.hpp"
+#include "graph/robustness.hpp"
+#include "graph/topology.hpp"
+#include "vector/vec.hpp"
+#include "vector/vector_function.hpp"
+#include "vector/vector_sbg.hpp"
+#include "vector/vector_valid.hpp"
+
+// experiment harness
+#include "sim/attack_search.hpp"
+#include "sim/async_runner.hpp"
+#include "sim/certify.hpp"
+#include "sim/crash_runner.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/scenario_io.hpp"
+#include "sim/sweep.hpp"
+#include "sim/trace.hpp"

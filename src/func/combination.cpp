@@ -1,0 +1,80 @@
+#include "func/combination.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "opt/argmin.hpp"
+
+namespace ftmao {
+
+namespace {
+
+Interval seed_hull(const std::vector<WeightedTerm>& terms) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& t : terms) {
+    if (t.weight <= 0.0) continue;
+    const Interval a = t.function->argmin();
+    lo = std::min(lo, a.lo());
+    hi = std::max(hi, a.hi());
+  }
+  return Interval(lo, hi);
+}
+
+Interval compute_argmin(const std::vector<WeightedTerm>& terms) {
+  // The argmin of the sum lies inside the hull of the terms' argmins
+  // (outside it all active derivatives share a sign), which gives a tight
+  // bisection seed.
+  const Interval hull = seed_hull(terms);
+  auto deriv = [&terms](double x) {
+    double g = 0.0;
+    for (const auto& t : terms)
+      if (t.weight > 0.0) g += t.weight * t.function->derivative(x);
+    return g;
+  };
+  return argmin_from_derivative(deriv, hull.lo() - 1.0, hull.hi() + 1.0);
+}
+
+}  // namespace
+
+WeightedSum::WeightedSum(std::vector<WeightedTerm> terms)
+    : terms_(std::move(terms)),
+      gradient_bound_(0.0),
+      lipschitz_bound_(0.0),
+      argmin_(0.0) {
+  FTMAO_EXPECTS(!terms_.empty());
+  double total = 0.0;
+  for (const auto& t : terms_) {
+    FTMAO_EXPECTS(t.weight >= 0.0);
+    FTMAO_EXPECTS(t.function != nullptr);
+    total += t.weight;
+    gradient_bound_ += t.weight * t.function->gradient_bound();
+    lipschitz_bound_ += t.weight * t.function->lipschitz_bound();
+  }
+  FTMAO_EXPECTS(total > 0.0);
+  argmin_ = compute_argmin(terms_);
+}
+
+double WeightedSum::value(double x) const {
+  double v = 0.0;
+  for (const auto& t : terms_) v += t.weight * t.function->value(x);
+  return v;
+}
+
+double WeightedSum::derivative(double x) const {
+  double g = 0.0;
+  for (const auto& t : terms_) g += t.weight * t.function->derivative(x);
+  return g;
+}
+
+WeightedSum uniform_average(const std::vector<ScalarFunctionPtr>& functions) {
+  FTMAO_EXPECTS(!functions.empty());
+  std::vector<WeightedTerm> terms;
+  terms.reserve(functions.size());
+  const double w = 1.0 / static_cast<double>(functions.size());
+  for (const auto& f : functions) terms.push_back({w, f});
+  return WeightedSum(std::move(terms));
+}
+
+}  // namespace ftmao

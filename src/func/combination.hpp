@@ -1,0 +1,50 @@
+#pragma once
+
+// Non-negative weighted sums of admissible functions. The paper's "valid"
+// global objectives p(x) = sum_i alpha_i h_i(x) (family C, eq. (4)) are
+// exactly WeightedSum instances with an admissible weight vector, so this
+// type is the representation of C used by core/valid_set.
+
+#include <vector>
+
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// One term of a weighted sum.
+struct WeightedTerm {
+  double weight;             ///< >= 0
+  ScalarFunctionPtr function;
+};
+
+/// sum_i w_i * h_i with w_i >= 0 and at least one w_i > 0. Admissible
+/// whenever all terms are (convexity, bounded/Lipschitz derivative and
+/// compact argmin are preserved by conic combinations with positive total
+/// mass).
+class WeightedSum final : public ScalarFunction {
+ public:
+  explicit WeightedSum(std::vector<WeightedTerm> terms);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return gradient_bound_; }
+  double lipschitz_bound() const override { return lipschitz_bound_; }
+
+  /// Computed numerically from the derivative (leftmost/rightmost zero),
+  /// seeded by the hull of the terms' argmins; cached at construction.
+  Interval argmin() const override { return argmin_; }
+
+  const std::vector<WeightedTerm>& terms() const { return terms_; }
+
+ private:
+  std::vector<WeightedTerm> terms_;
+  double gradient_bound_;
+  double lipschitz_bound_;
+  Interval argmin_;
+};
+
+/// Convenience: uniform average (1/k) * sum of k functions — the
+/// failure-free global objective (eq. (1)).
+WeightedSum uniform_average(const std::vector<ScalarFunctionPtr>& functions);
+
+}  // namespace ftmao

@@ -1,0 +1,152 @@
+#include "func/functions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// log(cosh(z)) without overflow: for large |z|, cosh(z) ~ e^{|z|}/2.
+double log_cosh(double z) {
+  const double az = std::abs(z);
+  return az + std::log1p(std::exp(-2.0 * az)) - std::log(2.0);
+}
+
+// softplus(z) = log(1 + e^z), computed stably on both tails.
+double softplus(double z) {
+  if (z > 0.0) return z + std::log1p(std::exp(-z));
+  return std::log1p(std::exp(z));
+}
+
+// Logistic sigmoid, stable on both tails.
+double sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Huber
+
+Huber::Huber(double center, double delta, double scale)
+    : center_(center), delta_(delta), scale_(scale) {
+  FTMAO_EXPECTS(delta > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double Huber::value(double x) const {
+  const double r = x - center_;
+  const double ar = std::abs(r);
+  if (ar <= delta_) return scale_ * 0.5 * r * r;
+  return scale_ * delta_ * (ar - 0.5 * delta_);
+}
+
+double Huber::derivative(double x) const {
+  const double r = x - center_;
+  return scale_ * std::clamp(r, -delta_, delta_);
+}
+
+// -------------------------------------------------------------- LogCosh
+
+LogCosh::LogCosh(double center, double width, double scale)
+    : center_(center), width_(width), scale_(scale) {
+  FTMAO_EXPECTS(width > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double LogCosh::value(double x) const {
+  return scale_ * width_ * log_cosh((x - center_) / width_);
+}
+
+double LogCosh::derivative(double x) const {
+  return scale_ * std::tanh((x - center_) / width_);
+}
+
+// ------------------------------------------------------------ SmoothAbs
+
+SmoothAbs::SmoothAbs(double center, double eps, double scale)
+    : center_(center), eps_(eps), scale_(scale) {
+  FTMAO_EXPECTS(eps > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double SmoothAbs::value(double x) const {
+  const double r = x - center_;
+  return scale_ * (std::hypot(r, eps_) - eps_);
+}
+
+double SmoothAbs::derivative(double x) const {
+  const double r = x - center_;
+  return scale_ * r / std::hypot(r, eps_);
+}
+
+// ------------------------------------------------------------ FlatHuber
+
+FlatHuber::FlatHuber(Interval flat, double delta, double scale)
+    : flat_(flat), delta_(delta), scale_(scale) {
+  FTMAO_EXPECTS(delta > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double FlatHuber::value(double x) const {
+  const double d = flat_.distance_to(x);
+  if (d <= delta_) return scale_ * 0.5 * d * d;
+  return scale_ * delta_ * (d - 0.5 * delta_);
+}
+
+double FlatHuber::derivative(double x) const {
+  double signed_dist = 0.0;
+  if (x < flat_.lo()) signed_dist = x - flat_.lo();
+  if (x > flat_.hi()) signed_dist = x - flat_.hi();
+  return scale_ * std::clamp(signed_dist, -delta_, delta_);
+}
+
+// ------------------------------------------------------ AsymmetricHuber
+
+AsymmetricHuber::AsymmetricHuber(double center, double delta_neg,
+                                 double delta_pos, double scale)
+    : center_(center),
+      delta_neg_(delta_neg),
+      delta_pos_(delta_pos),
+      scale_(scale) {
+  FTMAO_EXPECTS(delta_neg > 0.0);
+  FTMAO_EXPECTS(delta_pos > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double AsymmetricHuber::value(double x) const {
+  const double r = x - center_;
+  if (r >= delta_pos_)
+    return scale_ * delta_pos_ * (r - 0.5 * delta_pos_);
+  if (r <= -delta_neg_)
+    return scale_ * delta_neg_ * (-r - 0.5 * delta_neg_);
+  return scale_ * 0.5 * r * r;
+}
+
+double AsymmetricHuber::derivative(double x) const {
+  return scale_ * std::clamp(x - center_, -delta_neg_, delta_pos_);
+}
+
+// -------------------------------------------------------- SoftplusBasin
+
+SoftplusBasin::SoftplusBasin(double a, double b, double width, double scale)
+    : a_(a), b_(b), width_(width), scale_(scale) {
+  FTMAO_EXPECTS(a <= b);
+  FTMAO_EXPECTS(width > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double SoftplusBasin::value(double x) const {
+  return scale_ * width_ *
+         (softplus((x - b_) / width_) + softplus((a_ - x) / width_));
+}
+
+double SoftplusBasin::derivative(double x) const {
+  return scale_ * (sigmoid((x - b_) / width_) - sigmoid((a_ - x) / width_));
+}
+
+}  // namespace ftmao

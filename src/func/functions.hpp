@@ -1,0 +1,169 @@
+#pragma once
+
+// Concrete admissible cost functions (Section 2 of the paper). All have
+// globally bounded, Lipschitz derivatives and compact argmin — note that a
+// plain quadratic is NOT admissible (unbounded gradient); Huber is its
+// admissible counterpart.
+
+#include <algorithm>
+
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// Huber loss around `center`:
+///   h(x) = scale * phi(x - center),
+///   phi(r) = r^2/2 for |r| <= delta, delta*(|r| - delta/2) otherwise.
+/// Quadratic near the optimum, linear in the tails. |h'| <= scale*delta,
+/// Lipschitz constant scale, argmin {center}.
+class Huber final : public ScalarFunction {
+ public:
+  Huber(double center, double delta, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return scale_ * delta_; }
+  double lipschitz_bound() const override { return scale_; }
+  Interval argmin() const override { return Interval(center_); }
+
+  double center() const { return center_; }
+  double delta() const { return delta_; }
+  double scale() const { return scale_; }
+
+ private:
+  double center_;
+  double delta_;
+  double scale_;
+};
+
+/// Log-cosh loss:
+///   h(x) = scale * width * log(cosh((x - center)/width)).
+/// Smooth everywhere; h'(x) = scale * tanh((x-center)/width), so
+/// |h'| < scale and the Lipschitz constant is scale/width. Argmin
+/// {center}.
+class LogCosh final : public ScalarFunction {
+ public:
+  LogCosh(double center, double width, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return scale_; }
+  double lipschitz_bound() const override { return scale_ / width_; }
+  Interval argmin() const override { return Interval(center_); }
+
+  double center() const { return center_; }
+  double width() const { return width_; }
+  double scale() const { return scale_; }
+
+ private:
+  double center_;
+  double width_;
+  double scale_;
+};
+
+/// Pseudo-Huber / smoothed absolute value:
+///   h(x) = scale * (sqrt((x-center)^2 + eps^2) - eps).
+/// |h'| < scale, Lipschitz constant scale/eps, argmin {center}.
+class SmoothAbs final : public ScalarFunction {
+ public:
+  SmoothAbs(double center, double eps, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return scale_; }
+  double lipschitz_bound() const override { return scale_ / eps_; }
+  Interval argmin() const override { return Interval(center_); }
+
+  double center() const { return center_; }
+  double eps() const { return eps_; }
+  double scale() const { return scale_; }
+
+ private:
+  double center_;
+  double eps_;
+  double scale_;
+};
+
+/// Huber loss of the distance to an interval [lo, hi]: identically zero on
+/// the interval, Huber growth outside. Its argmin is the full interval —
+/// used to exercise non-singleton compact argmin sets, which Lemma 1's
+/// geometry depends on.
+class FlatHuber final : public ScalarFunction {
+ public:
+  FlatHuber(Interval flat, double delta, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return scale_ * delta_; }
+  double lipschitz_bound() const override { return scale_; }
+  Interval argmin() const override { return flat_; }
+
+  Interval flat() const { return flat_; }
+  double delta() const { return delta_; }
+  double scale() const { return scale_; }
+
+ private:
+  Interval flat_;
+  double delta_;
+  double scale_;
+};
+
+/// Asymmetric Huber: quadratic near `center`, linear tails with DIFFERENT
+/// saturation slopes on each side —
+///   h'(x) = scale * clamp(x - center, -delta_neg, +delta_pos).
+/// Models asymmetric penalties (undershooting cheaper than overshooting),
+/// still admissible: convex, C^1, |h'| <= scale * max(deltas), Lipschitz
+/// constant scale, argmin {center}.
+class AsymmetricHuber final : public ScalarFunction {
+ public:
+  AsymmetricHuber(double center, double delta_neg, double delta_pos,
+                  double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override {
+    return scale_ * std::max(delta_neg_, delta_pos_);
+  }
+  double lipschitz_bound() const override { return scale_; }
+  Interval argmin() const override { return Interval(center_); }
+
+  double center() const { return center_; }
+  double delta_neg() const { return delta_neg_; }
+  double delta_pos() const { return delta_pos_; }
+  double scale() const { return scale_; }
+
+ private:
+  double center_;
+  double delta_neg_;
+  double delta_pos_;
+  double scale_;
+};
+
+/// Two opposing softplus walls:
+///   h(x) = scale * width * [softplus((x-b)/width) + softplus((a-x)/width)]
+/// with a <= b. Strictly convex with a unique minimizer at (a+b)/2;
+/// |h'| < scale, Lipschitz constant scale/(2*width). Asymptotically linear
+/// with slopes -scale and +scale.
+class SoftplusBasin final : public ScalarFunction {
+ public:
+  SoftplusBasin(double a, double b, double width, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double gradient_bound() const override { return scale_; }
+  double lipschitz_bound() const override { return scale_ / (2.0 * width_); }
+  Interval argmin() const override { return Interval((a_ + b_) / 2.0); }
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double width() const { return width_; }
+  double scale() const { return scale_; }
+
+ private:
+  double a_;
+  double b_;
+  double width_;
+  double scale_;
+};
+
+}  // namespace ftmao

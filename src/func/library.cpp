@@ -1,0 +1,104 @@
+#include "func/library.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "func/functions.hpp"
+
+namespace ftmao {
+
+namespace {
+
+double spaced_center(std::size_t i, std::size_t count, double spread) {
+  if (count == 1) return 0.0;
+  return -spread / 2.0 +
+         spread * static_cast<double>(i) / static_cast<double>(count - 1);
+}
+
+}  // namespace
+
+std::vector<ScalarFunctionPtr> make_spread_hubers(std::size_t count,
+                                                  double spread, double delta,
+                                                  double scale) {
+  FTMAO_EXPECTS(count >= 1);
+  FTMAO_EXPECTS(spread >= 0.0);
+  std::vector<ScalarFunctionPtr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(std::make_shared<Huber>(spaced_center(i, count, spread),
+                                          delta, scale));
+  return out;
+}
+
+std::vector<ScalarFunctionPtr> make_mixed_family(std::size_t count,
+                                                 double spread) {
+  FTMAO_EXPECTS(count >= 1);
+  std::vector<ScalarFunctionPtr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double c = spaced_center(i, count, spread);
+    switch (i % 4) {
+      case 0:
+        out.push_back(std::make_shared<Huber>(c, 2.0, 1.0));
+        break;
+      case 1:
+        out.push_back(std::make_shared<LogCosh>(c, 1.0, 1.5));
+        break;
+      case 2:
+        out.push_back(std::make_shared<SmoothAbs>(c, 0.5, 1.0));
+        break;
+      default:
+        out.push_back(
+            std::make_shared<FlatHuber>(Interval(c - 0.5, c + 0.5), 2.0, 1.0));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ScalarFunctionPtr> make_random_family(
+    std::size_t count, Rng& rng, const RandomFamilyOptions& opts) {
+  FTMAO_EXPECTS(count >= 1);
+  FTMAO_EXPECTS(opts.center_lo <= opts.center_hi);
+  FTMAO_EXPECTS(0.0 < opts.scale_lo && opts.scale_lo <= opts.scale_hi);
+  std::vector<ScalarFunctionPtr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double c = rng.uniform(opts.center_lo, opts.center_hi);
+    const double s = rng.uniform(opts.scale_lo, opts.scale_hi);
+    const int kinds = opts.include_flat ? 5 : 4;
+    switch (rng.uniform_int(0, kinds - 1)) {
+      case 0:
+        out.push_back(std::make_shared<Huber>(c, rng.uniform(0.5, 3.0), s));
+        break;
+      case 1:
+        out.push_back(std::make_shared<LogCosh>(c, rng.uniform(0.5, 2.0), s));
+        break;
+      case 2:
+        out.push_back(std::make_shared<SmoothAbs>(c, rng.uniform(0.2, 1.0), s));
+        break;
+      case 3: {
+        const double half = rng.uniform(0.1, 1.5);
+        out.push_back(std::make_shared<SoftplusBasin>(c - half, c + half,
+                                                      rng.uniform(0.3, 1.0), s));
+        break;
+      }
+      default: {
+        const double half = rng.uniform(0.1, 1.5);
+        out.push_back(std::make_shared<FlatHuber>(Interval(c - half, c + half),
+                                                  rng.uniform(0.5, 3.0), s));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double family_gradient_bound(const std::vector<ScalarFunctionPtr>& functions) {
+  FTMAO_EXPECTS(!functions.empty());
+  double L = 0.0;
+  for (const auto& f : functions) L = std::max(L, f->gradient_bound());
+  return L;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,45 @@
+#pragma once
+
+// Ready-made families of admissible cost functions for experiments and
+// tests: deterministic spreads (centers laid out on a line, so ground
+// truth is easy to reason about) and seeded random mixed families (Huber /
+// log-cosh / smooth-abs / softplus basins with varied scales).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// count Huber functions with centers evenly spaced over
+/// [-spread/2, +spread/2], identical delta and scale. The uniform average
+/// is minimized at 0.
+std::vector<ScalarFunctionPtr> make_spread_hubers(std::size_t count,
+                                                  double spread,
+                                                  double delta = 2.0,
+                                                  double scale = 1.0);
+
+/// Deterministic mixed family cycling through the four concrete types with
+/// centers evenly spaced over [-spread/2, +spread/2]. Exercises
+/// heterogeneous gradient bounds and a flat-bottom argmin.
+std::vector<ScalarFunctionPtr> make_mixed_family(std::size_t count,
+                                                 double spread);
+
+struct RandomFamilyOptions {
+  double center_lo = -10.0;
+  double center_hi = 10.0;
+  double scale_lo = 0.5;
+  double scale_hi = 2.0;
+  bool include_flat = true;  ///< allow interval-argmin functions
+};
+
+/// Seeded random family; same (rng seed, options, count) -> same family.
+std::vector<ScalarFunctionPtr> make_random_family(
+    std::size_t count, Rng& rng, const RandomFamilyOptions& opts = {});
+
+/// max over the family of gradient_bound() — the system-wide L used by the
+/// analysis (Lemma 3's 2L disagreement term and the step bounds).
+double family_gradient_bound(const std::vector<ScalarFunctionPtr>& functions);
+
+}  // namespace ftmao

@@ -1,0 +1,85 @@
+#include "func/nonsmooth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+AbsValue::AbsValue(double center, double scale)
+    : center_(center), scale_(scale) {
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double AbsValue::value(double x) const { return scale_ * std::abs(x - center_); }
+
+double AbsValue::derivative(double x) const {
+  if (x > center_) return scale_;
+  if (x < center_) return -scale_;
+  return 0.0;  // minimal-norm subgradient at the kink
+}
+
+MaxAffine::MaxAffine(std::vector<Piece> pieces)
+    : pieces_(std::move(pieces)), slope_bound_(0.0), argmin_(0.0) {
+  FTMAO_EXPECTS(pieces_.size() >= 2);
+  bool has_negative = false, has_positive = false;
+  for (const auto& p : pieces_) {
+    slope_bound_ = std::max(slope_bound_, std::abs(p.slope));
+    has_negative |= p.slope < 0.0;
+    has_positive |= p.slope > 0.0;
+  }
+  // Compactness of argmin requires the envelope to rise on both sides.
+  FTMAO_EXPECTS(has_negative && has_positive);
+
+  // The minimum of a max-of-affine lies at a breakpoint: enumerate all
+  // pairwise intersections, keep those achieving the minimal envelope
+  // value, and take their hull (flat bottoms produce two such points).
+  double best_value = std::numeric_limits<double>::infinity();
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces_.size(); ++j) {
+      const double da = pieces_[i].slope - pieces_[j].slope;
+      if (da == 0.0) continue;
+      const double x = (pieces_[j].intercept - pieces_[i].intercept) / da;
+      const double v = value(x);
+      if (v < best_value - 1e-12) {
+        best_value = v;
+        lo = hi = x;
+      } else if (v <= best_value + 1e-12) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    }
+  }
+  FTMAO_EXPECTS(std::isfinite(best_value));
+  // Only breakpoints where the subdifferential straddles 0 are minima;
+  // the minimal-value filter above already guarantees that.
+  argmin_ = Interval(lo, hi);
+}
+
+double MaxAffine::value(double x) const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& p : pieces_) best = std::max(best, p.slope * x + p.intercept);
+  return best;
+}
+
+double MaxAffine::derivative(double x) const {
+  // Among pieces active at x (within a tight tolerance), return the slope
+  // of smallest magnitude — the minimal-norm subgradient selection.
+  const double v = value(x);
+  double chosen = 0.0;
+  double chosen_abs = std::numeric_limits<double>::infinity();
+  for (const auto& p : pieces_) {
+    if (p.slope * x + p.intercept >= v - 1e-9 * (1.0 + std::abs(v))) {
+      if (std::abs(p.slope) < chosen_abs) {
+        chosen = p.slope;
+        chosen_abs = std::abs(p.slope);
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace ftmao

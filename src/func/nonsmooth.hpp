@@ -1,0 +1,63 @@
+#pragma once
+
+// Non-smooth convex costs — the paper's third open problem (Section 7,
+// "Non-smooth cost functions"). These implement ScalarFunction with
+// derivative() returning a CHOSEN SUBGRADIENT, so SBG runs unchanged as a
+// subgradient method. They intentionally violate the paper's
+// admissibility assumption (iii): the derivative is bounded but NOT
+// continuous/Lipschitz, so the formal guarantees do not apply — tests and
+// bench E14 probe how the algorithm behaves anyway.
+
+#include <vector>
+
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// h(x) = scale * |x - center|. Subgradient at the kink: 0 (the standard
+/// minimal-norm selection).
+class AbsValue final : public ScalarFunction {
+ public:
+  AbsValue(double center, double scale);
+
+  double value(double x) const override;
+  double derivative(double x) const override;  ///< a subgradient
+  double gradient_bound() const override { return scale_; }
+  /// Formal Lipschitz constant does not exist; reported as the bound on
+  /// the subgradient jump over any interval (callers treat it as inf-like).
+  double lipschitz_bound() const override { return 2.0 * scale_; }
+  Interval argmin() const override { return Interval(center_); }
+
+  double center() const { return center_; }
+  double scale() const { return scale_; }
+
+ private:
+  double center_;
+  double scale_;
+};
+
+/// h(x) = max_j (a_j * x + b_j), convex piecewise-linear, with slopes
+/// clamped into [-bound, bound] by construction so the subgradients stay
+/// bounded. Requires at least one negative and one positive slope so the
+/// argmin is compact.
+class MaxAffine final : public ScalarFunction {
+ public:
+  struct Piece {
+    double slope;
+    double intercept;
+  };
+  explicit MaxAffine(std::vector<Piece> pieces);
+
+  double value(double x) const override;
+  double derivative(double x) const override;  ///< subgradient: active slope
+  double gradient_bound() const override { return slope_bound_; }
+  double lipschitz_bound() const override { return 2.0 * slope_bound_; }
+  Interval argmin() const override { return argmin_; }
+
+ private:
+  std::vector<Piece> pieces_;
+  double slope_bound_;
+  Interval argmin_;
+};
+
+}  // namespace ftmao

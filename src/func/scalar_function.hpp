@@ -1,0 +1,46 @@
+#pragma once
+
+// The paper's "admissible" local cost function h : R -> R (Section 2):
+//   (i)   convex and continuously differentiable,
+//   (ii)  argmin h is non-empty and compact,
+//   (iii) |h'(x)| <= L everywhere, and h' is L-Lipschitz.
+//
+// ScalarFunction is the abstract interface; concrete admissible families
+// live in functions.hpp. gradient_bound() and lipschitz_bound() report
+// per-instance constants (the algorithm analysis uses the max over the
+// system). argmin() must return the exact minimizing interval; numeric
+// cross-checks live in opt/argmin.hpp and func/validate.hpp.
+
+#include <memory>
+
+#include "common/interval.hpp"
+
+namespace ftmao {
+
+/// A convex, continuously differentiable cost h with bounded, Lipschitz
+/// derivative and compact argmin. Immutable and thread-compatible.
+class ScalarFunction {
+ public:
+  virtual ~ScalarFunction() = default;
+
+  /// h(x).
+  virtual double value(double x) const = 0;
+
+  /// h'(x); must be non-decreasing (convexity) and bounded by
+  /// gradient_bound() in magnitude.
+  virtual double derivative(double x) const = 0;
+
+  /// L such that |h'(x)| <= L for all x.
+  virtual double gradient_bound() const = 0;
+
+  /// L' such that |h'(x) - h'(y)| <= L' |x - y| for all x, y.
+  virtual double lipschitz_bound() const = 0;
+
+  /// The closed interval argmin_x h(x) (non-empty, compact by
+  /// admissibility).
+  virtual Interval argmin() const = 0;
+};
+
+using ScalarFunctionPtr = std::shared_ptr<const ScalarFunction>;
+
+}  // namespace ftmao

@@ -1,0 +1,138 @@
+#include "func/spec.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "func/functions.hpp"
+#include "func/nonsmooth.hpp"
+
+namespace ftmao {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw ContractViolation("bad function spec '" + spec + "': " + why);
+}
+
+// Splits "name(a, b, c)" into name and numeric args.
+struct ParsedSpec {
+  std::string name;
+  std::vector<double> args;
+};
+
+ParsedSpec split_spec(const std::string& spec) {
+  std::string compact;
+  for (char c : spec) {
+    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  }
+  const auto open = compact.find('(');
+  if (open == std::string::npos || compact.back() != ')')
+    bad_spec(spec, "expected name(arg, ...)");
+  ParsedSpec out;
+  out.name = compact.substr(0, open);
+  if (out.name.empty()) bad_spec(spec, "missing function name");
+
+  const std::string body = compact.substr(open + 1, compact.size() - open - 2);
+  if (!body.empty()) {
+    std::istringstream is(body);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+      try {
+        std::size_t consumed = 0;
+        out.args.push_back(std::stod(token, &consumed));
+        if (consumed != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        bad_spec(spec, "'" + token + "' is not a number");
+      }
+    }
+  }
+  return out;
+}
+
+void expect_arity(const std::string& spec, const ParsedSpec& parsed,
+                  std::size_t arity) {
+  if (parsed.args.size() != arity)
+    bad_spec(spec, parsed.name + " takes " + std::to_string(arity) +
+                       " arguments, got " + std::to_string(parsed.args.size()));
+}
+
+std::string render(const std::string& name, std::initializer_list<double> args) {
+  std::ostringstream os;
+  os.precision(17);
+  os << name << '(';
+  bool first = true;
+  for (double a : args) {
+    if (!first) os << ", ";
+    os << a;
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+ScalarFunctionPtr parse_function(const std::string& spec) {
+  const ParsedSpec p = split_spec(spec);
+  try {
+    if (p.name == "huber") {
+      expect_arity(spec, p, 3);
+      return std::make_shared<Huber>(p.args[0], p.args[1], p.args[2]);
+    }
+    if (p.name == "logcosh") {
+      expect_arity(spec, p, 3);
+      return std::make_shared<LogCosh>(p.args[0], p.args[1], p.args[2]);
+    }
+    if (p.name == "smoothabs") {
+      expect_arity(spec, p, 3);
+      return std::make_shared<SmoothAbs>(p.args[0], p.args[1], p.args[2]);
+    }
+    if (p.name == "flathuber") {
+      expect_arity(spec, p, 4);
+      return std::make_shared<FlatHuber>(Interval(p.args[0], p.args[1]),
+                                         p.args[2], p.args[3]);
+    }
+    if (p.name == "softplus") {
+      expect_arity(spec, p, 4);
+      return std::make_shared<SoftplusBasin>(p.args[0], p.args[1], p.args[2],
+                                             p.args[3]);
+    }
+    if (p.name == "asymhuber") {
+      expect_arity(spec, p, 4);
+      return std::make_shared<AsymmetricHuber>(p.args[0], p.args[1], p.args[2],
+                                               p.args[3]);
+    }
+    if (p.name == "abs") {
+      expect_arity(spec, p, 2);
+      return std::make_shared<AbsValue>(p.args[0], p.args[1]);
+    }
+  } catch (const ContractViolation& e) {
+    // Parameter-validation failures get the spec context attached.
+    bad_spec(spec, e.what());
+  }
+  bad_spec(spec, "unknown function name '" + p.name + "'");
+}
+
+std::string to_spec(const ScalarFunction& function) {
+  if (const auto* h = dynamic_cast<const Huber*>(&function))
+    return render("huber", {h->center(), h->delta(), h->scale()});
+  if (const auto* h = dynamic_cast<const LogCosh*>(&function))
+    return render("logcosh", {h->center(), h->width(), h->scale()});
+  if (const auto* h = dynamic_cast<const SmoothAbs*>(&function))
+    return render("smoothabs", {h->center(), h->eps(), h->scale()});
+  if (const auto* h = dynamic_cast<const FlatHuber*>(&function))
+    return render("flathuber",
+                  {h->flat().lo(), h->flat().hi(), h->delta(), h->scale()});
+  if (const auto* h = dynamic_cast<const SoftplusBasin*>(&function))
+    return render("softplus", {h->a(), h->b(), h->width(), h->scale()});
+  if (const auto* h = dynamic_cast<const AsymmetricHuber*>(&function))
+    return render("asymhuber",
+                  {h->center(), h->delta_neg(), h->delta_pos(), h->scale()});
+  if (const auto* h = dynamic_cast<const AbsValue*>(&function))
+    return render("abs", {h->center(), h->scale()});
+  throw ContractViolation("function type has no spec form");
+}
+
+}  // namespace ftmao

@@ -1,0 +1,32 @@
+#pragma once
+
+// Textual specs for cost functions, so scenarios can be written to and
+// read from plain files (reproducible experiment configs, CLI input).
+//
+// Grammar (whitespace-insensitive, case-sensitive names):
+//   huber(center, delta, scale)
+//   logcosh(center, width, scale)
+//   smoothabs(center, eps, scale)
+//   flathuber(lo, hi, delta, scale)
+//   softplus(a, b, width, scale)
+//   asymhuber(center, delta_neg, delta_pos, scale)
+//   abs(center, scale)                      # non-smooth
+//
+// parse_function throws ContractViolation with a pointed message on any
+// malformed spec; to_spec is the exact inverse for all supported types.
+
+#include <string>
+
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+/// Parses one function spec. Throws ContractViolation on syntax errors,
+/// unknown names, wrong arity, or invalid parameters.
+ScalarFunctionPtr parse_function(const std::string& spec);
+
+/// Renders a supported function back to its spec string. Throws
+/// ContractViolation for function types without a spec form.
+std::string to_spec(const ScalarFunction& function);
+
+}  // namespace ftmao

@@ -1,0 +1,68 @@
+#include "func/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+std::string at(double x) {
+  std::ostringstream os;
+  os << " at x=" << x;
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_admissible(const ScalarFunction& f,
+                                     const ValidationOptions& opts) {
+  FTMAO_EXPECTS(opts.grid_points >= 2);
+  ValidationReport report;
+
+  const double L = f.gradient_bound();
+  const double lip = f.lipschitz_bound();
+  if (!(L > 0.0)) report.fail("gradient_bound() must be positive");
+  if (!(lip > 0.0)) report.fail("lipschitz_bound() must be positive");
+
+  const double lo = opts.domain.lo();
+  const double step = opts.domain.length() / (opts.grid_points - 1);
+
+  double prev_g = -std::numeric_limits<double>::infinity();
+  double prev_x = lo;
+  for (int i = 0; i < opts.grid_points; ++i) {
+    const double x = lo + step * i;
+    const double g = f.derivative(x);
+
+    if (g < prev_g - opts.tolerance)
+      report.fail("derivative decreases (non-convex)" + at(x));
+    if (std::abs(g) > L + opts.tolerance)
+      report.fail("|h'| exceeds gradient_bound()" + at(x));
+    if (i > 0 && std::abs(g - prev_g) > lip * (x - prev_x) + opts.tolerance)
+      report.fail("derivative violates Lipschitz bound" + at(x));
+
+    const double fd =
+        (f.value(x + opts.fd_step) - f.value(x - opts.fd_step)) /
+        (2.0 * opts.fd_step);
+    if (std::abs(fd - g) > opts.tolerance * (1.0 + std::abs(g)))
+      report.fail("derivative() disagrees with finite difference of value()" +
+                  at(x));
+
+    prev_g = g;
+    prev_x = x;
+  }
+
+  const Interval am = f.argmin();
+  if (f.derivative(am.lo() - opts.tolerance) > opts.tolerance)
+    report.fail("derivative positive just left of argmin().lo()");
+  if (f.derivative(am.hi() + opts.tolerance) < -opts.tolerance)
+    report.fail("derivative negative just right of argmin().hi()");
+  if (std::abs(f.derivative(am.midpoint())) > opts.tolerance)
+    report.fail("derivative not ~0 inside argmin()");
+
+  return report;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,43 @@
+#pragma once
+
+// Numeric validation that a ScalarFunction actually satisfies the paper's
+// admissibility assumptions (Section 2). Used by tests (every concrete
+// family is validated on a grid) and available to users adding their own
+// cost functions.
+
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "func/scalar_function.hpp"
+
+namespace ftmao {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string why) {
+    ok = false;
+    violations.push_back(std::move(why));
+  }
+};
+
+struct ValidationOptions {
+  Interval domain{-50.0, 50.0};  ///< grid over which properties are sampled
+  int grid_points = 2001;
+  double fd_step = 1e-6;         ///< finite-difference step for h' check
+  double tolerance = 1e-4;       ///< slack for numeric comparisons
+};
+
+/// Samples the function on a grid and checks:
+///  * h' non-decreasing (convexity),
+///  * |h'| <= gradient_bound(),
+///  * h' is lipschitz_bound()-Lipschitz between adjacent grid points,
+///  * h' matches the finite difference of h,
+///  * h' <= 0 at argmin().lo() side and >= 0 at argmin().hi() side, and
+///    |h'| small inside argmin().
+ValidationReport validate_admissible(const ScalarFunction& f,
+                                     const ValidationOptions& opts = {});
+
+}  // namespace ftmao

@@ -1,0 +1,77 @@
+#pragma once
+
+// SBG over incomplete directed networks (the paper's open problem; the
+// Part IV report [25] studies this setting).
+//
+// Each agent trims over its in-neighbourhood only: D = {own value} +
+// {values of in-neighbours}, so it needs in-degree >= 2f for the f-trim to
+// be defined. The complete-network guarantees do NOT automatically carry
+// over — this module exists to measure empirically which topologies
+// preserve consensus and how much optimality degrades. The Y used for the
+// distance metric is the complete-network valid set (the best any
+// algorithm in this family could promise), so max_dist_to_y reads as the
+// "optimality gap vs complete network".
+
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/series.hpp"
+#include "common/types.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "func/scalar_function.hpp"
+#include "graph/topology.hpp"
+#include "net/sync.hpp"
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+/// A correct agent in the graph variant: trims over own value + whatever
+/// arrived from in-neighbours (padded with the default for in-neighbours
+/// that stayed silent).
+class GraphSbgAgent final : public SyncNode<SbgPayload> {
+ public:
+  GraphSbgAgent(AgentId id, ScalarFunctionPtr cost, double initial_state,
+                const StepSchedule& schedule, std::size_t in_degree,
+                std::size_t f, SbgPayload default_payload = {});
+
+  SbgPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<SbgPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  double state() const { return state_; }
+
+ private:
+  AgentId id_;
+  ScalarFunctionPtr cost_;
+  double state_;
+  const StepSchedule* schedule_;
+  std::size_t in_degree_;
+  std::size_t f_;
+  SbgPayload default_payload_;
+};
+
+struct GraphScenario {
+  Topology topology{1};
+  std::size_t f = 0;
+  std::vector<std::size_t> faulty;
+  std::vector<ScalarFunctionPtr> functions;
+  std::vector<double> initial_states;
+  AttackConfig attack;
+  StepConfig step;
+  std::size_t rounds = 2000;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct GraphRunMetrics {
+  Series disagreement;
+  Series max_dist_to_y;  ///< vs the complete-network valid set (reference)
+  std::vector<double> final_states;
+  Interval optima{0.0};
+};
+
+GraphRunMetrics run_graph_sbg(const GraphScenario& scenario);
+
+}  // namespace ftmao

@@ -1,0 +1,73 @@
+#include "graph/robustness.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// Does `subset` (bitmask) contain a node with >= r in-neighbours outside
+// the subset?
+bool has_reachable_node(const Topology& t, std::uint32_t subset, std::size_t r) {
+  const std::size_t n = t.n();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (((subset >> v) & 1u) == 0) continue;
+    std::size_t outside = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (((subset >> u) & 1u) != 0) continue;
+      if (t.has_edge(u, v) && ++outside >= r) break;
+    }
+    if (outside >= r) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_r_robust(const Topology& topology, std::size_t r) {
+  const std::size_t n = topology.n();
+  FTMAO_EXPECTS(n >= 1 && n <= 20);  // 3^n enumeration guard
+  if (r == 0) return true;
+
+  // Enumerate unordered pairs of disjoint non-empty subsets via ternary
+  // assignment {outside, S1, S2}; skip the symmetric duplicates by
+  // requiring the lowest assigned node to be in S1.
+  std::vector<std::uint32_t> power(n + 1, 1);
+  for (std::size_t i = 1; i <= n; ++i) power[i] = power[i - 1] * 3;
+
+  for (std::uint32_t code = 0; code < power[n]; ++code) {
+    std::uint32_t s1 = 0, s2 = 0;
+    std::uint32_t rest = code;
+    bool first_assigned_is_s1 = true;
+    bool seen_assigned = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t digit = rest % 3;
+      rest /= 3;
+      if (digit == 1) {
+        s1 |= 1u << v;
+        if (!seen_assigned) seen_assigned = true;
+      } else if (digit == 2) {
+        if (!seen_assigned) {
+          first_assigned_is_s1 = false;
+          seen_assigned = true;
+        }
+        s2 |= 1u << v;
+      }
+    }
+    if (s1 == 0 || s2 == 0 || !first_assigned_is_s1) continue;
+    if (!has_reachable_node(topology, s1, r) &&
+        !has_reachable_node(topology, s2, r))
+      return false;
+  }
+  return true;
+}
+
+std::size_t max_robustness(const Topology& topology) {
+  std::size_t r = 0;
+  while (is_r_robust(topology, r + 1)) ++r;
+  return r;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,34 @@
+#pragma once
+
+// Network robustness (LeBlanc, Zhang, Sundaram, Koutsoukos [14] — cited by
+// the paper): a digraph is r-robust if for every pair of disjoint
+// non-empty node subsets S1, S2, at least one of the two contains a node
+// with >= r in-neighbours OUTSIDE its own subset.
+//
+// Relevance: trim-based iterative Byzantine consensus on incomplete
+// networks succeeds iff the graph is (2f+1)-robust — this is the known
+// theory behind the empirical transition bench E12 measures (a complete
+// graph on n nodes is ceil(n/2)-robust, which with n > 3f exceeds 2f+1;
+// the bare ring is only 1-robust).
+//
+// The check is exhaustive over subset pairs (Theta(3^n) assignments), so
+// it is intended for the experiment sizes (n <= ~13).
+
+#include <cstddef>
+
+#include "graph/topology.hpp"
+
+namespace ftmao {
+
+/// True iff the graph is r-robust. Exhaustive; practical for n <= ~13.
+bool is_r_robust(const Topology& topology, std::size_t r);
+
+/// The largest r for which the graph is r-robust (0 for the empty graph's
+/// degenerate cases). Monotone, so found by linear scan from 1.
+std::size_t max_robustness(const Topology& topology);
+
+/// The robustness the trim-consensus theory asks of a graph tolerating f
+/// Byzantine agents: 2f + 1.
+inline std::size_t required_robustness(std::size_t f) { return 2 * f + 1; }
+
+}  // namespace ftmao

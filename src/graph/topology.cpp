@@ -1,0 +1,141 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+Topology::Topology(std::size_t n) : n_(n), adj_(n * n, false) {
+  FTMAO_EXPECTS(n >= 1);
+}
+
+void Topology::add_edge(std::size_t from, std::size_t to) {
+  FTMAO_EXPECTS(from < n_ && to < n_);
+  if (from == to) return;
+  adj_[from * n_ + to] = true;
+}
+
+bool Topology::has_edge(std::size_t from, std::size_t to) const {
+  FTMAO_EXPECTS(from < n_ && to < n_);
+  return adj_[from * n_ + to];
+}
+
+std::size_t Topology::in_degree(std::size_t agent) const {
+  FTMAO_EXPECTS(agent < n_);
+  std::size_t d = 0;
+  for (std::size_t u = 0; u < n_; ++u)
+    if (adj_[u * n_ + agent]) ++d;
+  return d;
+}
+
+std::size_t Topology::out_degree(std::size_t agent) const {
+  FTMAO_EXPECTS(agent < n_);
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < n_; ++v)
+    if (adj_[agent * n_ + v]) ++d;
+  return d;
+}
+
+std::size_t Topology::min_in_degree() const {
+  std::size_t best = n_;
+  for (std::size_t v = 0; v < n_; ++v) best = std::min(best, in_degree(v));
+  return best;
+}
+
+bool Topology::supports_trim(std::size_t f) const {
+  return min_in_degree() >= 2 * f;
+}
+
+bool Topology::is_complete() const {
+  for (std::size_t u = 0; u < n_; ++u)
+    for (std::size_t v = 0; v < n_; ++v)
+      if (u != v && !adj_[u * n_ + v]) return false;
+  return true;
+}
+
+bool Topology::strongly_connected() const {
+  auto reachable_from_0 = [this](bool reversed) {
+    std::vector<bool> seen(n_, false);
+    std::queue<std::size_t> queue;
+    queue.push(0);
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop();
+      for (std::size_t v = 0; v < n_; ++v) {
+        const bool edge = reversed ? adj_[v * n_ + u] : adj_[u * n_ + v];
+        if (edge && !seen[v]) {
+          seen[v] = true;
+          ++count;
+          queue.push(v);
+        }
+      }
+    }
+    return count == n_;
+  };
+  return reachable_from_0(false) && reachable_from_0(true);
+}
+
+Topology make_complete(std::size_t n) {
+  Topology t(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = 0; v < n; ++v)
+      if (u != v) t.add_edge(u, v);
+  return t;
+}
+
+Topology make_ring_lattice(std::size_t n, std::size_t k) {
+  FTMAO_EXPECTS(k >= 1);
+  FTMAO_EXPECTS(2 * k < n);
+  Topology t(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t step = 1; step <= k; ++step) {
+      t.add_edge(u, (u + step) % n);
+      t.add_edge(u, (u + n - step) % n);
+    }
+  }
+  return t;
+}
+
+Topology make_random_out_regular(std::size_t n, std::size_t d, Rng& rng) {
+  FTMAO_EXPECTS(d < n);
+  Topology t(n);
+  std::vector<std::size_t> others(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    others.clear();
+    for (std::size_t v = 0; v < n; ++v)
+      if (v != u) others.push_back(v);
+    // Partial Fisher-Yates: first d entries become u's out-neighbours.
+    for (std::size_t i = 0; i < d; ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(i), static_cast<std::int64_t>(others.size() - 1)));
+      std::swap(others[i], others[j]);
+      t.add_edge(u, others[i]);
+    }
+  }
+  return t;
+}
+
+Topology make_barbell(std::size_t clique, std::size_t bridges) {
+  FTMAO_EXPECTS(clique >= 2);
+  FTMAO_EXPECTS(bridges >= 1 && bridges <= clique);
+  const std::size_t n = 2 * clique;
+  Topology t(n);
+  for (std::size_t u = 0; u < clique; ++u)
+    for (std::size_t v = 0; v < clique; ++v)
+      if (u != v) {
+        t.add_edge(u, v);
+        t.add_edge(clique + u, clique + v);
+      }
+  for (std::size_t b = 0; b < bridges; ++b) {
+    t.add_edge(b, clique + b);
+    t.add_edge(clique + b, b);
+  }
+  return t;
+}
+
+}  // namespace ftmao

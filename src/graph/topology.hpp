@@ -1,0 +1,65 @@
+#pragma once
+
+// Directed communication topologies for the incomplete-network extension
+// (the paper's first open problem; explored in Su-Vaidya Part IV [25]).
+//
+// SBG's trim needs at least 2f+1 values per agent per round, so a
+// necessary condition is in-degree >= 2f at every honest agent (own value
+// adds one). That is NOT sufficient in general — which topologies preserve
+// the paper's guarantees is exactly what bench E12 probes empirically.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ftmao {
+
+/// Directed graph on agents 0..n-1. edge(u, v) == true means u can send to
+/// v. Self-loops are ignored (an agent always has its own value).
+class Topology {
+ public:
+  explicit Topology(std::size_t n);
+
+  std::size_t n() const { return n_; }
+
+  void add_edge(std::size_t from, std::size_t to);
+  bool has_edge(std::size_t from, std::size_t to) const;
+
+  /// Number of distinct senders that can reach `agent`.
+  std::size_t in_degree(std::size_t agent) const;
+  std::size_t out_degree(std::size_t agent) const;
+  std::size_t min_in_degree() const;
+
+  /// Necessary condition for the f-trim to be well defined everywhere:
+  /// every agent hears from >= 2f others.
+  bool supports_trim(std::size_t f) const;
+
+  /// True when every ordered pair is connected (ignoring self-loops).
+  bool is_complete() const;
+
+  /// Strong connectivity via two BFS passes (forward + reverse).
+  bool strongly_connected() const;
+
+ private:
+  std::size_t n_;
+  std::vector<bool> adj_;  // row-major [from][to]
+};
+
+/// All ordered pairs.
+Topology make_complete(std::size_t n);
+
+/// Bidirectional ring where each agent is also linked to the k nearest
+/// neighbours on each side (k = 1 is the plain ring). In-degree = 2k.
+Topology make_ring_lattice(std::size_t n, std::size_t k);
+
+/// Random d-regular-ish digraph: each agent picks d distinct out-neighbours
+/// uniformly (deterministic per rng). In-degrees concentrate near d.
+Topology make_random_out_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Two complete cliques joined by `bridges` bidirectional links — the
+/// classic hard case for Byzantine consensus connectivity.
+Topology make_barbell(std::size_t clique, std::size_t bridges);
+
+}  // namespace ftmao

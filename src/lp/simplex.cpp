@@ -1,0 +1,209 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace ftmao::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau layout: rows 0..m-1 are constraints (rhs in the last column),
+// row m is the objective row storing reduced costs (rhs cell = -objective
+// value). Column order: original vars, slack/surplus vars, artificials.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = at(pr, pc);
+    FTMAO_EXPECTS(std::abs(p) > kEps);
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// Runs simplex iterations on a tableau whose objective row already holds
+// reduced costs w.r.t. the current basis. Bland's rule: entering = lowest
+// eligible column index, leaving = lowest-index row among min-ratio ties.
+// `allowed_cols` bounds the columns eligible to enter (used to freeze
+// artificials out in phase 2).
+Status run_simplex(Tableau& t, std::vector<std::size_t>& basis,
+                   std::size_t allowed_cols) {
+  const std::size_t m = t.rows() - 1;
+  const std::size_t rhs = t.cols() - 1;
+  const int max_iters = 10000;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Entering column: first with negative reduced cost (minimization).
+    std::size_t pc = allowed_cols;
+    for (std::size_t c = 0; c < allowed_cols; ++c) {
+      if (t.at(m, c) < -kEps) {
+        pc = c;
+        break;
+      }
+    }
+    if (pc == allowed_cols) return Status::Optimal;
+
+    // Leaving row: min ratio rhs / a with a > 0; Bland ties by row basis
+    // variable index.
+    std::size_t pr = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t.at(r, pc);
+      if (a > kEps) {
+        const double ratio = t.at(r, rhs) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (pr == m || basis[r] < basis[pr]))) {
+          best_ratio = ratio;
+          pr = r;
+        }
+      }
+    }
+    if (pr == m) return Status::Unbounded;
+
+    t.pivot(pr, pc);
+    basis[pr] = pc;
+  }
+  throw std::runtime_error("simplex: iteration limit exceeded");
+}
+
+}  // namespace
+
+Problem& Problem::add(std::vector<double> coeffs, Relation rel, double rhs) {
+  constraints.push_back({std::move(coeffs), rel, rhs});
+  return *this;
+}
+
+Solution solve(const Problem& problem) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+  FTMAO_EXPECTS(problem.objective.empty() || problem.objective.size() == n);
+  for (const auto& c : problem.constraints) FTMAO_EXPECTS(c.coeffs.size() == n);
+
+  // Normalize rows to rhs >= 0 (flipping the relation when negating).
+  std::vector<Constraint> rows = problem.constraints;
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      for (auto& a : row.coeffs) a = -a;
+      row.rhs = -row.rhs;
+      if (row.rel == Relation::LessEq)
+        row.rel = Relation::GreaterEq;
+      else if (row.rel == Relation::GreaterEq)
+        row.rel = Relation::LessEq;
+    }
+  }
+
+  // Count slack/surplus and artificial columns.
+  std::size_t num_slack = 0;
+  std::size_t num_art = 0;
+  for (const auto& row : rows) {
+    if (row.rel != Relation::Eq) ++num_slack;
+    if (row.rel != Relation::LessEq) ++num_art;
+  }
+
+  const std::size_t art_begin = n + num_slack;
+  const std::size_t total = n + num_slack + num_art;
+  const std::size_t rhs_col = total;
+
+  Tableau t(m + 1, total + 1);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t slack_idx = n;
+  std::size_t art_idx = art_begin;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& row = rows[r];
+    for (std::size_t c = 0; c < n; ++c) t.at(r, c) = row.coeffs[c];
+    t.at(r, rhs_col) = row.rhs;
+    if (row.rel == Relation::LessEq) {
+      t.at(r, slack_idx) = 1.0;
+      basis[r] = slack_idx++;
+    } else if (row.rel == Relation::GreaterEq) {
+      t.at(r, slack_idx) = -1.0;
+      ++slack_idx;
+      t.at(r, art_idx) = 1.0;
+      basis[r] = art_idx++;
+    } else {
+      t.at(r, art_idx) = 1.0;
+      basis[r] = art_idx++;
+    }
+  }
+
+  // ---- Phase 1: minimize sum of artificials.
+  if (num_art > 0) {
+    for (std::size_t c = art_begin; c < total; ++c) t.at(m, c) = 1.0;
+    // Make reduced costs consistent with the artificial basis rows.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art_begin) {
+        for (std::size_t c = 0; c <= total; ++c) t.at(m, c) -= t.at(r, c);
+      }
+    }
+    const Status s1 = run_simplex(t, basis, total);
+    if (s1 == Status::Unbounded)
+      throw std::runtime_error("simplex: phase 1 unbounded (impossible)");
+    const double phase1 = -t.at(m, rhs_col);
+    if (phase1 > 1e-7) return Solution{Status::Infeasible, 0.0, {}};
+
+    // Drive residual artificials out of the basis where possible; rows
+    // with no pivot are redundant and harmless to leave (rhs ~ 0).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < art_begin) continue;
+      for (std::size_t c = 0; c < art_begin; ++c) {
+        if (std::abs(t.at(r, c)) > kEps) {
+          t.pivot(r, c);
+          basis[r] = c;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: real objective (minimization internally).
+  for (std::size_t c = 0; c <= total; ++c) t.at(m, c) = 0.0;
+  const double sign = problem.sense == Sense::Minimize ? 1.0 : -1.0;
+  if (!problem.objective.empty()) {
+    for (std::size_t c = 0; c < n; ++c)
+      t.at(m, c) = sign * problem.objective[c];
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cost = t.at(m, basis[r]);
+    if (cost != 0.0) {
+      for (std::size_t c = 0; c <= total; ++c)
+        t.at(m, c) -= cost * t.at(r, c);
+    }
+  }
+  // Artificials may not re-enter: restrict entering columns to art_begin.
+  const Status s2 = run_simplex(t, basis, art_begin);
+  if (s2 == Status::Unbounded) return Solution{Status::Unbounded, 0.0, {}};
+
+  Solution sol;
+  sol.status = Status::Optimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = t.at(r, rhs_col);
+  }
+  sol.objective_value = sign * -t.at(m, rhs_col);
+  return sol;
+}
+
+}  // namespace ftmao::lp

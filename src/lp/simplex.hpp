@@ -1,0 +1,50 @@
+#pragma once
+
+// Dense two-phase simplex for small linear programs.
+//
+// Built for the admissibility-witness queries of Lemma 2 / Corollary 1
+// (a few dozen variables and constraints), where an exact feasibility
+// answer matters more than scale. Uses Bland's rule, so it cannot cycle.
+// All variables are constrained to x >= 0; general bounds are encoded by
+// the caller via extra constraints.
+
+#include <cstddef>
+#include <vector>
+
+namespace ftmao::lp {
+
+enum class Relation { LessEq, Eq, GreaterEq };
+
+/// One row: coeffs . x  (rel)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::Eq;
+  double rhs = 0.0;
+};
+
+enum class Sense { Minimize, Maximize };
+
+/// minimize/maximize objective . x  subject to constraints, x >= 0.
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars (empty = all zeros)
+  Sense sense = Sense::Minimize;
+  std::vector<Constraint> constraints;
+
+  Problem& add(std::vector<double> coeffs, Relation rel, double rhs);
+};
+
+enum class Status { Optimal, Infeasible, Unbounded };
+
+struct Solution {
+  Status status = Status::Infeasible;
+  double objective_value = 0.0;  ///< in the problem's own sense
+  std::vector<double> x;         ///< size num_vars when Optimal
+
+  bool feasible() const { return status == Status::Optimal; }
+};
+
+/// Solves with two-phase tableau simplex. Deterministic.
+Solution solve(const Problem& problem);
+
+}  // namespace ftmao::lp

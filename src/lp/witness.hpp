@@ -1,0 +1,47 @@
+#pragma once
+
+// Admissibility witnesses (Definition 1, Lemma 2, Corollary 1).
+//
+// Lemma 2 / Corollary 1 assert that each trimmed value y equals
+// sum_i alpha_i v_i for some (beta, gamma)-admissible alpha over the
+// non-faulty agents. These queries verify that claim constructively: find
+// alpha >= 0 with sum alpha = 1, sum alpha_i v_i ~= y, and at least gamma
+// coordinates >= beta. Exact via subset enumeration for small systems
+// (C(|N|, gamma) LP feasibility probes), falling back to an LP-guided
+// heuristic beyond a configurable cap.
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace ftmao::lp {
+
+struct WitnessQuery {
+  std::vector<double> values;  ///< v_i for each non-faulty agent
+  double target = 0.0;         ///< y to express as a convex combination
+  double beta = 0.0;           ///< required lower bound on gamma weights
+  std::size_t gamma = 0;       ///< required number of weights >= beta
+  double tolerance = 1e-7;     ///< |sum alpha_i v_i - y| allowed
+};
+
+struct WitnessResult {
+  bool found = false;
+  bool exact = true;  ///< exhaustive subset search (false = heuristic pass)
+  std::vector<double> weights;       ///< alpha, same indexing as values
+  std::vector<std::size_t> support;  ///< indices with alpha_i >= beta - tol
+};
+
+/// Searches for a (beta, gamma)-admissible witness. subset_cap bounds the
+/// number of subsets tried exhaustively; beyond it a single LP-relaxation
+/// guided attempt is made and `exact` is false if it fails.
+WitnessResult find_admissible_witness(const WitnessQuery& query,
+                                      std::size_t subset_cap = 20000);
+
+/// The best achievable beta for the query's gamma: max over subsets S of
+/// size gamma of (max t s.t. exists alpha with alpha_i >= t on S and the
+/// convex-combination constraints). Returns < 0 if no convex combination
+/// hits the target at all. Exhaustive (use for small |N| only).
+double max_guaranteed_beta(const WitnessQuery& query);
+
+}  // namespace ftmao::lp

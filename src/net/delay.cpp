@@ -1,0 +1,33 @@
+#include "net/delay.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+FixedDelay::FixedDelay(double d) : delay_(d) { FTMAO_EXPECTS(d > 0.0); }
+
+double FixedDelay::delay(AgentId, AgentId, double) { return delay_; }
+
+UniformDelay::UniformDelay(double lo, double hi, Rng rng)
+    : lo_(lo), hi_(hi), rng_(rng) {
+  FTMAO_EXPECTS(0.0 < lo && lo <= hi);
+}
+
+double UniformDelay::delay(AgentId, AgentId, double) {
+  return rng_.uniform(lo_, hi_);
+}
+
+TargetedSlowdown::TargetedSlowdown(std::vector<AgentId> slow_senders,
+                                   double fast_delay, double slow_delay)
+    : slow_(std::move(slow_senders)), fast_(fast_delay), slow_delay_(slow_delay) {
+  FTMAO_EXPECTS(0.0 < fast_delay && fast_delay <= slow_delay);
+}
+
+double TargetedSlowdown::delay(AgentId from, AgentId, double) {
+  const bool is_slow = std::find(slow_.begin(), slow_.end(), from) != slow_.end();
+  return is_slow ? slow_delay_ : fast_;
+}
+
+}  // namespace ftmao

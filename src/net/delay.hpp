@@ -1,0 +1,58 @@
+#pragma once
+
+// Message delay models for the asynchronous engine (Section 7). Delays
+// are strictly positive and finite (the async model guarantees eventual
+// delivery but no bound known to the algorithm).
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ftmao {
+
+/// Produces the in-flight time of a message sent at `send_time`.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual double delay(AgentId from, AgentId to, double send_time) = 0;
+};
+
+/// Constant delay (degenerates to lock-step behaviour).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(double d);
+  double delay(AgentId from, AgentId to, double send_time) override;
+
+ private:
+  double delay_;
+};
+
+/// Uniform random delay in [lo, hi], seeded and deterministic.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(double lo, double hi, Rng rng);
+  double delay(AgentId from, AgentId to, double send_time) override;
+
+ private:
+  double lo_;
+  double hi_;
+  Rng rng_;
+};
+
+/// Adversarial skew: messages from a chosen set of "slow" senders take
+/// slow_delay, everything else fast_delay. Stresses the async algorithm's
+/// tolerance to consistently stale agents.
+class TargetedSlowdown final : public DelayModel {
+ public:
+  TargetedSlowdown(std::vector<AgentId> slow_senders, double fast_delay,
+                   double slow_delay);
+  double delay(AgentId from, AgentId to, double send_time) override;
+
+ private:
+  std::vector<AgentId> slow_;
+  double fast_;
+  double slow_delay_;
+};
+
+}  // namespace ftmao

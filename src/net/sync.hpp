@@ -1,0 +1,155 @@
+#pragma once
+
+// Synchronous round-based message-passing engine over a complete network
+// (the paper's system model, Section 2).
+//
+// Honest nodes broadcast one payload per round (Step 1 of SBG) and then
+// consume their inbox (Steps 2-3). Byzantine nodes choose a payload *per
+// recipient* and may observe all honest payloads of the round first — the
+// strongest ("rushing", duplicitous) adversary the paper allows. Omission
+// behaviour (crash model, Section 7) is modelled by strategies returning
+// no payload and by crash schedules in sim/.
+//
+// The engine delivers exactly what was sent; substituting default values
+// for missing tuples (paper Step 2) is the *node's* decision, because the
+// crash-model variant instead averages only what arrived.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace ftmao {
+
+/// One delivered message as seen by a recipient.
+template <typename P>
+struct Received {
+  AgentId from;
+  P payload;
+};
+
+/// What a Byzantine strategy may observe when choosing its payloads for a
+/// round: every honest agent's broadcast of that round (rushing adversary).
+template <typename P>
+struct RoundView {
+  Round round;
+  std::span<const Received<P>> honest_broadcasts;
+};
+
+/// Interface for a correct (protocol-following) node.
+template <typename P>
+class SyncNode {
+ public:
+  virtual ~SyncNode() = default;
+
+  /// Step 1: the payload this node sends to every other agent this round.
+  virtual P broadcast(Round t) = 0;
+
+  /// Steps 2-3: consume the inbox (own broadcast is NOT included; nodes
+  /// that need it add their own value) and update local state.
+  virtual void step(Round t, std::span<const Received<P>> inbox) = 0;
+};
+
+/// Interface for a Byzantine node: chooses what each recipient sees.
+/// Returning nullopt models an omission (recipient gets nothing).
+template <typename P>
+class ByzantineNode {
+ public:
+  virtual ~ByzantineNode() = default;
+
+  virtual std::optional<P> send_to(AgentId self, AgentId recipient,
+                                   const RoundView<P>& view) = 0;
+};
+
+/// Decides whether a message from `from` reaches `to` in round `t`.
+/// Models incomplete topologies (graph/) and omission faults.
+using DeliveryFilter = std::function<bool(AgentId from, AgentId to, Round t)>;
+
+/// Drives rounds over a fixed population of honest and Byzantine nodes.
+/// Non-owning: nodes outlive the engine (sim/ owns both).
+template <typename P>
+class SyncEngine {
+ public:
+  /// Restricts deliveries; by default everything is delivered (complete
+  /// network). Applies to honest and Byzantine senders alike — even a
+  /// Byzantine agent cannot talk over links that do not exist.
+  void set_delivery_filter(DeliveryFilter filter) {
+    filter_ = std::move(filter);
+  }
+
+  void add_honest(AgentId id, SyncNode<P>* node) {
+    FTMAO_EXPECTS(node != nullptr);
+    FTMAO_EXPECTS(!has_agent(id));
+    honest_.push_back({id, node});
+  }
+
+  void add_byzantine(AgentId id, ByzantineNode<P>* node) {
+    FTMAO_EXPECTS(node != nullptr);
+    FTMAO_EXPECTS(!has_agent(id));
+    byzantine_.push_back({id, node});
+  }
+
+  std::size_t num_agents() const { return honest_.size() + byzantine_.size(); }
+
+  /// Total messages delivered to honest agents so far (dropped/filtered
+  /// messages are not counted).
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Executes one synchronous iteration: collect honest broadcasts, let
+  /// Byzantine nodes react, deliver, and step every honest node.
+  void run_round(Round t) {
+    // Step 1: honest broadcasts (one payload for all recipients).
+    std::vector<Received<P>> honest_msgs;
+    honest_msgs.reserve(honest_.size());
+    for (auto& [id, node] : honest_) honest_msgs.push_back({id, node->broadcast(t)});
+
+    const RoundView<P> view{t, honest_msgs};
+
+    // Step 2: build each honest recipient's inbox.
+    for (auto& [rid, rnode] : honest_) {
+      std::vector<Received<P>> inbox;
+      inbox.reserve(num_agents() - 1);
+      for (const auto& msg : honest_msgs) {
+        if (msg.from != rid && deliverable(msg.from, rid, t))
+          inbox.push_back(msg);
+      }
+      for (auto& [bid, bnode] : byzantine_) {
+        if (!deliverable(bid, rid, t)) continue;
+        if (auto payload = bnode->send_to(bid, rid, view)) {
+          inbox.push_back({bid, *payload});
+        }
+      }
+      messages_delivered_ += inbox.size();
+      rnode->step(t, inbox);
+    }
+  }
+
+  /// Runs rounds 1..count.
+  void run(std::size_t count) {
+    for (std::size_t t = 1; t <= count; ++t) run_round(Round{static_cast<std::uint32_t>(t)});
+  }
+
+ private:
+  bool deliverable(AgentId from, AgentId to, Round t) const {
+    return !filter_ || filter_(from, to, t);
+  }
+
+  bool has_agent(AgentId id) const {
+    for (const auto& [hid, _] : honest_)
+      if (hid == id) return true;
+    for (const auto& [bid, _] : byzantine_)
+      if (bid == id) return true;
+    return false;
+  }
+
+  std::vector<std::pair<AgentId, SyncNode<P>*>> honest_;
+  std::vector<std::pair<AgentId, ByzantineNode<P>*>> byzantine_;
+  DeliveryFilter filter_;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace ftmao

@@ -1,0 +1,40 @@
+#pragma once
+
+// Argmin interval of a convex C^1 function from its (non-decreasing,
+// continuous) derivative:
+//
+//   min argmin = inf{ x : h'(x) >= 0 }   (leftmost zero of h')
+//   max argmin = inf{ x : h'(x) >  0 }   (rightmost zero of h')
+//
+// Both are thresholds of monotone predicates, so plain bisection applies.
+
+#include <functional>
+
+#include "common/interval.hpp"
+#include "opt/bisection.hpp"
+
+namespace ftmao {
+
+/// Computes the argmin interval of a convex function given its derivative.
+/// `seed_lo`/`seed_hi` give the initial bracket guess (expanded as needed);
+/// derivative must be negative somewhere left and positive somewhere right
+/// (compact argmin), which admissibility guarantees.
+inline Interval argmin_from_derivative(
+    const std::function<double(double)>& derivative, double seed_lo = -1.0,
+    double seed_hi = 1.0, const BisectOptions& opts = {}) {
+  const MonotonePredicate nonneg = [&](double x) { return derivative(x) >= 0.0; };
+  const MonotonePredicate positive = [&](double x) { return derivative(x) > 0.0; };
+
+  const Bracket left_bracket = expand_bracket(nonneg, seed_lo, seed_hi);
+  const double left = bisect_threshold(nonneg, left_bracket.lo, left_bracket.hi, opts);
+
+  const Bracket right_bracket = expand_bracket(positive, seed_lo, seed_hi);
+  const double right =
+      bisect_threshold(positive, right_bracket.lo, right_bracket.hi, opts);
+
+  // Bisection noise can invert a degenerate (point) argmin by ~tolerance.
+  if (right < left) return Interval((left + right) / 2.0);
+  return Interval(left, right);
+}
+
+}  // namespace ftmao

@@ -1,0 +1,42 @@
+#include "opt/bisection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+double bisect_threshold(const MonotonePredicate& pred, double lo, double hi,
+                        const BisectOptions& opts) {
+  FTMAO_EXPECTS(lo <= hi);
+  FTMAO_EXPECTS(!pred(lo));
+  FTMAO_EXPECTS(pred(hi));
+  for (int i = 0; i < opts.max_iterations && hi - lo > opts.tolerance; ++i) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (pred(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;  // pred(hi) is true by loop invariant
+}
+
+Bracket expand_bracket(const MonotonePredicate& pred, double lo, double hi,
+                       int max_expansions) {
+  FTMAO_EXPECTS(lo <= hi);
+  double step = std::max(1.0, hi - lo);
+  for (int i = 0; i < max_expansions; ++i) {
+    const bool at_lo = pred(lo);
+    const bool at_hi = pred(hi);
+    if (!at_lo && at_hi) return Bracket{lo, hi};
+    if (at_lo) lo -= step;        // predicate already true: move left edge out
+    if (!at_hi) hi += step;       // predicate still false: move right edge out
+    step *= 2.0;
+  }
+  throw std::runtime_error(
+      "expand_bracket: predicate never flipped within expansion budget");
+}
+
+}  // namespace ftmao

@@ -1,0 +1,41 @@
+#pragma once
+
+// Monotone-predicate bisection and bracket expansion.
+//
+// These are the workhorses for argmin intervals and for the valid-optima
+// set Y: the gradient of a convex function and the envelope functions
+// r(x), s(x) of Appendix A are all non-decreasing, so "leftmost zero" and
+// "rightmost zero" queries reduce to finding the threshold of a monotone
+// boolean predicate.
+
+#include <functional>
+
+namespace ftmao {
+
+/// A predicate assumed monotone in x: false for small x, true for large x.
+using MonotonePredicate = std::function<bool(double)>;
+
+/// Options shared by the bisection routines.
+struct BisectOptions {
+  double tolerance = 1e-10;   ///< absolute width at which to stop
+  int max_iterations = 200;   ///< hard cap (2^-200 of bracket width)
+};
+
+/// Given pred monotone with pred(lo) == false and pred(hi) == true,
+/// returns x* within tolerance of the threshold inf{x : pred(x)}.
+/// The returned point satisfies pred(returned) == true.
+double bisect_threshold(const MonotonePredicate& pred, double lo, double hi,
+                        const BisectOptions& opts = {});
+
+/// Expands geometrically from the seed interval [lo, hi] until
+/// pred(lo) == false and pred(hi) == true. Throws std::runtime_error if no
+/// flip is found within max_expansions doublings (predicate is constant as
+/// far as we can see).
+struct Bracket {
+  double lo;
+  double hi;
+};
+Bracket expand_bracket(const MonotonePredicate& pred, double lo, double hi,
+                       int max_expansions = 200);
+
+}  // namespace ftmao

@@ -1,0 +1,75 @@
+#include "opt/brent.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+// Classic Brent root bracketing (Brent 1973): combines bisection, secant,
+// and inverse quadratic interpolation; guaranteed convergence with
+// superlinear typical behaviour.
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  const BrentOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  FTMAO_EXPECTS(fa * fb < 0.0);
+
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    if (fb == 0.0 || std::abs(b - a) < opts.tolerance) return b;
+
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // secant
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double lo = (3.0 * a + b) / 4.0;
+    const bool out_of_range = !((lo < s && s < b) || (b < s && s < lo));
+    const bool slow = mflag ? std::abs(s - b) >= std::abs(b - c) / 2.0
+                            : std::abs(s - b) >= std::abs(c - d) / 2.0;
+    const bool tiny = mflag ? std::abs(b - c) < opts.tolerance
+                            : std::abs(c - d) < opts.tolerance;
+    if (out_of_range || slow || tiny) {
+      s = a + (b - a) / 2.0;
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,22 @@
+#pragma once
+
+// Brent's method for root finding on a continuous function with a
+// sign-changing bracket. Used where the target is continuous but not
+// necessarily monotone (e.g. differences of envelope functions in tests);
+// the monotone cases prefer opt/bisection.hpp.
+
+#include <functional>
+
+namespace ftmao {
+
+struct BrentOptions {
+  double tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+/// Finds x in [a, b] with f(x) ~= 0. Requires f(a) and f(b) of opposite
+/// sign (or one of them exactly zero).
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  const BrentOptions& opts = {});
+
+}  // namespace ftmao

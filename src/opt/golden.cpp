@@ -1,0 +1,35 @@
+#include "opt/golden.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+double golden_section_min(const std::function<double(double)>& f, double a,
+                          double b, const GoldenOptions& opts) {
+  FTMAO_EXPECTS(a <= b);
+  constexpr double inv_phi = 0.6180339887498949;  // 1/phi
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < opts.max_iterations && b - a > opts.tolerance; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return a + (b - a) / 2.0;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,21 @@
+#pragma once
+
+// Golden-section search for unimodal (convex) minimization on a bracket.
+// Used as an independent cross-check of derivative-based argmin
+// computations in tests and validators.
+
+#include <functional>
+
+namespace ftmao {
+
+struct GoldenOptions {
+  double tolerance = 1e-10;
+  int max_iterations = 300;
+};
+
+/// Returns a point within tolerance of a minimizer of the unimodal f over
+/// [a, b].
+double golden_section_min(const std::function<double(double)>& f, double a,
+                          double b, const GoldenOptions& opts = {});
+
+}  // namespace ftmao

@@ -1,0 +1,89 @@
+#include "sim/attack_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+namespace ftmao {
+
+std::vector<AttackCandidate> standard_attack_grid() {
+  std::vector<AttackCandidate> grid;
+  auto add = [&grid](std::string name, AttackKind kind,
+                     auto&&... setter) {
+    AttackCandidate c;
+    c.name = std::move(name);
+    c.config.kind = kind;
+    (setter(c.config), ...);
+    grid.push_back(std::move(c));
+  };
+
+  add("silent", AttackKind::Silent);
+  for (double mag : {10.0, 100.0, 1000.0}) {
+    add("fixed@" + format_double(mag, 3), AttackKind::FixedValue,
+        [mag](AttackConfig& c) {
+          c.state_magnitude = mag;
+          c.gradient_magnitude = mag / 10.0;
+        });
+    add("split-brain@" + format_double(mag, 3), AttackKind::SplitBrain,
+        [mag](AttackConfig& c) {
+          c.state_magnitude = mag;
+          c.gradient_magnitude = mag / 10.0;
+        });
+  }
+  add("hull-edge-up", AttackKind::HullEdgeUp);
+  add("hull-edge-down", AttackKind::HullEdgeDown);
+  for (double amp : {2.0, 5.0, 20.0}) {
+    add("sign-flip x" + format_double(amp, 3), AttackKind::SignFlip,
+        [amp](AttackConfig& c) { c.amplification = amp; });
+  }
+  for (double target : {-100.0, -10.0, 10.0, 100.0}) {
+    add("pull->" + format_double(target, 3), AttackKind::PullToTarget,
+        [target](AttackConfig& c) {
+          c.target = target;
+          c.gradient_magnitude = 10.0;
+        });
+  }
+  for (std::size_t period : {1ul, 10ul, 100ul}) {
+    add("flip-flop/" + std::to_string(period), AttackKind::FlipFlop,
+        [period](AttackConfig& c) { c.flip_period = period; });
+  }
+  add("noise", AttackKind::RandomNoise);
+  return grid;
+}
+
+AttackSearchResult find_strongest_attack(
+    const Scenario& base, const std::vector<AttackCandidate>& candidates) {
+  FTMAO_EXPECTS(!candidates.empty());
+
+  Scenario clean = base;
+  clean.attack = AttackConfig{};
+  clean.attack.kind = AttackKind::None;
+  const RunMetrics reference = run_sbg(clean);
+
+  AttackSearchResult result;
+  result.reference_state = reference.final_states.front();
+  result.optima = reference.optima;
+
+  for (const AttackCandidate& candidate : candidates) {
+    Scenario attacked = base;
+    attacked.attack = candidate.config;
+    const RunMetrics m = run_sbg(attacked);
+    AttackOutcome outcome;
+    outcome.name = candidate.name;
+    outcome.final_state = m.final_states.front();
+    outcome.bias = std::abs(outcome.final_state - result.reference_state);
+    outcome.dist_to_y = m.final_max_dist();
+    outcome.disagreement = m.final_disagreement();
+    result.outcomes.push_back(std::move(outcome));
+  }
+  std::sort(result.outcomes.begin(), result.outcomes.end(),
+            [](const AttackOutcome& a, const AttackOutcome& b) {
+              return a.bias > b.bias;
+            });
+  return result;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,47 @@
+#pragma once
+
+// Empirical strongest-adversary search: evaluate a grid of attack
+// configurations on a scenario template and report which one displaces
+// the final consensus furthest from the attack-free outcome. Theorem 2
+// upper-bounds what ANY attack can achieve (the output stays in Y); this
+// measures how much of that freedom concrete attacks actually realize.
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+struct AttackCandidate {
+  std::string name;
+  AttackConfig config;
+};
+
+struct AttackOutcome {
+  std::string name;
+  double final_state = 0.0;   ///< consensus value reached
+  double bias = 0.0;          ///< |final_state - attack-free final state|
+  double dist_to_y = 0.0;     ///< must stay ~0 (Theorem 2)
+  double disagreement = 0.0;  ///< final honest disagreement
+};
+
+struct AttackSearchResult {
+  double reference_state = 0.0;  ///< attack-free consensus
+  Interval optima{0.0};          ///< Y of the honest family
+  std::vector<AttackOutcome> outcomes;  ///< sorted by bias, descending
+
+  const AttackOutcome& strongest() const { return outcomes.front(); }
+};
+
+/// The default candidate grid: every attack kind at several magnitudes/
+/// targets/amplifications.
+std::vector<AttackCandidate> standard_attack_grid();
+
+/// Runs `base` once without attack (reference) and once per candidate.
+/// `base`'s own attack field is ignored.
+AttackSearchResult find_strongest_attack(
+    const Scenario& base, const std::vector<AttackCandidate>& candidates);
+
+}  // namespace ftmao

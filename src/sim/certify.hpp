@@ -1,0 +1,39 @@
+#pragma once
+
+// One-call certification: runs the full verification barrage for a given
+// system size — Theorem 2 across the attack grid, Lemma 2 witness audits,
+// execution-trace invariants, theory-bound domination, and a baseline
+// liveness contrast (to prove the attacks actually bite). The `ftmao_certify`
+// tool prints the report; CI-style users get a single pass/fail.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftmao {
+
+struct CertifyOptions {
+  std::size_t n = 7;
+  std::size_t f = 2;
+  double spread = 8.0;
+  std::size_t rounds = 4000;
+  std::uint64_t seed = 1;
+  double consensus_eps = 0.05;  ///< final-disagreement acceptance
+  double optimality_eps = 0.1;  ///< final Dist-to-Y acceptance
+};
+
+struct CertifyCheck {
+  std::string name;
+  bool passed = false;
+  std::string detail;  ///< worst offender / measured headline value
+};
+
+struct CertificationReport {
+  bool passed = false;
+  std::vector<CertifyCheck> checks;
+};
+
+/// Runs the barrage. Deterministic per options.
+CertificationReport certify_sbg(const CertifyOptions& options);
+
+}  // namespace ftmao

@@ -1,0 +1,160 @@
+#include "sim/crash_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "core/crash_sbg.hpp"
+#include "net/sync.hpp"
+#include "opt/bisection.hpp"
+
+namespace ftmao {
+
+void CrashScenario::validate() const {
+  FTMAO_EXPECTS(n >= 2);
+  FTMAO_EXPECTS(functions.size() == n);
+  FTMAO_EXPECTS(initial_states.size() == n);
+  FTMAO_EXPECTS(rounds >= 1);
+  for (const auto& fn : functions) FTMAO_EXPECTS(fn != nullptr);
+  std::vector<bool> seen(n, false);
+  for (const auto& c : crashes) {
+    FTMAO_EXPECTS(c.agent < n);
+    FTMAO_EXPECTS(!seen[c.agent]);  // one crash per agent
+    seen[c.agent] = true;
+    FTMAO_EXPECTS(c.round >= 1);
+    FTMAO_EXPECTS(c.recipients_served <= n - 1);
+  }
+  FTMAO_EXPECTS(crashes.size() < n);  // at least one survivor
+}
+
+Interval crash_optima_set(const std::vector<ScalarFunctionPtr>& survivors,
+                          const std::vector<ScalarFunctionPtr>& crashed) {
+  FTMAO_EXPECTS(!survivors.empty());
+  auto upper = [&](double x) {
+    double g = 0.0;
+    for (const auto& fn : survivors) g += fn->derivative(x);
+    for (const auto& fn : crashed) g += std::max(fn->derivative(x), 0.0);
+    return g;
+  };
+  auto lower = [&](double x) {
+    double g = 0.0;
+    for (const auto& fn : survivors) g += fn->derivative(x);
+    for (const auto& fn : crashed) g += std::min(fn->derivative(x), 0.0);
+    return g;
+  };
+  double seed_lo = std::numeric_limits<double>::infinity();
+  double seed_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& fn : survivors) {
+    seed_lo = std::min(seed_lo, fn->argmin().lo());
+    seed_hi = std::max(seed_hi, fn->argmin().hi());
+  }
+  for (const auto& fn : crashed) {
+    seed_lo = std::min(seed_lo, fn->argmin().lo());
+    seed_hi = std::max(seed_hi, fn->argmin().hi());
+  }
+  const MonotonePredicate up_nonneg = [&](double x) { return upper(x) >= 0.0; };
+  const MonotonePredicate low_positive = [&](double x) { return lower(x) > 0.0; };
+  const Bracket ub = expand_bracket(up_nonneg, seed_lo - 1.0, seed_hi + 1.0);
+  const double y_lo = bisect_threshold(up_nonneg, ub.lo, ub.hi);
+  const Bracket lb = expand_bracket(low_positive, seed_lo - 1.0, seed_hi + 1.0);
+  const double y_hi = bisect_threshold(low_positive, lb.lo, lb.hi);
+  return y_hi >= y_lo ? Interval(y_lo, y_hi) : Interval((y_lo + y_hi) / 2.0);
+}
+
+std::optional<double> recover_single_crash_weight(
+    const std::vector<ScalarFunctionPtr>& survivors,
+    const ScalarFunction& crashed, double consensus) {
+  FTMAO_EXPECTS(!survivors.empty());
+  double survivor_grad = 0.0;
+  for (const auto& fn : survivors) survivor_grad += fn->derivative(consensus);
+  const double g_crashed = crashed.derivative(consensus);
+  if (std::abs(g_crashed) < 1e-9) return std::nullopt;
+  return -survivor_grad / g_crashed;
+}
+
+CrashRunMetrics run_crash(const CrashScenario& scenario) {
+  scenario.validate();
+  const std::size_t n = scenario.n;
+  const std::unique_ptr<StepSchedule> schedule = make_schedule(scenario.step);
+
+  // crash_round[i] = round during which agent i crashes; "infinity" if never.
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> crash_round(n, kNever);
+  std::vector<std::size_t> served(n, 0);
+  for (const auto& c : scenario.crashes) {
+    crash_round[c.agent] = c.round;
+    served[c.agent] = c.recipients_served;
+  }
+
+  std::vector<ScalarFunctionPtr> survivors;
+  std::vector<ScalarFunctionPtr> crashed;
+  for (std::size_t i = 0; i < n; ++i) {
+    (crash_round[i] == kNever ? survivors : crashed)
+        .push_back(scenario.functions[i]);
+  }
+
+  std::vector<std::unique_ptr<CrashSbgAgent>> agents;
+  agents.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents.push_back(std::make_unique<CrashSbgAgent>(
+        AgentId{static_cast<std::uint32_t>(i)}, scenario.functions[i],
+        scenario.initial_states[i], *schedule));
+  }
+
+  CrashRunMetrics metrics;
+  metrics.optima = crash_optima_set(survivors, crashed);
+
+  auto record = [&] {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    double dist = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (crash_round[i] != kNever) continue;
+      const double x = agents[i]->state();
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      dist = std::max(dist, metrics.optima.distance_to(x));
+    }
+    metrics.disagreement.push(hi - lo);
+    metrics.max_dist_to_y.push(dist);
+  };
+  record();
+
+  for (std::size_t t = 1; t <= scenario.rounds; ++t) {
+    // Collect broadcasts of agents still sending this round.
+    std::vector<std::optional<SbgPayload>> sent(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (crash_round[i] >= t)
+        sent[i] = agents[i]->broadcast(Round{static_cast<std::uint32_t>(t)});
+    }
+    // Deliver and step agents that have not yet crashed (an agent crashing
+    // in round t halts without completing its own update).
+    for (std::size_t r = 0; r < n; ++r) {
+      if (crash_round[r] <= t) continue;
+      std::vector<Received<SbgPayload>> inbox;
+      inbox.reserve(n - 1);
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == r || !sent[s]) continue;
+        if (crash_round[s] == t) {
+          // Partial delivery: first served[s] recipients in ascending
+          // order, skipping the sender itself.
+          std::size_t rank = r < s ? r : r - 1;
+          if (rank >= served[s]) continue;
+        }
+        inbox.push_back({AgentId{static_cast<std::uint32_t>(s)}, *sent[s]});
+      }
+      agents[r]->step(Round{static_cast<std::uint32_t>(t)}, inbox);
+    }
+    record();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (crash_round[i] == kNever)
+      metrics.final_states.push_back(agents[i]->state());
+  }
+  return metrics;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,64 @@
+#pragma once
+
+// Crash-fault executor (Section 7). All agents are correct but some halt:
+// a CrashEvent says agent `agent` crashes during round `round`, delivering
+// that round's broadcast only to the first `recipients_served` recipients
+// (in ascending agent order, skipping itself) and doing nothing ever
+// after. The no-trim averaging variant (CrashSbgAgent) is run, and the
+// optimum set predicted by cost form (17) is computed from the gradient
+// envelopes with crashed-agent weights free in [0, 1].
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/series.hpp"
+#include "func/scalar_function.hpp"
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+struct CrashEvent {
+  std::size_t agent = 0;
+  std::size_t round = 1;              ///< the round during which it crashes
+  std::size_t recipients_served = 0;  ///< partial sends in the crash round
+};
+
+struct CrashScenario {
+  std::size_t n = 0;
+  std::vector<ScalarFunctionPtr> functions;  ///< size n (everyone is honest)
+  std::vector<double> initial_states;        ///< size n
+  std::vector<CrashEvent> crashes;
+  StepConfig step;
+  std::size_t rounds = 1000;
+
+  void validate() const;
+};
+
+struct CrashRunMetrics {
+  Series disagreement;   ///< over never-crashed agents
+  Series max_dist_to_y;  ///< Y = crash_optima_set(...)
+  std::vector<double> final_states;  ///< never-crashed agents, agent order
+  Interval optima{0.0};
+};
+
+/// The optimum set of eq. (17) over all alpha_i in [0, 1] for crashed
+/// agents: an interval bounded by the leftmost zero of
+/// sum_N h' + sum_F max(h', 0) and the rightmost zero of
+/// sum_N h' + sum_F min(h', 0).
+Interval crash_optima_set(const std::vector<ScalarFunctionPtr>& survivors,
+                          const std::vector<ScalarFunctionPtr>& crashed);
+
+/// Recovers the crashed agent's effective weight alpha from cost form
+/// (17)'s stationarity at the converged consensus x:
+///   sum_{i in N} h_i'(x) + alpha * h_c'(x) = 0.
+/// Returns nullopt when h_c'(x) ~ 0 (the equation is uninformative).
+/// Values outside [0, 1] indicate x is not a (17)-optimum.
+std::optional<double> recover_single_crash_weight(
+    const std::vector<ScalarFunctionPtr>& survivors,
+    const ScalarFunction& crashed, double consensus);
+
+CrashRunMetrics run_crash(const CrashScenario& scenario);
+
+}  // namespace ftmao

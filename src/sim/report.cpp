@@ -1,0 +1,53 @@
+#include "sim/report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/table.hpp"
+
+namespace ftmao {
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& claim) {
+  os << "==============================================================\n"
+     << id << "\n"
+     << claim << "\n"
+     << "==============================================================\n";
+}
+
+std::vector<std::size_t> log_spaced(std::size_t t_max, std::size_t per_decade) {
+  FTMAO_EXPECTS(t_max >= 1);
+  FTMAO_EXPECTS(per_decade >= 1);
+  std::vector<std::size_t> out;
+  double t = 1.0;
+  const double factor = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  while (static_cast<std::size_t>(t) < t_max) {
+    const auto idx = static_cast<std::size_t>(t);
+    if (out.empty() || idx > out.back()) out.push_back(idx);
+    t *= factor;
+  }
+  if (out.empty() || out.back() != t_max) out.push_back(t_max);
+  return out;
+}
+
+void print_series_table(std::ostream& os,
+                        const std::vector<std::string>& series_names,
+                        const std::vector<const Series*>& series,
+                        std::size_t t_max) {
+  FTMAO_EXPECTS(series_names.size() == series.size());
+  for (const Series* s : series) FTMAO_EXPECTS(s != nullptr && !s->empty());
+  std::vector<std::string> headers{"t"};
+  headers.insert(headers.end(), series_names.begin(), series_names.end());
+  Table table(headers);
+  for (std::size_t t : log_spaced(t_max)) {
+    table.row();
+    table.add(t);
+    for (const Series* s : series) {
+      table.add(t < s->size() ? (*s)[t] : s->back(), 4);
+    }
+  }
+  table.print(os);
+}
+
+}  // namespace ftmao

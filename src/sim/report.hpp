@@ -1,0 +1,33 @@
+#pragma once
+
+// Reporting helpers shared by the experiment binaries: log-spaced
+// iteration grids and aligned series tables. Library code (tested), used
+// by bench/ via bench_util.hpp.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/series.hpp"
+
+namespace ftmao {
+
+/// Standard experiment banner.
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& claim);
+
+/// Roughly log-spaced iteration indices in [1, t_max], strictly
+/// increasing, always ending with t_max. `per_decade` >= 1 controls the
+/// density.
+std::vector<std::size_t> log_spaced(std::size_t t_max,
+                                    std::size_t per_decade = 4);
+
+/// Prints a "t | series..." table sampled at log-spaced rounds. Series
+/// shorter than t_max are padded with their final value.
+void print_series_table(std::ostream& os,
+                        const std::vector<std::string>& series_names,
+                        const std::vector<const Series*>& series,
+                        std::size_t t_max);
+
+}  // namespace ftmao

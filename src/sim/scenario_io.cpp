@@ -1,0 +1,231 @@
+#include "sim/scenario_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "func/spec.hpp"
+
+namespace ftmao {
+
+namespace {
+
+const std::map<AttackKind, std::string>& attack_names() {
+  static const std::map<AttackKind, std::string> names{
+      {AttackKind::None, "none"},
+      {AttackKind::Silent, "silent"},
+      {AttackKind::FixedValue, "fixed"},
+      {AttackKind::SplitBrain, "split-brain"},
+      {AttackKind::HullEdgeUp, "hull-edge-up"},
+      {AttackKind::HullEdgeDown, "hull-edge-down"},
+      {AttackKind::RandomNoise, "noise"},
+      {AttackKind::SignFlip, "sign-flip"},
+      {AttackKind::PullToTarget, "pull"},
+      {AttackKind::FlipFlop, "flip-flop"},
+      {AttackKind::DelayedStrike, "delayed-strike"},
+  };
+  return names;
+}
+
+std::string trim_ws(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<double> parse_number_list(const std::string& value,
+                                      const std::string& line) {
+  std::vector<double> out;
+  std::istringstream is(value);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    token = trim_ws(token);
+    try {
+      std::size_t consumed = 0;
+      out.push_back(std::stod(token, &consumed));
+      if (consumed != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      throw ContractViolation("scenario file: bad number '" + token +
+                              "' in line: " + line);
+    }
+  }
+  return out;
+}
+
+double parse_number(const std::string& value, const std::string& line) {
+  const auto nums = parse_number_list(value, line);
+  if (nums.size() != 1)
+    throw ContractViolation("scenario file: expected one number in: " + line);
+  return nums.front();
+}
+
+}  // namespace
+
+std::string attack_kind_name(AttackKind kind) {
+  return attack_names().at(kind);
+}
+
+AttackKind parse_attack_kind(const std::string& name) {
+  for (const auto& [kind, n] : attack_names()) {
+    if (n == name) return kind;
+  }
+  throw ContractViolation("unknown attack '" + name + "'");
+}
+
+std::string step_kind_name(StepKind kind) {
+  switch (kind) {
+    case StepKind::Harmonic:
+      return "harmonic";
+    case StepKind::Power:
+      return "power";
+    case StepKind::Constant:
+      return "constant";
+  }
+  FTMAO_EXPECTS(false);
+  return {};
+}
+
+StepKind parse_step_kind(const std::string& name) {
+  if (name == "harmonic") return StepKind::Harmonic;
+  if (name == "power") return StepKind::Power;
+  if (name == "constant") return StepKind::Constant;
+  throw ContractViolation("unknown step schedule '" + name + "'");
+}
+
+void save_scenario(const Scenario& scenario, std::ostream& os) {
+  os.precision(17);
+  os << "# ftmao scenario\n";
+  os << "n = " << scenario.n << "\n";
+  os << "f = " << scenario.f << "\n";
+  if (!scenario.faulty.empty()) {
+    os << "faulty = ";
+    for (std::size_t i = 0; i < scenario.faulty.size(); ++i)
+      os << (i ? ", " : "") << scenario.faulty[i];
+    os << "\n";
+  }
+  os << "rounds = " << scenario.rounds << "\n";
+  os << "seed = " << scenario.seed << "\n";
+  os << "attack = " << attack_kind_name(scenario.attack.kind) << "\n";
+  os << "attack.state_magnitude = " << scenario.attack.state_magnitude << "\n";
+  os << "attack.gradient_magnitude = " << scenario.attack.gradient_magnitude
+     << "\n";
+  os << "attack.target = " << scenario.attack.target << "\n";
+  os << "attack.amplification = " << scenario.attack.amplification << "\n";
+  os << "attack.flip_period = " << scenario.attack.flip_period << "\n";
+  os << "attack.activation_round = " << scenario.attack.activation_round << "\n";
+  os << "attack.consistent = " << (scenario.attack.consistent ? "true" : "false")
+     << "\n";
+  os << "step = " << step_kind_name(scenario.step.kind) << "\n";
+  os << "step.scale = " << scenario.step.scale << "\n";
+  os << "step.exponent = " << scenario.step.exponent << "\n";
+  if (scenario.constraint) {
+    os << "constraint = " << scenario.constraint->lo() << ", "
+       << scenario.constraint->hi() << "\n";
+  }
+  os << "default.state = " << scenario.default_payload.state << "\n";
+  os << "default.gradient = " << scenario.default_payload.gradient << "\n";
+  os << "drop_probability = " << scenario.drop_probability << "\n";
+  for (const auto& [who, when] : scenario.crashes)
+    os << "crash = " << who << " @ " << when << "\n";
+  for (std::size_t i = 0; i < scenario.functions.size(); ++i) {
+    // Faulty agents' functions are unused; serialize a placeholder so the
+    // agent order stays intact.
+    if (scenario.functions[i] != nullptr) {
+      os << "function = " << to_spec(*scenario.functions[i]) << "\n";
+    } else {
+      os << "function = huber(0, 1, 1)\n";
+    }
+  }
+  os << "initial = ";
+  for (std::size_t i = 0; i < scenario.initial_states.size(); ++i)
+    os << (i ? ", " : "") << scenario.initial_states[i];
+  os << "\n";
+}
+
+Scenario load_scenario(std::istream& is) {
+  Scenario s;
+  s.functions.clear();
+  std::string raw;
+  while (std::getline(is, raw)) {
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    line = trim_ws(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ContractViolation("scenario file: expected key = value in: " + raw);
+    const std::string key = trim_ws(line.substr(0, eq));
+    const std::string value = trim_ws(line.substr(eq + 1));
+
+    if (key == "n") {
+      s.n = static_cast<std::size_t>(parse_number(value, raw));
+    } else if (key == "f") {
+      s.f = static_cast<std::size_t>(parse_number(value, raw));
+    } else if (key == "faulty") {
+      for (double v : parse_number_list(value, raw))
+        s.faulty.push_back(static_cast<std::size_t>(v));
+    } else if (key == "rounds") {
+      s.rounds = static_cast<std::size_t>(parse_number(value, raw));
+    } else if (key == "seed") {
+      s.seed = static_cast<std::uint64_t>(parse_number(value, raw));
+    } else if (key == "attack") {
+      s.attack.kind = parse_attack_kind(value);
+    } else if (key == "attack.state_magnitude") {
+      s.attack.state_magnitude = parse_number(value, raw);
+    } else if (key == "attack.gradient_magnitude") {
+      s.attack.gradient_magnitude = parse_number(value, raw);
+    } else if (key == "attack.target") {
+      s.attack.target = parse_number(value, raw);
+    } else if (key == "attack.amplification") {
+      s.attack.amplification = parse_number(value, raw);
+    } else if (key == "attack.flip_period") {
+      s.attack.flip_period = static_cast<std::size_t>(parse_number(value, raw));
+    } else if (key == "attack.activation_round") {
+      s.attack.activation_round =
+          static_cast<std::size_t>(parse_number(value, raw));
+    } else if (key == "attack.consistent") {
+      s.attack.consistent = value == "true";
+    } else if (key == "step") {
+      s.step.kind = parse_step_kind(value);
+    } else if (key == "step.scale") {
+      s.step.scale = parse_number(value, raw);
+    } else if (key == "step.exponent") {
+      s.step.exponent = parse_number(value, raw);
+    } else if (key == "constraint") {
+      const auto nums = parse_number_list(value, raw);
+      if (nums.size() != 2)
+        throw ContractViolation("scenario file: constraint needs lo, hi: " + raw);
+      s.constraint = Interval(nums[0], nums[1]);
+    } else if (key == "default.state") {
+      s.default_payload.state = parse_number(value, raw);
+    } else if (key == "default.gradient") {
+      s.default_payload.gradient = parse_number(value, raw);
+    } else if (key == "drop_probability") {
+      s.drop_probability = parse_number(value, raw);
+    } else if (key == "crash") {
+      const auto at = value.find('@');
+      if (at == std::string::npos)
+        throw ContractViolation("scenario file: crash needs 'agent @ round': " +
+                                raw);
+      s.crashes.emplace_back(
+          static_cast<std::size_t>(parse_number(trim_ws(value.substr(0, at)), raw)),
+          static_cast<std::size_t>(
+              parse_number(trim_ws(value.substr(at + 1)), raw)));
+    } else if (key == "function") {
+      s.functions.push_back(parse_function(value));
+    } else if (key == "initial") {
+      s.initial_states = parse_number_list(value, raw);
+    } else {
+      throw ContractViolation("scenario file: unknown key '" + key + "'");
+    }
+  }
+  s.validate();
+  return s;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,38 @@
+#pragma once
+
+// Plain-text scenario files: every knob of a Scenario serialized to a
+// human-editable key = value format, with cost functions in func/spec.hpp
+// syntax. Round-trips exactly; the CLI accepts --scenario <file>.
+//
+//   # seven agents, two split-brain Byzantine
+//   n = 7
+//   f = 2
+//   faulty = 5, 6
+//   rounds = 5000
+//   attack = split-brain
+//   attack.state_magnitude = 100
+//   function = huber(-4, 2, 1)      # one line per agent, in order
+//   ...
+//   initial = -4, -2.67, -1.33, 0, 1.33, 2.67, 4
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+/// Name <-> enum mappings (shared by CLI and scenario files).
+std::string attack_kind_name(AttackKind kind);
+AttackKind parse_attack_kind(const std::string& name);
+std::string step_kind_name(StepKind kind);
+StepKind parse_step_kind(const std::string& name);
+
+/// Writes every field; output is accepted by load_scenario verbatim.
+void save_scenario(const Scenario& scenario, std::ostream& os);
+
+/// Parses a scenario file. Throws ContractViolation with the offending
+/// line on any error. The result is validate()d before returning.
+Scenario load_scenario(std::istream& is);
+
+}  // namespace ftmao

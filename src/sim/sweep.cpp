@@ -1,0 +1,58 @@
+#include "sim/sweep.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario_io.hpp"
+
+namespace ftmao {
+
+void SweepConfig::validate() const {
+  FTMAO_EXPECTS(!sizes.empty());
+  FTMAO_EXPECTS(!attacks.empty());
+  FTMAO_EXPECTS(!seeds.empty());
+  FTMAO_EXPECTS(rounds >= 1);
+  for (const auto& [n, f] : sizes) FTMAO_EXPECTS(n > 3 * f);
+}
+
+std::vector<SweepCell> run_sweep(const SweepConfig& config) {
+  config.validate();
+  std::vector<SweepCell> cells;
+  for (const auto& [n, f] : config.sizes) {
+    for (AttackKind attack : config.attacks) {
+      SweepCell cell;
+      cell.n = n;
+      cell.f = f;
+      cell.attack = attack;
+      std::vector<double> disagreements, dists;
+      for (std::uint64_t seed : config.seeds) {
+        Scenario s = make_standard_scenario(n, f, config.spread, attack,
+                                            config.rounds, seed);
+        s.step = config.step;
+        const RunMetrics m = run_sbg(s);
+        disagreements.push_back(m.final_disagreement());
+        dists.push_back(m.final_max_dist());
+      }
+      cell.disagreement = summarize(disagreements);
+      cell.dist_to_y = summarize(dists);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::string sweep_to_csv(const std::vector<SweepCell>& cells) {
+  std::ostringstream os;
+  os << "n,f,attack,seeds,disagr_median,disagr_max,dist_median,dist_max\n";
+  os.precision(10);
+  for (const SweepCell& c : cells) {
+    os << c.n << ',' << c.f << ',' << attack_kind_name(c.attack) << ','
+       << c.disagreement.count << ',' << c.disagreement.median << ','
+       << c.disagreement.max << ',' << c.dist_to_y.median << ','
+       << c.dist_to_y.max << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ftmao

@@ -1,0 +1,43 @@
+#pragma once
+
+// Structured parameter sweeps: run a scenario family over a cartesian
+// grid of (n, f) x attack x seed and aggregate the headline metrics. The
+// backbone of the `ftmao_sweep` tool and of multi-configuration tables in
+// benches.
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+struct SweepConfig {
+  std::vector<std::pair<std::size_t, std::size_t>> sizes;  ///< (n, f) pairs
+  std::vector<AttackKind> attacks;
+  std::vector<std::uint64_t> seeds;
+  double spread = 8.0;
+  std::size_t rounds = 4000;
+  StepConfig step;
+
+  void validate() const;
+};
+
+/// One grid cell's aggregate over the seeds.
+struct SweepCell {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  AttackKind attack = AttackKind::None;
+  Summary disagreement;  ///< final disagreement across seeds
+  Summary dist_to_y;     ///< final max Dist-to-Y across seeds
+};
+
+/// Runs every (size, attack) cell across all seeds. Deterministic.
+std::vector<SweepCell> run_sweep(const SweepConfig& config);
+
+/// CSV with one row per cell (medians + worst case), suitable for
+/// spreadsheets/plotting.
+std::string sweep_to_csv(const std::vector<SweepCell>& cells);
+
+}  // namespace ftmao

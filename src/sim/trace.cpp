@@ -1,0 +1,72 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+void ExecutionTrace::write_csv(std::ostream& os) const {
+  os << "t";
+  for (std::size_t id : honest_ids) os << ",agent_" << id;
+  os << '\n';
+  for (std::size_t t = 0; t < rounds.size(); ++t) {
+    os << t;
+    for (double x : rounds[t]) os << ',' << x;
+    os << '\n';
+  }
+}
+
+InvariantReport check_sbg_invariants(const ExecutionTrace& trace,
+                                     std::size_t f, double gradient_bound,
+                                     const StepSchedule& schedule,
+                                     double tolerance) {
+  InvariantReport report;
+  FTMAO_EXPECTS(!trace.rounds.empty());
+  const std::size_t m = trace.rounds.front().size();
+  FTMAO_EXPECTS(m > f);
+  const double rho = 1.0 - 1.0 / (2.0 * static_cast<double>(m - f));
+
+  auto fail_at = [&report](std::size_t t, const std::string& what) {
+    std::ostringstream os;
+    os << "round " << t << ": " << what;
+    report.fail(os.str());
+  };
+
+  for (std::size_t t = 1; t < trace.rounds.size(); ++t) {
+    const auto& prev = trace.rounds[t - 1];
+    const auto& cur = trace.rounds[t];
+    FTMAO_EXPECTS(cur.size() == m);
+
+    const auto [p_lo, p_hi] = std::minmax_element(prev.begin(), prev.end());
+    const auto [c_lo, c_hi] = std::minmax_element(cur.begin(), cur.end());
+    const double lambda = schedule.at(t - 1);
+    const double budget = lambda * gradient_bound;
+
+    // I1: hull drift bound.
+    if (*c_lo < *p_lo - budget - tolerance)
+      fail_at(t, "hull escaped low (I1)");
+    if (*c_hi > *p_hi + budget + tolerance)
+      fail_at(t, "hull escaped high (I1)");
+
+    // I2: per-agent step bound beyond the previous hull.
+    for (std::size_t j = 0; j < m; ++j) {
+      const double below = *p_lo - cur[j];
+      const double above = cur[j] - *p_hi;
+      if (std::max(below, above) > budget + tolerance)
+        fail_at(t, "agent moved beyond lambda*L of previous hull (I2)");
+    }
+
+    // I3: contraction inequality (10).
+    const double spread_prev = *p_hi - *p_lo;
+    const double spread_cur = *c_hi - *c_lo;
+    if (spread_cur >
+        rho * spread_prev + 2.0 * gradient_bound * lambda * rho + tolerance)
+      fail_at(t, "disagreement contraction violated (I3)");
+  }
+  return report;
+}
+
+}  // namespace ftmao

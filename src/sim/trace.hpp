@@ -1,0 +1,58 @@
+#pragma once
+
+// Execution traces and theory-derived invariant checking.
+//
+// A trace records every honest agent's state after every round. The
+// invariant checker then verifies, for the WHOLE execution, the three
+// structural facts the convergence proof rests on:
+//
+//   I1 (hull drift, Cor. 1 + Lemma 2): the honest hull at round t is
+//      contained in the round t-1 hull inflated by lambda[t-1] * L;
+//   I2 (per-agent step bound): no agent moves further than
+//      lambda[t-1] * L beyond the previous honest hull;
+//   I3 (contraction, eq. (8)-(10)): M[t] - m[t] <=
+//      rho * (M[t-1] - m[t-1]) + 2 L lambda[t-1] rho, rho = 1 - 1/(2(m-f)).
+//
+// A violation in any round is a bug in the algorithm implementation or an
+// adversary escaping its model — the failure-injection tests assert these
+// hold across every attack.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/series.hpp"
+#include "core/step_size.hpp"
+
+namespace ftmao {
+
+/// Honest states after each round; rounds[0] is the initial condition.
+struct ExecutionTrace {
+  std::vector<std::size_t> honest_ids;        ///< agent indices, in order
+  std::vector<std::vector<double>> rounds;    ///< [t][agent] state
+
+  std::size_t num_rounds() const { return rounds.empty() ? 0 : rounds.size() - 1; }
+
+  /// One row per round, one column per honest agent.
+  void write_csv(std::ostream& os) const;
+};
+
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string why) {
+    ok = false;
+    violations.push_back(std::move(why));
+  }
+};
+
+/// Checks I1-I3 over a full trace. `gradient_bound` is the system-wide L
+/// (max over honest agents); `f` the fault bound; `honest` = m = |N|.
+InvariantReport check_sbg_invariants(const ExecutionTrace& trace,
+                                     std::size_t f,
+                                     double gradient_bound,
+                                     const StepSchedule& schedule,
+                                     double tolerance = 1e-9);
+
+}  // namespace ftmao

@@ -1,0 +1,42 @@
+#pragma once
+
+// The paper's Trim function (Section 4):
+//
+//   Trim(D): sort the multiset D (|D| >= 2f+1), drop the f smallest and f
+//   largest values, and return the midpoint (y_s + y_l)/2 of the extremes
+//   of what remains.
+//
+// Also provides the trimmed mean (a common alternative robust reducer,
+// used in ablations) and the plain mean (crash-model reducer, Section 7).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftmao {
+
+/// Full diagnostic output of one trim: the returned value plus the
+/// surviving extremes (y_s, y_l in the paper).
+struct TrimResult {
+  double value = 0.0;  ///< (y_s + y_l) / 2
+  double y_s = 0.0;    ///< smallest surviving value
+  double y_l = 0.0;    ///< largest surviving value
+};
+
+/// Applies Trim with parameter f. Requires values.size() >= 2f + 1.
+TrimResult trim(std::span<const double> values, std::size_t f);
+
+/// Convenience: just the trimmed midpoint.
+double trim_value(std::span<const double> values, std::size_t f);
+
+/// Mean of the surviving values after dropping f smallest and f largest
+/// (trimmed mean). Requires values.size() >= 2f + 1.
+double trimmed_mean(std::span<const double> values, std::size_t f);
+
+/// Plain arithmetic mean (crash-fault reducer: "no trimming at all").
+double mean(std::span<const double> values);
+
+/// Midpoint of min and max without removal — Trim with f = 0.
+double minmax_midpoint(std::span<const double> values);
+
+}  // namespace ftmao

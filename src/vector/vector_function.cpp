@@ -1,0 +1,172 @@
+#include "vector/vector_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// Scalar Huber pieces shared by the vector types.
+double huber_value(double r, double delta) {
+  const double ar = std::abs(r);
+  if (ar <= delta) return 0.5 * r * r;
+  return delta * (ar - 0.5 * delta);
+}
+
+double huber_slope(double r, double delta) {
+  return std::clamp(r, -delta, delta);
+}
+
+}  // namespace
+
+// --------------------------------------------------------- SeparableHuber
+
+SeparableHuber::SeparableHuber(Vec center, double delta, double scale)
+    : center_(std::move(center)), delta_(delta), scale_(scale) {
+  FTMAO_EXPECTS(center_.dim() >= 1);
+  FTMAO_EXPECTS(delta > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double SeparableHuber::value(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  double v = 0.0;
+  for (std::size_t k = 0; k < dim(); ++k)
+    v += huber_value(x[k] - center_[k], delta_);
+  return scale_ * v;
+}
+
+Vec SeparableHuber::gradient(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  Vec g(dim());
+  for (std::size_t k = 0; k < dim(); ++k)
+    g[k] = scale_ * huber_slope(x[k] - center_[k], delta_);
+  return g;
+}
+
+double SeparableHuber::gradient_bound() const {
+  return scale_ * delta_ * std::sqrt(static_cast<double>(dim()));
+}
+
+// ------------------------------------------------------------ RadialHuber
+
+RadialHuber::RadialHuber(Vec center, double delta, double scale)
+    : center_(std::move(center)), delta_(delta), scale_(scale) {
+  FTMAO_EXPECTS(center_.dim() >= 1);
+  FTMAO_EXPECTS(delta > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+}
+
+double RadialHuber::value(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  return scale_ * huber_value(x.distance_to(center_), delta_);
+}
+
+Vec RadialHuber::gradient(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  Vec diff = x;
+  diff -= center_;
+  const double r = diff.norm2();
+  if (r == 0.0) return Vec(dim(), 0.0);
+  return (scale_ * huber_slope(r, delta_) / r) * diff;
+}
+
+// ------------------------------------------------------- DirectionalHuber
+
+DirectionalHuber::DirectionalHuber(Vec direction, double offset, double delta,
+                                   double scale)
+    : direction_(std::move(direction)),
+      offset_(offset),
+      delta_(delta),
+      scale_(scale) {
+  FTMAO_EXPECTS(direction_.dim() >= 1);
+  FTMAO_EXPECTS(delta > 0.0);
+  FTMAO_EXPECTS(scale > 0.0);
+  const double norm = direction_.norm2();
+  FTMAO_EXPECTS(norm > 0.0);
+  direction_ *= 1.0 / norm;
+}
+
+double DirectionalHuber::value(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  return scale_ * huber_value(direction_.dot(x) - offset_, delta_);
+}
+
+Vec DirectionalHuber::gradient(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  return (scale_ * huber_slope(direction_.dot(x) - offset_, delta_)) *
+         direction_;
+}
+
+Vec DirectionalHuber::a_minimizer() const { return offset_ * direction_; }
+
+// ------------------------------------------------------ VectorWeightedSum
+
+VectorWeightedSum::VectorWeightedSum(std::vector<Term> terms)
+    : terms_(std::move(terms)) {
+  FTMAO_EXPECTS(!terms_.empty());
+  double total = 0.0;
+  for (const auto& t : terms_) {
+    FTMAO_EXPECTS(t.weight >= 0.0);
+    FTMAO_EXPECTS(t.function != nullptr);
+    FTMAO_EXPECTS(t.function->dim() == terms_.front().function->dim());
+    total += t.weight;
+  }
+  FTMAO_EXPECTS(total > 0.0);
+}
+
+std::size_t VectorWeightedSum::dim() const {
+  return terms_.front().function->dim();
+}
+
+double VectorWeightedSum::value(const Vec& x) const {
+  double v = 0.0;
+  for (const auto& t : terms_) v += t.weight * t.function->value(x);
+  return v;
+}
+
+Vec VectorWeightedSum::gradient(const Vec& x) const {
+  Vec g(dim());
+  for (const auto& t : terms_) {
+    Vec gi = t.function->gradient(x);
+    gi *= t.weight;
+    g += gi;
+  }
+  return g;
+}
+
+double VectorWeightedSum::gradient_bound() const {
+  double b = 0.0;
+  for (const auto& t : terms_) b += t.weight * t.function->gradient_bound();
+  return b;
+}
+
+Vec VectorWeightedSum::a_minimizer() const {
+  // Diminishing-step gradient descent from the weighted centroid of the
+  // terms' minimizers; smooth convex objectives make this reliable.
+  Vec x(dim(), 0.0);
+  double total = 0.0;
+  for (const auto& t : terms_) {
+    if (t.weight <= 0.0) continue;
+    Vec mi = t.function->a_minimizer();
+    mi *= t.weight;
+    x += mi;
+    total += t.weight;
+  }
+  x *= 1.0 / total;
+
+  // Polyak-free fallback: scale steps to the inverse gradient bound.
+  const double step0 = 1.0 / std::max(gradient_bound(), 1e-9);
+  for (int t = 1; t <= 20000; ++t) {
+    Vec g = gradient(x);
+    if (g.norm2() < 1e-10) break;
+    g *= step0 * 10.0 / static_cast<double>(t);
+    x -= g;
+  }
+  return x;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,113 @@
+#pragma once
+
+// Admissible cost functions on R^k for the vector extension (the paper's
+// open problem). Admissibility mirrors the scalar definition: convex, C^1,
+// compact argmin, gradient bounded and Lipschitz.
+
+#include <memory>
+
+#include "vector/vec.hpp"
+
+namespace ftmao {
+
+class VectorFunction {
+ public:
+  virtual ~VectorFunction() = default;
+
+  virtual std::size_t dim() const = 0;
+  virtual double value(const Vec& x) const = 0;
+  virtual Vec gradient(const Vec& x) const = 0;
+
+  /// L with ||grad||_2 <= L everywhere.
+  virtual double gradient_bound() const = 0;
+
+  /// Some point in argmin (the argmin need not be a box in general).
+  virtual Vec a_minimizer() const = 0;
+};
+
+using VectorFunctionPtr = std::shared_ptr<const VectorFunction>;
+
+/// Separable sum of per-coordinate Hubers centered at c: the benign case
+/// where coordinate-wise SBG inherits the scalar guarantees coordinate by
+/// coordinate.
+class SeparableHuber final : public VectorFunction {
+ public:
+  SeparableHuber(Vec center, double delta, double scale);
+
+  std::size_t dim() const override { return center_.dim(); }
+  double value(const Vec& x) const override;
+  Vec gradient(const Vec& x) const override;
+  double gradient_bound() const override;
+  Vec a_minimizer() const override { return center_; }
+
+ private:
+  Vec center_;
+  double delta_;
+  double scale_;
+};
+
+/// Huber of the Euclidean distance to a center: h(x) = phi(||x - c||_2).
+/// Rotation-invariant — couples the coordinates, which is exactly what
+/// makes the vector case hard (the set-Y analogue stops being convex).
+class RadialHuber final : public VectorFunction {
+ public:
+  RadialHuber(Vec center, double delta, double scale);
+
+  std::size_t dim() const override { return center_.dim(); }
+  double value(const Vec& x) const override;
+  Vec gradient(const Vec& x) const override;
+  double gradient_bound() const override { return scale_ * delta_; }
+  Vec a_minimizer() const override { return center_; }
+
+ private:
+  Vec center_;
+  double delta_;
+  double scale_;
+};
+
+/// Huber of a linear functional: h(x) = phi(u . x - b) with ||u||_2 = 1.
+/// Its argmin is the whole hyperplane slab {u.x = b} — unbounded, so this
+/// type is NOT admissible alone; it is used in sums with others (the sum's
+/// argmin is compact) and to build coupled objectives.
+class DirectionalHuber final : public VectorFunction {
+ public:
+  DirectionalHuber(Vec direction, double offset, double delta, double scale);
+
+  std::size_t dim() const override { return direction_.dim(); }
+  double value(const Vec& x) const override;
+  Vec gradient(const Vec& x) const override;
+  double gradient_bound() const override { return scale_ * delta_; }
+  /// A point on the minimizing hyperplane.
+  Vec a_minimizer() const override;
+
+ private:
+  Vec direction_;  // unit norm
+  double offset_;
+  double delta_;
+  double scale_;
+};
+
+/// Non-negative weighted sum.
+class VectorWeightedSum final : public VectorFunction {
+ public:
+  struct Term {
+    double weight;
+    VectorFunctionPtr function;
+  };
+  explicit VectorWeightedSum(std::vector<Term> terms);
+
+  std::size_t dim() const override;
+  double value(const Vec& x) const override;
+  Vec gradient(const Vec& x) const override;
+  double gradient_bound() const override;
+
+  /// Numeric: gradient descent with diminishing steps from the centroid of
+  /// the terms' minimizers (adequate for the smooth convex sums used in
+  /// tests/benches).
+  Vec a_minimizer() const override;
+
+ private:
+  std::vector<Term> terms_;
+};
+
+}  // namespace ftmao

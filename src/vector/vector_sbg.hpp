@@ -1,0 +1,118 @@
+#pragma once
+
+// Coordinate-wise SBG for vector arguments — a HEURISTIC for the paper's
+// open problem (Section 7, "Vector arguments"): apply the scalar Trim to
+// each coordinate of the state and gradient multisets independently.
+//
+// Inherited guarantee: consensus per coordinate (each coordinate runs the
+// scalar recursion, so Lemma 3 applies coordinate-wise). NOT inherited:
+// optimality — the coordinate-wise valid set is a box that can contain
+// points that are no valid optimum at all, and the true union-of-optima
+// set Y_k is non-convex for coupled costs (demonstrated in
+// vector_valid.hpp and bench E13).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/series.hpp"
+#include "common/types.hpp"
+#include "core/step_size.hpp"
+#include "net/sync.hpp"
+#include "vector/vec.hpp"
+#include "vector/vector_function.hpp"
+
+namespace ftmao {
+
+struct VecPayload {
+  Vec state;
+  Vec gradient;
+};
+
+struct VectorSbgConfig {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::size_t dim = 0;
+  VecPayload default_payload;  ///< zero vectors of the right dim if empty
+
+  /// Optional per-coordinate box constraint (the Section 6 projection,
+  /// coordinate-wise). Either empty (unconstrained) or one interval per
+  /// coordinate.
+  std::vector<Interval> constraint;
+
+  void validate() const;
+};
+
+class VectorSbgAgent final : public SyncNode<VecPayload> {
+ public:
+  VectorSbgAgent(AgentId id, VectorFunctionPtr cost, Vec initial_state,
+                 const StepSchedule& schedule, const VectorSbgConfig& config);
+
+  VecPayload broadcast(Round t) override;
+  void step(Round t, std::span<const Received<VecPayload>> inbox) override;
+
+  AgentId id() const { return id_; }
+  const Vec& state() const { return state_; }
+
+ private:
+  AgentId id_;
+  VectorFunctionPtr cost_;
+  Vec state_;
+  const StepSchedule* schedule_;
+  VectorSbgConfig config_;
+};
+
+/// Byzantine behaviour for the vector algorithm, mirroring the scalar
+/// strategy interface.
+class VectorAdversary {
+ public:
+  virtual ~VectorAdversary() = default;
+  virtual std::optional<VecPayload> send_to(AgentId self, AgentId recipient,
+                                            const RoundView<VecPayload>& view) = 0;
+};
+
+/// Adapter so VectorAdversary implementations plug into the engine.
+class VectorByzantineNode final : public ByzantineNode<VecPayload> {
+ public:
+  explicit VectorByzantineNode(VectorAdversary& adversary);
+  std::optional<VecPayload> send_to(AgentId self, AgentId recipient,
+                                    const RoundView<VecPayload>& view) override;
+
+ private:
+  VectorAdversary* adversary_;
+};
+
+/// Split-brain in every coordinate: +/-magnitude depending on recipient
+/// parity, alternating sign per coordinate.
+class VectorSplitBrain final : public VectorAdversary {
+ public:
+  VectorSplitBrain(std::size_t dim, double state_magnitude,
+                   double gradient_magnitude);
+  std::optional<VecPayload> send_to(AgentId, AgentId recipient,
+                                    const RoundView<VecPayload>&) override;
+
+ private:
+  std::size_t dim_;
+  double state_magnitude_;
+  double gradient_magnitude_;
+};
+
+struct VectorRunResult {
+  Series disagreement;  ///< L-inf diameter of honest states per round
+  std::vector<Vec> final_states;
+  Vec failure_free_optimum;  ///< argmin of the honest uniform average
+  Series dist_to_average_optimum;  ///< max_j ||x_j - that optimum||
+};
+
+/// Runs coordinate-wise SBG with `byzantine_count` faulty agents driven by
+/// `adversary` (may be null -> silent).
+VectorRunResult run_vector_sbg(const VectorSbgConfig& config,
+                               const std::vector<VectorFunctionPtr>& honest_costs,
+                               const std::vector<Vec>& honest_initial,
+                               std::size_t byzantine_count,
+                               VectorAdversary* adversary,
+                               const StepSchedule& schedule,
+                               std::size_t rounds);
+
+}  // namespace ftmao

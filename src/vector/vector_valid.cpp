@@ -1,0 +1,133 @@
+#include "vector/vector_valid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "lp/simplex.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// Lexicographic subset iterator over gamma-subsets of {0..m-1}.
+bool next_combination(std::vector<std::size_t>& idx, std::size_t m) {
+  const std::size_t gamma = idx.size();
+  std::size_t k = gamma;
+  while (k > 0) {
+    --k;
+    if (idx[k] != k + m - gamma) {
+      ++idx[k];
+      for (std::size_t j = k + 1; j < gamma; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Feasibility: alpha >= 0, sum = 1, |sum alpha_i g_i[d]| <= tol for all d,
+// alpha_i >= beta on the subset.
+bool subset_feasible(const std::vector<Vec>& grads,
+                     const std::vector<std::size_t>& subset, double beta,
+                     double tolerance) {
+  const std::size_t m = grads.size();
+  const std::size_t dim = grads.front().dim();
+  lp::Problem p;
+  p.num_vars = m;
+  p.add(std::vector<double>(m, 1.0), lp::Relation::Eq, 1.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    std::vector<double> row(m);
+    for (std::size_t i = 0; i < m; ++i) row[i] = grads[i][d];
+    p.add(row, lp::Relation::LessEq, tolerance);
+    p.add(std::move(row), lp::Relation::GreaterEq, -tolerance);
+  }
+  for (std::size_t i : subset) {
+    std::vector<double> row(m, 0.0);
+    row[i] = 1.0;
+    p.add(std::move(row), lp::Relation::GreaterEq, beta);
+  }
+  return lp::solve(p).feasible();
+}
+
+}  // namespace
+
+bool is_valid_vector_optimum(const Vec& x,
+                             const std::vector<VectorFunctionPtr>& functions,
+                             std::size_t f, double tolerance) {
+  const std::size_t m = functions.size();
+  FTMAO_EXPECTS(m > 2 * f);
+  const std::size_t gamma = m - f;
+  const double beta = 1.0 / (2.0 * static_cast<double>(gamma));
+
+  std::vector<Vec> grads;
+  grads.reserve(m);
+  for (const auto& fn : functions) grads.push_back(fn->gradient(x));
+
+  std::vector<std::size_t> subset(gamma);
+  std::iota(subset.begin(), subset.end(), 0);
+  do {
+    if (subset_feasible(grads, subset, beta, tolerance)) return true;
+  } while (next_combination(subset, m));
+  return false;
+}
+
+Vec random_valid_optimum(const std::vector<VectorFunctionPtr>& functions,
+                         std::size_t f, Rng& rng) {
+  const std::size_t m = functions.size();
+  FTMAO_EXPECTS(m > 2 * f);
+  const std::size_t gamma = m - f;
+  const double beta = 1.0 / (2.0 * static_cast<double>(gamma));
+
+  // Random gamma-support, beta each, remaining mass spread randomly.
+  std::vector<std::size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = 0; i < gamma; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(m - 1)));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<double> weights(m, 0.0);
+  for (std::size_t i = 0; i < gamma; ++i) weights[perm[i]] = beta;
+  double remaining = 1.0 - static_cast<double>(gamma) * beta;
+  std::vector<double> cuts(gamma);
+  double total = 0.0;
+  for (auto& c : cuts) {
+    c = rng.uniform(0.0, 1.0);
+    total += c;
+  }
+  for (std::size_t i = 0; i < gamma && total > 0.0; ++i)
+    weights[perm[i]] += remaining * cuts[i] / total;
+
+  std::vector<VectorWeightedSum::Term> terms;
+  for (std::size_t i = 0; i < m; ++i)
+    if (weights[i] > 0.0) terms.push_back({weights[i], functions[i]});
+  return VectorWeightedSum(std::move(terms)).a_minimizer();
+}
+
+std::optional<ConvexityCounterexample> find_nonconvexity(
+    const std::vector<VectorFunctionPtr>& functions, std::size_t f, Rng& rng,
+    std::size_t samples, double tolerance) {
+  std::vector<Vec> optima;
+  optima.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s)
+    optima.push_back(random_valid_optimum(functions, f, rng));
+
+  for (std::size_t a = 0; a < optima.size(); ++a) {
+    for (std::size_t b = a + 1; b < optima.size(); ++b) {
+      Vec mid = optima[a] + optima[b];
+      mid *= 0.5;
+      if (optima[a].distance_to(optima[b]) < 0.1) continue;  // too close
+      if (!is_valid_vector_optimum(mid, functions, f, tolerance)) {
+        // Confirm the endpoints really are valid (their construction is
+        // numeric) before certifying the counterexample.
+        if (is_valid_vector_optimum(optima[a], functions, f, 1e-3) &&
+            is_valid_vector_optimum(optima[b], functions, f, 1e-3)) {
+          return ConvexityCounterexample{optima[a], optima[b], mid};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,46 @@
+#pragma once
+
+// The vector analogue of the valid-optima set Y and the machinery to
+// demonstrate the paper's key geometric obstruction: in R^k (k >= 2), Y is
+// NOT convex in general, which is why the scalar convergence proof does
+// not extend (Section 7, "Vector arguments" / Lemma 1 discussion).
+//
+// Membership test: x is a valid optimum iff there exists a
+// (1/(2(m-f)), m-f)-admissible alpha with sum_i alpha_i grad h_i(x) = 0 —
+// an LP feasibility problem over support subsets, solved with src/lp.
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vector/vector_function.hpp"
+
+namespace ftmao {
+
+/// Is `x` an optimum of some valid (admissibly weighted) combination of
+/// the non-faulty costs? Exact subset enumeration (small m only).
+/// `tolerance` bounds ||sum alpha_i grad_i||_inf.
+bool is_valid_vector_optimum(const Vec& x,
+                             const std::vector<VectorFunctionPtr>& functions,
+                             std::size_t f, double tolerance = 1e-6);
+
+/// Minimizer of a random admissible combination (gamma-support weights as
+/// in ValidFamily::random_admissible_weights).
+Vec random_valid_optimum(const std::vector<VectorFunctionPtr>& functions,
+                         std::size_t f, Rng& rng);
+
+struct ConvexityCounterexample {
+  Vec a;         ///< valid optimum
+  Vec b;         ///< valid optimum
+  Vec midpoint;  ///< (a+b)/2, NOT a valid optimum
+};
+
+/// Searches for two valid optima whose midpoint fails the membership test
+/// — a certificate that the vector Y is non-convex. Returns nullopt if
+/// `samples` random pairs all have valid midpoints (e.g. for separable
+/// costs, where Y is a box).
+std::optional<ConvexityCounterexample> find_nonconvexity(
+    const std::vector<VectorFunctionPtr>& functions, std::size_t f, Rng& rng,
+    std::size_t samples = 200, double tolerance = 1e-5);
+
+}  // namespace ftmao

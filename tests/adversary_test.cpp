@@ -1,0 +1,209 @@
+// Tests for the Byzantine strategy implementations: each attack's payload
+// shape, determinism, and its observed interaction with the round view.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "baseline/consistent.hpp"
+#include "common/rng.hpp"
+
+namespace ftmao {
+namespace {
+
+std::vector<Received<SbgPayload>> honest_msgs(
+    std::initializer_list<std::pair<std::uint32_t, SbgPayload>> items) {
+  std::vector<Received<SbgPayload>> out;
+  for (const auto& [id, payload] : items) out.push_back({AgentId{id}, payload});
+  return out;
+}
+
+TEST(Silent, AlwaysOmits) {
+  SilentAdversary adv;
+  const auto msgs = honest_msgs({{0, {1.0, 1.0}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  EXPECT_FALSE(adv.send_to(AgentId{9}, AgentId{0}, view).has_value());
+}
+
+TEST(FixedValue, AlwaysSendsSamePayload) {
+  FixedValueAdversary adv(SbgPayload{4.0, -2.0});
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const auto p = adv.send_to(AgentId{9}, AgentId{r}, view);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_DOUBLE_EQ(p->state, 4.0);
+    EXPECT_DOUBLE_EQ(p->gradient, -2.0);
+  }
+}
+
+TEST(SplitBrain, ParityDeterminesSign) {
+  SplitBrainAdversary adv(10.0, 2.0);
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  const auto even = adv.send_to(AgentId{9}, AgentId{2}, view);
+  const auto odd = adv.send_to(AgentId{9}, AgentId{3}, view);
+  ASSERT_TRUE(even && odd);
+  EXPECT_DOUBLE_EQ(even->state, 10.0);
+  EXPECT_DOUBLE_EQ(odd->state, -10.0);
+  EXPECT_DOUBLE_EQ(even->gradient, 2.0);
+  EXPECT_DOUBLE_EQ(odd->gradient, -2.0);
+}
+
+TEST(HullEdge, TracksHonestExtremes) {
+  HullEdgeAdversary up(/*push_up=*/true);
+  HullEdgeAdversary down(/*push_up=*/false);
+  const auto msgs =
+      honest_msgs({{0, {1.0, -3.0}}, {1, {5.0, 2.0}}, {2, {-2.0, 0.5}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  // push_up: max state with MIN gradient (both bias the update upward).
+  const auto hi = up.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(hi);
+  EXPECT_DOUBLE_EQ(hi->state, 5.0);
+  EXPECT_DOUBLE_EQ(hi->gradient, -3.0);
+  const auto lo = down.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(lo);
+  EXPECT_DOUBLE_EQ(lo->state, -2.0);
+  EXPECT_DOUBLE_EQ(lo->gradient, 2.0);
+}
+
+TEST(HullEdge, StaysInsideHonestRangeByConstruction) {
+  // The attack value always equals an honest value, so trimming can never
+  // prove it faulty — yet it maximally biases the reduce.
+  HullEdgeAdversary adv(true);
+  const auto msgs = honest_msgs({{0, {1.0, 0.0}}, {1, {2.0, 0.0}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  const auto p = adv.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(p);
+  EXPECT_GE(p->state, 1.0);
+  EXPECT_LE(p->state, 2.0);
+}
+
+TEST(HullEdge, OmitsWithNoObservations) {
+  HullEdgeAdversary adv(true);
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  EXPECT_FALSE(adv.send_to(AgentId{9}, AgentId{0}, view).has_value());
+}
+
+TEST(RandomNoise, DeterministicPerSeedAndBounded) {
+  RandomNoiseAdversary a(Rng(3), 5.0, 1.0);
+  RandomNoiseAdversary b(Rng(3), 5.0, 1.0);
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = a.send_to(AgentId{9}, AgentId{0}, view);
+    const auto pb = b.send_to(AgentId{9}, AgentId{0}, view);
+    ASSERT_TRUE(pa && pb);
+    EXPECT_DOUBLE_EQ(pa->state, pb->state);
+    EXPECT_LE(std::abs(pa->state), 5.0);
+    EXPECT_LE(std::abs(pa->gradient), 1.0);
+  }
+}
+
+TEST(SignFlip, InvertsAndAmplifiesMeanGradient) {
+  SignFlipAdversary adv(3.0);
+  const auto msgs = honest_msgs({{0, {0.0, 1.0}}, {1, {2.0, 3.0}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  const auto p = adv.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->gradient, -3.0 * 2.0);  // mean gradient = 2
+  // state = median of {0, 2} (upper median) = 2
+  EXPECT_DOUBLE_EQ(p->state, 2.0);
+}
+
+TEST(PullToTarget, PointsGradientTowardTarget) {
+  PullToTargetAdversary adv(-10.0, 5.0);
+  const auto msgs = honest_msgs({{0, {0.0, 0.0}}, {1, {2.0, 0.0}}, {2, {4.0, 0.0}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  const auto p = adv.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->state, -10.0);
+  EXPECT_DOUBLE_EQ(p->gradient, 5.0);  // median 2 > target: push down
+}
+
+TEST(PullToTarget, FlipsWhenMedianBelowTarget) {
+  PullToTargetAdversary adv(10.0, 5.0);
+  const auto msgs = honest_msgs({{0, {0.0, 0.0}}});
+  const RoundView<SbgPayload> view{Round{1}, msgs};
+  const auto p = adv.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->gradient, -5.0);
+}
+
+TEST(DelayedActivation, MimicsHonestThenStrikes) {
+  PullToTargetAdversary late(-100.0, 5.0);
+  DelayedActivationAdversary adv(Round{10}, late);
+  const auto msgs = honest_msgs({{0, {1.0, 0.5}}, {1, {3.0, 1.5}}});
+  const RoundView<SbgPayload> dormant{Round{5}, msgs};
+  const auto p1 = adv.send_to(AgentId{9}, AgentId{0}, dormant);
+  ASSERT_TRUE(p1);
+  EXPECT_DOUBLE_EQ(p1->state, 3.0);     // upper median of honest states
+  EXPECT_DOUBLE_EQ(p1->gradient, 1.5);  // upper median of honest gradients
+  const RoundView<SbgPayload> active{Round{10}, msgs};
+  const auto p2 = adv.send_to(AgentId{9}, AgentId{0}, active);
+  ASSERT_TRUE(p2);
+  EXPECT_DOUBLE_EQ(p2->state, -100.0);  // now pulling to target
+}
+
+TEST(DelayedActivation, OwningConstructorWorks) {
+  DelayedActivationAdversary adv(
+      Round{1}, std::make_unique<PullToTargetAdversary>(7.0, 1.0));
+  const auto msgs = honest_msgs({{0, {0.0, 0.0}}});
+  const RoundView<SbgPayload> view{Round{3}, msgs};
+  const auto p = adv.send_to(AgentId{9}, AgentId{0}, view);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->state, 7.0);
+}
+
+TEST(FlipFlopAttack, AlternatesDirectionByPeriod) {
+  FlipFlopAdversary adv(2);
+  const auto msgs = honest_msgs({{0, {1.0, -1.0}}, {1, {5.0, 2.0}}});
+  // rounds 0,1 -> high phase; rounds 2,3 -> low phase (period 2).
+  const auto hi = adv.send_to(AgentId{9}, AgentId{0}, {Round{1}, msgs});
+  const auto lo = adv.send_to(AgentId{9}, AgentId{0}, {Round{2}, msgs});
+  ASSERT_TRUE(hi && lo);
+  EXPECT_DOUBLE_EQ(hi->state, 5.0);
+  EXPECT_DOUBLE_EQ(hi->gradient, -1.0);  // min gradient drags upward
+  EXPECT_DOUBLE_EQ(lo->state, 1.0);
+  EXPECT_DOUBLE_EQ(lo->gradient, 2.0);
+}
+
+// ----------------------------------------------------- ConsistentWrapper
+
+TEST(ConsistentWrapper, ForcesIdenticalPayloadsWithinRound) {
+  SplitBrainAdversary inner(10.0, 2.0);
+  ConsistentWrapper wrapped(inner);
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  const auto p0 = wrapped.send_to(AgentId{9}, AgentId{0}, view);
+  const auto p1 = wrapped.send_to(AgentId{9}, AgentId{1}, view);
+  ASSERT_TRUE(p0 && p1);
+  EXPECT_DOUBLE_EQ(p0->state, p1->state);  // split-brain neutralized
+  EXPECT_DOUBLE_EQ(p0->gradient, p1->gradient);
+}
+
+TEST(ConsistentWrapper, RefreshesAcrossRounds) {
+  // An adversary whose payload depends on the round would be frozen within
+  // a round but must be re-queried on the next round.
+  class RoundEcho final : public SbgAdversary {
+   public:
+    std::optional<SbgPayload> send_to(AgentId, AgentId,
+                                      const RoundView<SbgPayload>& view) override {
+      return SbgPayload{static_cast<double>(view.round.value), 0.0};
+    }
+  };
+  RoundEcho inner;
+  ConsistentWrapper wrapped(inner);
+  const RoundView<SbgPayload> v1{Round{1}, {}};
+  const RoundView<SbgPayload> v2{Round{2}, {}};
+  EXPECT_DOUBLE_EQ(wrapped.send_to(AgentId{9}, AgentId{0}, v1)->state, 1.0);
+  EXPECT_DOUBLE_EQ(wrapped.send_to(AgentId{9}, AgentId{1}, v1)->state, 1.0);
+  EXPECT_DOUBLE_EQ(wrapped.send_to(AgentId{9}, AgentId{0}, v2)->state, 2.0);
+}
+
+TEST(ConsistentWrapper, PreservesOmissions) {
+  SilentAdversary inner;
+  ConsistentWrapper wrapped(inner);
+  const RoundView<SbgPayload> view{Round{1}, {}};
+  EXPECT_FALSE(wrapped.send_to(AgentId{9}, AgentId{0}, view).has_value());
+}
+
+}  // namespace
+}  // namespace ftmao

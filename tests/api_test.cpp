@@ -1,0 +1,49 @@
+// API smoke test: the umbrella header compiles standalone and the
+// README's quickstart snippet works verbatim.
+
+#include <gtest/gtest.h>
+
+#include "ftmao.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(Api, ReadmeQuickstartWorksVerbatim) {
+  Scenario s = make_standard_scenario(/*n=*/7, /*f=*/2, /*spread=*/8.0,
+                                      AttackKind::SplitBrain, /*rounds=*/5000);
+  RunMetrics m = run_sbg(s);
+
+  EXPECT_GT(m.optima.length(), 0.0);
+  EXPECT_LT(m.final_disagreement(), 0.05);
+  EXPECT_LT(m.final_max_dist(), 0.1);
+}
+
+TEST(Api, OneTypeFromEveryModuleIsReachable) {
+  // A compile-and-touch pass over the breadth of the API.
+  const Interval iv(0.0, 1.0);
+  Rng rng(1);
+  const Huber h(0.0, 1.0, 1.0);
+  const auto parsed = parse_function("huber(0, 1, 1)");
+  const std::vector<double> vals{1.0, 2.0, 3.0};
+  const double trimmed = trim_value(vals, 1);
+  const HarmonicStep schedule;
+  const Topology topo = make_complete(4);
+  const Vec v{1.0, 2.0};
+  lp::Problem lp_problem;
+  lp_problem.num_vars = 1;
+  lp_problem.add({1.0}, lp::Relation::LessEq, 1.0);
+
+  EXPECT_TRUE(iv.contains(0.5));
+  EXPECT_NE(parsed, nullptr);
+  EXPECT_DOUBLE_EQ(trimmed, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.at(2), 0.5);
+  EXPECT_TRUE(topo.is_complete());
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 2.0);
+  EXPECT_EQ(lp::solve(lp_problem).status, lp::Status::Optimal);
+  EXPECT_DOUBLE_EQ(contraction_factor(5, 2), 1.0 - 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.value(0.0), 0.0);
+  EXPECT_GT(rng.uniform(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,71 @@
+// Tests for the strongest-attack search utility.
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "sim/attack_search.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(AttackGrid, NonEmptyAndNamed) {
+  const auto grid = standard_attack_grid();
+  EXPECT_GE(grid.size(), 15u);
+  for (const auto& c : grid) EXPECT_FALSE(c.name.empty());
+}
+
+TEST(AttackSearch, OutcomesSortedByBias) {
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 800);
+  const auto result = find_strongest_attack(base, standard_attack_grid());
+  ASSERT_FALSE(result.outcomes.empty());
+  for (std::size_t i = 1; i < result.outcomes.size(); ++i)
+    EXPECT_GE(result.outcomes[i - 1].bias, result.outcomes[i].bias);
+  EXPECT_DOUBLE_EQ(result.strongest().bias, result.outcomes.front().bias);
+}
+
+TEST(AttackSearch, NoAttackEverLeavesY) {
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 2000);
+  const auto result = find_strongest_attack(base, standard_attack_grid());
+  for (const auto& o : result.outcomes) {
+    EXPECT_LT(o.dist_to_y, 0.1) << o.name;
+  }
+}
+
+TEST(AttackSearch, BiasBoundedByYGeometry) {
+  // No attack can displace the answer further than the reference's
+  // distance to the far end of Y.
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 2000);
+  const auto result = find_strongest_attack(base, standard_attack_grid());
+  const double cap =
+      std::max(result.reference_state - result.optima.lo(),
+               result.optima.hi() - result.reference_state) +
+      0.1;
+  for (const auto& o : result.outcomes) EXPECT_LE(o.bias, cap) << o.name;
+}
+
+TEST(AttackSearch, SilentIsWeakerThanPull) {
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 1500);
+  std::vector<AttackCandidate> candidates;
+  {
+    AttackCandidate silent;
+    silent.name = "silent";
+    silent.config.kind = AttackKind::Silent;
+    candidates.push_back(silent);
+    AttackCandidate pull;
+    pull.name = "pull";
+    pull.config.kind = AttackKind::PullToTarget;
+    pull.config.target = 100.0;
+    pull.config.gradient_magnitude = 10.0;
+    candidates.push_back(pull);
+  }
+  const auto result = find_strongest_attack(base, candidates);
+  EXPECT_EQ(result.strongest().name, "pull");
+}
+
+TEST(AttackSearch, EmptyCandidatesRejected) {
+  Scenario base = make_standard_scenario(7, 2, 8.0, AttackKind::None, 10);
+  EXPECT_THROW(find_strongest_attack(base, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

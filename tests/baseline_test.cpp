@@ -1,0 +1,148 @@
+// Tests for the baselines: fault-oblivious DGD (correct without faults,
+// broken with them), local-only GD, and behaviour under the consistent
+// (reliable-broadcast) wrapper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baseline/dgd.hpp"
+#include "baseline/local_gd.hpp"
+#include "common/contracts.hpp"
+#include "func/combination.hpp"
+#include "func/functions.hpp"
+#include "func/library.hpp"
+#include "net/sync.hpp"
+#include "sim/runner.hpp"
+
+namespace ftmao {
+namespace {
+
+ScalarFunctionPtr huber_at(double center) {
+  return std::make_shared<Huber>(center, 5.0, 1.0);
+}
+
+// ------------------------------------------------------------- unit level
+
+TEST(DgdAgent, AveragesStatesAndGradients) {
+  const HarmonicStep schedule;  // lambda[0] = 1
+  DgdAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, 3);
+  std::vector<Received<SbgPayload>> inbox{
+      {AgentId{1}, {3.0, 1.0}},
+      {AgentId{2}, {6.0, 2.0}},
+  };
+  // own (0, h'(0)=0): mean state 3, mean gradient 1 -> 3 - 1 = 2.
+  agent.step(Round{1}, inbox);
+  EXPECT_DOUBLE_EQ(agent.state(), 2.0);
+}
+
+TEST(DgdAgent, MissingTuplesUseDefault) {
+  const HarmonicStep schedule;
+  DgdAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, 3,
+                 SbgPayload{9.0, 0.0});
+  agent.step(Round{1}, {});  // two defaults: states {0, 9, 9} -> mean 6
+  EXPECT_DOUBLE_EQ(agent.state(), 6.0);
+}
+
+TEST(LocalGdAgent, IgnoresInboxEntirely) {
+  const HarmonicStep schedule;
+  LocalGdAgent agent(AgentId{0}, huber_at(2.0), 0.0, schedule);
+  std::vector<Received<SbgPayload>> junk{{AgentId{1}, {1e9, 1e9}}};
+  agent.step(Round{1}, junk);
+  // h'(0) = -2 (huber delta 5): 0 - 1*(-2) = 2.
+  EXPECT_DOUBLE_EQ(agent.state(), 2.0);
+}
+
+TEST(LocalGdAgent, ConvergesToOwnOptimum) {
+  const HarmonicStep schedule;
+  LocalGdAgent agent(AgentId{0}, huber_at(3.0), -10.0, schedule);
+  for (std::uint32_t t = 1; t <= 3000; ++t) agent.step(Round{t}, {});
+  EXPECT_NEAR(agent.state(), 3.0, 0.01);
+}
+
+// --------------------------------------------------------- scenario level
+
+TEST(Dgd, FaultFreeConvergesToUniformAverageOptimum) {
+  Scenario s = make_standard_scenario(7, 0, 8.0, AttackKind::None, 12000);
+  s.faulty.clear();
+  const RunMetrics metrics = run_dgd(s);
+  // The uniform average over all 7 functions is the true objective here.
+  const WeightedSum avg = uniform_average(s.functions);
+  for (double x : metrics.final_states)
+    EXPECT_NEAR(avg.argmin().distance_to(x), 0.0, 0.1);
+  EXPECT_LT(metrics.final_disagreement(), 0.01);
+}
+
+TEST(Dgd, SingleByzantineDrivesItFar) {
+  // A single attacker that anchors its reported state at its target and
+  // poisons gradients toward it drags fault-oblivious averaging out of
+  // the honest optima hull entirely.
+  Scenario s = make_standard_scenario(7, 1, 8.0, AttackKind::FixedValue, 2000);
+  s.attack.state_magnitude = 100.0;   // reported state far away
+  s.attack.gradient_magnitude = -10.0;  // negative gradient pushes up too
+  const RunMetrics metrics = run_dgd(s);
+  // Hull of honest optima is within [-4, 4]; DGD is dragged well out.
+  double max_abs = 0.0;
+  for (double x : metrics.final_states) max_abs = std::max(max_abs, std::abs(x));
+  EXPECT_GT(max_abs, 10.0);
+}
+
+TEST(Dgd, GradientPoisonWithHonestLookingStateSelfAnchors) {
+  // Notable dynamics: a gradient-only poison (attacker reports state 0)
+  // does NOT break averaging with diminishing steps — the attacker's own
+  // state report anchors the average back. This is why real attacks must
+  // also lie about states, and why the robust literature focuses on
+  // coordinated attacks.
+  Scenario s = make_standard_scenario(7, 1, 8.0, AttackKind::FixedValue, 2000);
+  s.attack.state_magnitude = 0.0;
+  s.attack.gradient_magnitude = 50.0;
+  const RunMetrics metrics = run_dgd(s);
+  double max_abs = 0.0;
+  for (double x : metrics.final_states) max_abs = std::max(max_abs, std::abs(x));
+  EXPECT_LT(max_abs, 5.0);
+}
+
+TEST(Dgd, SbgResistsWhereDgdFails) {
+  Scenario s = make_standard_scenario(7, 1, 8.0, AttackKind::PullToTarget, 3000);
+  s.attack.target = -50.0;
+  s.attack.gradient_magnitude = 10.0;
+  const RunMetrics sbg = run_sbg(s);
+  const RunMetrics dgd = run_dgd(s);
+  EXPECT_LT(sbg.final_max_dist(), 0.2);
+  EXPECT_GT(dgd.final_max_dist(), 5.0);
+}
+
+TEST(LocalGd, ConvergesToLocalOptimaNotConsensus) {
+  Scenario s = make_standard_scenario(7, 0, 8.0, AttackKind::None, 3000);
+  s.faulty.clear();
+  const RunMetrics metrics = run_local_gd(s);
+  // Each agent sits near its own optimum: disagreement ~ spread.
+  EXPECT_GT(metrics.final_disagreement(), 6.0);
+  for (std::size_t i = 0; i < metrics.final_states.size(); ++i) {
+    EXPECT_NEAR(
+        s.functions[i]->argmin().distance_to(metrics.final_states[i]), 0.0,
+        0.05);
+  }
+}
+
+TEST(Consistent, ReliableBroadcastTamesSplitBrain) {
+  // Same attack, with and without the reliable-broadcast wrapper. Under
+  // the wrapper the Byzantine agent cannot equivocate; honest trajectories
+  // settle (difference between consecutive tail iterates shrinks).
+  Scenario s = make_standard_scenario(7, 2, 8.0, AttackKind::SplitBrain, 3000);
+  s.attack.state_magnitude = 50.0;
+  s.attack.gradient_magnitude = 5.0;
+  Scenario consistent = s;
+  consistent.attack.consistent = true;
+
+  const RunMetrics plain = run_sbg(s);
+  const RunMetrics wrapped = run_sbg(consistent);
+  // Both satisfy Theorem 2.
+  EXPECT_LT(plain.final_max_dist(), 0.3);
+  EXPECT_LT(wrapped.final_max_dist(), 0.3);
+  EXPECT_LT(wrapped.final_disagreement(), plain.final_disagreement() + 1e-6);
+}
+
+}  // namespace
+}  // namespace ftmao

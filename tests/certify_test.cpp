@@ -1,0 +1,58 @@
+// Tests for the certification barrage.
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "sim/certify.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(Certify, StandardSystemPasses) {
+  CertifyOptions options;
+  options.rounds = 1500;
+  const CertificationReport report = certify_sbg(options);
+  EXPECT_TRUE(report.passed);
+  ASSERT_EQ(report.checks.size(), 6u);
+  for (const auto& check : report.checks)
+    EXPECT_TRUE(check.passed) << check.name << ": " << check.detail;
+}
+
+TEST(Certify, TightResilienceBoundPasses) {
+  CertifyOptions options;
+  options.n = 4;
+  options.f = 1;
+  options.rounds = 2000;
+  const CertificationReport report = certify_sbg(options);
+  EXPECT_TRUE(report.passed);
+}
+
+TEST(Certify, UnreasonableEpsilonFails) {
+  CertifyOptions options;
+  options.rounds = 50;            // far too short...
+  options.consensus_eps = 1e-12;  // ...for an absurd acceptance threshold
+  const CertificationReport report = certify_sbg(options);
+  EXPECT_FALSE(report.passed);
+  // Specifically the consensus check must be the failure.
+  EXPECT_FALSE(report.checks.front().passed);
+}
+
+TEST(Certify, RejectsBadResilience) {
+  CertifyOptions options;
+  options.n = 6;
+  options.f = 2;
+  EXPECT_THROW(certify_sbg(options), ContractViolation);
+}
+
+TEST(Certify, Deterministic) {
+  CertifyOptions options;
+  options.rounds = 500;
+  const auto a = certify_sbg(options);
+  const auto b = certify_sbg(options);
+  ASSERT_EQ(a.checks.size(), b.checks.size());
+  for (std::size_t i = 0; i < a.checks.size(); ++i)
+    EXPECT_EQ(a.checks[i].detail, b.checks[i].detail);
+}
+
+}  // namespace
+}  // namespace ftmao

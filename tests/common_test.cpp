@@ -1,0 +1,302 @@
+// Unit tests for src/common: contracts, ids, intervals, rng, series, table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "common/series.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace ftmao {
+namespace {
+
+// ------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(FTMAO_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(FTMAO_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(FTMAO_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+  try {
+    FTMAO_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------------- types
+
+TEST(Types, AgentIdComparesByValue) {
+  EXPECT_EQ(AgentId{3}, AgentId{3});
+  EXPECT_NE(AgentId{3}, AgentId{4});
+  EXPECT_LT(AgentId{3}, AgentId{4});
+}
+
+TEST(Types, RoundNextIncrements) {
+  EXPECT_EQ(Round{5}.next(), Round{6});
+  EXPECT_LT(Round{5}, Round{6});
+}
+
+TEST(Types, AgentIdHashable) {
+  EXPECT_EQ(std::hash<AgentId>{}(AgentId{7}), std::hash<AgentId>{}(AgentId{7}));
+}
+
+// -------------------------------------------------------------- interval
+
+TEST(Interval, PointInterval) {
+  const Interval p(2.5);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_EQ(p.lo(), 2.5);
+  EXPECT_EQ(p.hi(), 2.5);
+  EXPECT_EQ(p.length(), 0.0);
+}
+
+TEST(Interval, RejectsInvertedBounds) {
+  EXPECT_THROW(Interval(1.0, 0.0), ContractViolation);
+}
+
+TEST(Interval, ContainsAndDistance) {
+  const Interval iv(-1.0, 2.0);
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(-1.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(2.1));
+  EXPECT_DOUBLE_EQ(iv.distance_to(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(iv.distance_to(-3.0), 2.0);
+  EXPECT_DOUBLE_EQ(iv.distance_to(5.0), 3.0);
+}
+
+TEST(Interval, ProjectClamps) {
+  const Interval iv(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(iv.project(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(iv.project(0.4), 0.4);
+  EXPECT_DOUBLE_EQ(iv.project(9.0), 1.0);
+}
+
+TEST(Interval, HullAndInflate) {
+  const Interval a(0.0, 1.0);
+  const Interval b(3.0, 4.0);
+  EXPECT_EQ(a.hull(b), Interval(0.0, 4.0));
+  EXPECT_EQ(a.inflate(0.5), Interval(-0.5, 1.5));
+  EXPECT_THROW(a.inflate(-0.1), ContractViolation);
+}
+
+TEST(Interval, ContainsInterval) {
+  EXPECT_TRUE(Interval(0.0, 10.0).contains(Interval(2.0, 3.0)));
+  EXPECT_FALSE(Interval(0.0, 10.0).contains(Interval(2.0, 11.0)));
+}
+
+TEST(Interval, MidpointCentered) {
+  EXPECT_DOUBLE_EQ(Interval(-2.0, 4.0).midpoint(), 1.0);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i)
+    any_diff |= a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SubstreamsIndependentOfDrawOrder) {
+  Rng a(7);
+  Rng b(7);
+  a.uniform(0.0, 1.0);  // perturb a's main stream only
+  Rng sub_a = a.substream("tag", 3);
+  Rng sub_b = b.substream("tag", 3);
+  EXPECT_EQ(sub_a.uniform(0.0, 1.0), sub_b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, SubstreamsDifferByTagAndIndex) {
+  Rng base(7);
+  EXPECT_NE(base.substream("x", 0).uniform(0.0, 1.0),
+            base.substream("y", 0).uniform(0.0, 1.0));
+  EXPECT_NE(base.substream("x", 0).uniform(0.0, 1.0),
+            base.substream("x", 1).uniform(0.0, 1.0));
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, InvalidArgsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Mix64, AvalanchesSingleBit) {
+  // Flipping one input bit should change many output bits.
+  const std::uint64_t a = mix64(0x1234);
+  const std::uint64_t b = mix64(0x1235);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+// ---------------------------------------------------------------- series
+
+TEST(Series, PushAndAccess) {
+  Series s;
+  EXPECT_TRUE(s.empty());
+  s.push(1.0);
+  s.push(2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 1.0);
+  EXPECT_EQ(s.back(), 2.0);
+}
+
+TEST(Series, TailStats) {
+  Series s({5.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.tail_max(2), 3.0);
+  EXPECT_DOUBLE_EQ(s.tail_mean(2), 2.5);
+  EXPECT_DOUBLE_EQ(s.tail_max(100), 5.0);  // clamped to size
+}
+
+TEST(Series, LogLogSlopeRecoversPowerLaw) {
+  Series s;
+  s.push(0.0);  // index 0 unused by the fit
+  for (int t = 1; t <= 2000; ++t)
+    s.push(3.0 / static_cast<double>(t));  // exactly 1/t decay
+  EXPECT_NEAR(fit_log_log_slope(s, 10), -1.0, 1e-6);
+}
+
+TEST(Series, LogLogSlopeRecoversSqrtLaw) {
+  Series s;
+  s.push(0.0);
+  for (int t = 1; t <= 2000; ++t) s.push(1.0 / std::sqrt(t));
+  EXPECT_NEAR(fit_log_log_slope(s, 10), -0.5, 1e-6);
+}
+
+TEST(Series, LogLogSlopeSkipsZeros) {
+  Series s;
+  s.push(0.0);
+  for (int t = 1; t <= 100; ++t) s.push(t % 7 == 0 ? 0.0 : 1.0 / t);
+  EXPECT_NEAR(fit_log_log_slope(s, 5), -1.0, 1e-6);
+}
+
+TEST(Series, SettledBelowFindsStablePrefix) {
+  // Dips below then pops back out: only the final descent counts.
+  Series s({5.0, 0.5, 3.0, 0.9, 0.4, 0.2});
+  EXPECT_EQ(s.settled_below(1.0), 3u);
+  EXPECT_EQ(s.settled_below(0.45), 4u);
+  EXPECT_EQ(s.settled_below(0.1), s.size());  // never settles
+  EXPECT_EQ(s.settled_below(100.0), 0u);      // settled from the start
+}
+
+TEST(Series, WeightedPartialSums) {
+  Series s({1.0, 2.0, 3.0});
+  const std::vector<double> w{1.0, 0.5, 2.0};
+  const auto sums = weighted_partial_sums(s, w);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 2.0);
+  EXPECT_DOUBLE_EQ(sums[2], 8.0);
+}
+
+TEST(Series, WeightedPartialSumsSizeMismatchThrows) {
+  Series s({1.0});
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(weighted_partial_sums(s, w), ContractViolation);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5);
+  t.row().add("beta").add(std::size_t{7});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.row().add("x").add(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n");
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), ContractViolation);
+}
+
+TEST(Table, IncompletePreviousRowThrows) {
+  Table t({"a", "b"});
+  t.row().add("x");
+  EXPECT_THROW(t.row(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,241 @@
+// Tests for the consensus substrate: EIG Byzantine broadcast (validity +
+// agreement under sender equivocation and chaotic relays) and iterative
+// approximate consensus (validity + exponential contraction).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "consensus/eig.hpp"
+#include "consensus/iterative.hpp"
+
+namespace ftmao {
+namespace {
+
+// ---------------------------------------------------------------- EIG
+
+EigConfig eig_config(std::size_t n, std::size_t f, double def = -999.0) {
+  EigConfig c;
+  c.n = n;
+  c.f = f;
+  c.default_value = def;
+  return c;
+}
+
+std::vector<double> all_honest_decisions(const EigInstance& instance,
+                                         const std::vector<EigAttack*>& attacks) {
+  std::vector<double> out;
+  for (std::uint32_t i = 0; i < attacks.size(); ++i)
+    if (attacks[i] == nullptr) out.push_back(instance.decision(AgentId{i}));
+  return out;
+}
+
+TEST(Eig, HonestSenderValidity) {
+  // No faults at all: everyone decides the sender's value.
+  const std::vector<EigAttack*> attacks(4, nullptr);
+  EigInstance instance(eig_config(4, 1), AgentId{2}, attacks);
+  instance.run(3.25);
+  for (double d : all_honest_decisions(instance, attacks))
+    EXPECT_DOUBLE_EQ(d, 3.25);
+}
+
+TEST(Eig, HonestSenderValidityDespiteFaultyRelayer) {
+  // The sender is honest; one chaotic relayer cannot change the decision.
+  EigChaoticRelay chaos(100.0);
+  std::vector<EigAttack*> attacks(4, nullptr);
+  attacks[3] = &chaos;
+  EigInstance instance(eig_config(4, 1), AgentId{0}, attacks);
+  instance.run(-1.5);
+  for (double d : all_honest_decisions(instance, attacks))
+    EXPECT_DOUBLE_EQ(d, -1.5);
+}
+
+TEST(Eig, EquivocatingSenderStillYieldsAgreement) {
+  EigEquivocateSender equiv(42.0);
+  std::vector<EigAttack*> attacks(4, nullptr);
+  attacks[1] = &equiv;
+  EigInstance instance(eig_config(4, 1), AgentId{1}, attacks);
+  instance.run(0.0);
+  const auto decisions = all_honest_decisions(instance, attacks);
+  ASSERT_EQ(decisions.size(), 3u);
+  for (double d : decisions) EXPECT_DOUBLE_EQ(d, decisions.front());
+}
+
+TEST(Eig, TwoFaultsNeedTwoRelayRounds) {
+  // n = 7, f = 2: sender equivocates AND a relayer lies chaotically;
+  // agreement must still hold among the 5 honest agents.
+  EigEquivocateSender equiv(10.0);
+  EigChaoticRelay chaos(50.0);
+  std::vector<EigAttack*> attacks(7, nullptr);
+  attacks[0] = &equiv;
+  attacks[4] = &chaos;
+  EigInstance instance(eig_config(7, 2), AgentId{0}, attacks);
+  instance.run(0.0);
+  const auto decisions = all_honest_decisions(instance, attacks);
+  ASSERT_EQ(decisions.size(), 5u);
+  for (double d : decisions) EXPECT_DOUBLE_EQ(d, decisions.front());
+}
+
+TEST(Eig, HonestSenderWithTwoChaoticRelayers) {
+  EigChaoticRelay chaos_a(50.0);
+  EigChaoticRelay chaos_b(77.0);
+  std::vector<EigAttack*> attacks(7, nullptr);
+  attacks[5] = &chaos_a;
+  attacks[6] = &chaos_b;
+  EigInstance instance(eig_config(7, 2), AgentId{1}, attacks);
+  instance.run(2.0);
+  for (double d : all_honest_decisions(instance, attacks))
+    EXPECT_DOUBLE_EQ(d, 2.0);  // validity with f=2 faulty relayers
+}
+
+TEST(Eig, AgreementAcrossManySeedsAndFaultPositions) {
+  for (std::uint32_t sender = 0; sender < 7; ++sender) {
+    for (std::uint32_t byz = 0; byz < 7; ++byz) {
+      EigEquivocateSender equiv(13.0);
+      EigChaoticRelay chaos(99.0);
+      std::vector<EigAttack*> attacks(7, nullptr);
+      attacks[byz] = byz == sender ? static_cast<EigAttack*>(&equiv)
+                                   : static_cast<EigAttack*>(&chaos);
+      EigInstance instance(eig_config(7, 2), AgentId{sender}, attacks);
+      instance.run(1.0);
+      const auto decisions = all_honest_decisions(instance, attacks);
+      for (double d : decisions)
+        EXPECT_DOUBLE_EQ(d, decisions.front())
+            << "sender=" << sender << " byz=" << byz;
+      if (byz != sender) {
+        // Honest sender: validity too.
+        for (double d : decisions) EXPECT_DOUBLE_EQ(d, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Eig, ResilienceBoundEnforced) {
+  const std::vector<EigAttack*> attacks(6, nullptr);
+  EXPECT_THROW(EigInstance(eig_config(6, 2), AgentId{0}, attacks),
+               ContractViolation);
+}
+
+TEST(Eig, TooManyAttackersRejected) {
+  EigChaoticRelay chaos(1.0);
+  std::vector<EigAttack*> attacks(4, nullptr);
+  attacks[0] = &chaos;
+  attacks[1] = &chaos;
+  EXPECT_THROW(EigInstance(eig_config(4, 1), AgentId{0}, attacks),
+               ContractViolation);
+}
+
+TEST(Eig, TreeSizeMatchesTheory) {
+  // f=2, n=7: levels sizes 1 + 6 + 30 = 37 per agent.
+  const std::vector<EigAttack*> attacks(7, nullptr);
+  EigInstance instance(eig_config(7, 2), AgentId{0}, attacks);
+  instance.run(0.0);
+  EXPECT_EQ(instance.tree_size(), 37u);
+}
+
+TEST(Eig, BroadcastAllAgreesForAllObservers) {
+  EigEquivocateSender equiv(31.0);
+  std::vector<EigAttack*> attacks(4, nullptr);
+  attacks[2] = &equiv;
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const EigConfig config = eig_config(4, 1);
+
+  std::vector<std::vector<double>> views;
+  for (std::uint32_t obs = 0; obs < 4; ++obs) {
+    if (attacks[obs] != nullptr) continue;
+    views.push_back(eig_broadcast_all(config, values, attacks, AgentId{obs}));
+  }
+  for (const auto& v : views) {
+    EXPECT_EQ(v, views.front());      // agreement on the whole vector
+    EXPECT_DOUBLE_EQ(v[0], 1.0);      // validity for honest senders
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+    EXPECT_DOUBLE_EQ(v[3], 4.0);
+  }
+}
+
+// ------------------------------------------------- iterative consensus
+
+IterativeConsensusConfig icc(std::size_t n, std::size_t f) {
+  IterativeConsensusConfig c;
+  c.n = n;
+  c.f = f;
+  return c;
+}
+
+TEST(IterativeConsensus, FaultFreeConvergesInsideHull) {
+  const auto r = run_iterative_consensus(icc(4, 1), {0.0, 1.0, 2.0, 9.0}, 0,
+                                         nullptr, 100);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_LT(r.disagreement.back(), 1e-9);
+  for (double v : r.final_values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 9.0);
+  }
+}
+
+TEST(IterativeConsensus, SplitBrainByzantineTolerated) {
+  const FunctionalByzantine::Behaviour split =
+      [](AgentId, AgentId to, const RoundView<double>&) -> std::optional<double> {
+    return to.value % 2 == 0 ? 1e6 : -1e6;
+  };
+  const auto r = run_iterative_consensus(icc(7, 2), {0, 1, 2, 3, 4}, 2, split, 200);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_LT(r.disagreement.back(), 1e-9);
+}
+
+TEST(IterativeConsensus, HullEdgeByzantineBiasesButConverges) {
+  const FunctionalByzantine::Behaviour edge =
+      [](AgentId, AgentId, const RoundView<double>& view) -> std::optional<double> {
+    double hi = view.honest_broadcasts.front().payload;
+    for (const auto& m : view.honest_broadcasts) hi = std::max(hi, m.payload);
+    return hi;
+  };
+  const auto r = run_iterative_consensus(icc(7, 2), {0, 1, 2, 3, 4}, 2, edge, 200);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_LT(r.disagreement.back(), 1e-9);
+  // The attack drags the agreement upward, but never outside the hull.
+  EXPECT_GT(r.final_values.front(), 2.0);
+  EXPECT_LE(r.final_values.front(), 4.0 + 1e-12);
+}
+
+TEST(IterativeConsensus, ContractionAtLeastTheoreticalRate) {
+  // Lemma 3's factor: spread contracts by (1 - 1/(2(m-f))) per round.
+  const std::size_t n = 7, f = 2, m = 5;
+  const auto r =
+      run_iterative_consensus(icc(n, f), {0, 1, 2, 3, 10}, 2,
+                              [](AgentId, AgentId to,
+                                 const RoundView<double>&) -> std::optional<double> {
+                                return to.value % 2 == 0 ? 50.0 : -50.0;
+                              },
+                              60);
+  const double rho = 1.0 - 1.0 / (2.0 * (m - f));
+  for (std::size_t t = 1; t < r.disagreement.size(); ++t) {
+    EXPECT_LE(r.disagreement[t], rho * r.disagreement[t - 1] + 1e-9)
+        << "round " << t;
+  }
+}
+
+TEST(IterativeConsensus, SilentFaultsUseDefaults) {
+  IterativeConsensusConfig config = icc(4, 1);
+  config.default_value = 1e9;  // hostile default, must be trimmed away
+  const auto r = run_iterative_consensus(config, {1.0, 2.0, 3.0}, 1, nullptr, 50);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_LT(r.disagreement.back(), 1e-9);
+}
+
+TEST(IterativeConsensus, ExactlyExponentialForCleanRun) {
+  const auto r = run_iterative_consensus(icc(4, 1), {0.0, 4.0, 8.0}, 1,
+                                         nullptr, 40);
+  // log-linear decay: ratio of consecutive disagreements roughly constant.
+  ASSERT_GT(r.disagreement.size(), 10u);
+  for (std::size_t t = 2; t < 10; ++t) {
+    if (r.disagreement[t] <= 0) break;
+    EXPECT_LT(r.disagreement[t], r.disagreement[t - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace ftmao

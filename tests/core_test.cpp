@@ -1,0 +1,303 @@
+// Unit tests for core algorithm components: step schedules, the SBG agent
+// state machine (Steps 1-3), the crash-model averaging agent, and the
+// asynchronous agent's quorum logic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "core/async_sbg.hpp"
+#include "core/crash_sbg.hpp"
+#include "core/sbg.hpp"
+#include "core/step_size.hpp"
+#include "func/functions.hpp"
+
+namespace ftmao {
+namespace {
+
+ScalarFunctionPtr huber_at(double center) {
+  return std::make_shared<Huber>(center, 2.0, 1.0);
+}
+
+// ------------------------------------------------------------- step sizes
+
+TEST(StepSize, HarmonicValues) {
+  const HarmonicStep s(1.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(2), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(10), 0.1);
+}
+
+TEST(StepSize, HarmonicScale) {
+  const HarmonicStep s(2.0);
+  EXPECT_DOUBLE_EQ(s.at(4), 0.5);
+}
+
+TEST(StepSize, PowerValues) {
+  const PowerStep s(1.0, 0.75);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(15), std::pow(16.0, -0.75));
+}
+
+TEST(StepSize, HarmonicPassesConditions) {
+  EXPECT_TRUE(check_schedule(HarmonicStep(1.0)).all_ok());
+}
+
+TEST(StepSize, ValidPowerPassesConditions) {
+  EXPECT_TRUE(check_schedule(PowerStep(1.0, 0.75)).all_ok());
+}
+
+TEST(StepSize, ConstantFailsSquareSummability) {
+  const ScheduleCheck c = check_schedule(ConstantStep(0.1));
+  EXPECT_TRUE(c.non_increasing);
+  EXPECT_FALSE(c.sum_squares_converges);
+}
+
+TEST(StepSize, FastDecayFailsDivergence) {
+  const ScheduleCheck c = check_schedule(PowerStep(1.0, 1.5));
+  EXPECT_TRUE(c.non_increasing);
+  EXPECT_FALSE(c.sum_diverges);
+}
+
+TEST(StepSize, SlowDecayFailsSquareSummability) {
+  const ScheduleCheck c = check_schedule(PowerStep(1.0, 0.4));
+  EXPECT_FALSE(c.sum_squares_converges);
+}
+
+TEST(StepSize, InvalidParamsThrow) {
+  EXPECT_THROW(HarmonicStep(0.0), ContractViolation);
+  EXPECT_THROW(PowerStep(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(ConstantStep(-1.0), ContractViolation);
+}
+
+// -------------------------------------------------------------- SbgConfig
+
+TEST(SbgConfig, RequiresNGreaterThan3F) {
+  SbgConfig c;
+  c.n = 6;
+  c.f = 2;
+  EXPECT_THROW(c.validate(), ContractViolation);  // 6 = 3f, not > 3f
+  c.n = 7;
+  EXPECT_NO_THROW(c.validate());
+}
+
+// --------------------------------------------------------------- SbgAgent
+
+SbgConfig small_config() {
+  SbgConfig c;
+  c.n = 4;
+  c.f = 1;
+  return c;
+}
+
+std::vector<Received<SbgPayload>> inbox_of(
+    std::initializer_list<std::pair<std::uint32_t, SbgPayload>> items) {
+  std::vector<Received<SbgPayload>> out;
+  for (const auto& [id, payload] : items) out.push_back({AgentId{id}, payload});
+  return out;
+}
+
+TEST(SbgAgent, BroadcastsStateAndGradient) {
+  const HarmonicStep schedule;
+  SbgAgent agent(AgentId{0}, huber_at(1.0), 3.0, schedule, small_config());
+  const SbgPayload p = agent.broadcast(Round{1});
+  EXPECT_DOUBLE_EQ(p.state, 3.0);
+  EXPECT_DOUBLE_EQ(p.gradient, huber_at(1.0)->derivative(3.0));
+}
+
+TEST(SbgAgent, StepImplementsTrimmedUpdateExactly) {
+  const HarmonicStep schedule;  // lambda[0] = 1
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, small_config());
+  // Inbox from 3 other agents. States {0 (own), 1, 2, 100}: after f=1 trim,
+  // y_s=1, y_l=2 -> x~ = 1.5. Gradients: own h'(0)=0, others {1, -1, 50}:
+  // trim -> survivors {0, 1} -> g~ = 0.5. Update: 1.5 - 1*0.5 = 1.0.
+  agent.step(Round{1}, inbox_of({{1, {1.0, 1.0}},
+                                 {2, {2.0, -1.0}},
+                                 {3, {100.0, 50.0}}}));
+  EXPECT_DOUBLE_EQ(agent.last_step().trimmed_state, 1.5);
+  EXPECT_DOUBLE_EQ(agent.last_step().trimmed_gradient, 0.5);
+  EXPECT_DOUBLE_EQ(agent.state(), 1.0);
+}
+
+TEST(SbgAgent, UsesLambdaOfPreviousIndex) {
+  const HarmonicStep schedule;  // lambda[2] = 0.5
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, small_config());
+  // All agents agree: states 0, gradients 1 -> x~=0, g~=1.
+  const auto inbox = inbox_of({{1, {0.0, 1.0}}, {2, {0.0, 1.0}}, {3, {0.0, 1.0}}});
+  agent.step(Round{3}, inbox);  // uses lambda[2] = 1/2
+  EXPECT_DOUBLE_EQ(agent.state(), -0.5);
+}
+
+TEST(SbgAgent, MissingTuplesGetDefaultPayload) {
+  const HarmonicStep schedule;
+  SbgConfig config = small_config();
+  config.default_payload = SbgPayload{0.0, 0.0};
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, config);
+  // Only one message arrives; two defaults (0,0) are substituted.
+  // States {0, 4, 0, 0}: trim f=1 -> survivors {0, 0} -> wait, sorted
+  // {0,0,0,4}, drop one smallest and one largest -> {0,0} -> x~ = 0.
+  agent.step(Round{1}, inbox_of({{1, {4.0, 2.0}}}));
+  EXPECT_EQ(agent.last_step().missing_tuples, 2u);
+  EXPECT_DOUBLE_EQ(agent.last_step().trimmed_state, 0.0);
+}
+
+TEST(SbgAgent, OversizedInboxThrows) {
+  const HarmonicStep schedule;
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, small_config());
+  const auto inbox = inbox_of({{1, {0.0, 0.0}},
+                               {2, {0.0, 0.0}},
+                               {3, {0.0, 0.0}},
+                               {4, {0.0, 0.0}}});
+  EXPECT_THROW(agent.step(Round{1}, inbox), ContractViolation);
+}
+
+TEST(SbgAgent, MessageFromSelfThrows) {
+  const HarmonicStep schedule;
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, small_config());
+  const auto inbox = inbox_of({{0, {0.0, 0.0}}});
+  EXPECT_THROW(agent.step(Round{1}, inbox), ContractViolation);
+}
+
+TEST(SbgAgent, ConstrainedUpdateProjectsAndRecordsError) {
+  const HarmonicStep schedule;
+  SbgConfig config = small_config();
+  config.constraint = Interval(-1.0, 1.0);
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 0.5, schedule, config);
+  // Everyone reports state 5 (gradient 0): states {0.5, 5, 5, 5} -> trim
+  // -> {5,5} -> x~ = 5; g~ = 0; unprojected 5 -> projected 1; error -4.
+  agent.step(Round{1}, inbox_of({{1, {5.0, 0.0}}, {2, {5.0, 0.0}}, {3, {5.0, 0.0}}}));
+  EXPECT_DOUBLE_EQ(agent.state(), 1.0);
+  EXPECT_DOUBLE_EQ(agent.last_step().projection_error, -4.0);
+}
+
+TEST(SbgAgent, InitialStateProjectedIntoConstraint) {
+  const HarmonicStep schedule;
+  SbgConfig config = small_config();
+  config.constraint = Interval(0.0, 1.0);
+  SbgAgent agent(AgentId{0}, huber_at(0.0), 7.0, schedule, config);
+  EXPECT_DOUBLE_EQ(agent.state(), 1.0);
+}
+
+// ---------------------------------------------------------- CrashSbgAgent
+
+TEST(CrashSbgAgent, AveragesOwnPlusReceived) {
+  const HarmonicStep schedule;  // lambda[0] = 1
+  CrashSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule);
+  // Own (0, 0); received (3, 1) and (6, 2): mean state 3, mean gradient 1.
+  agent.step(Round{1}, inbox_of({{1, {3.0, 1.0}}, {2, {6.0, 2.0}}}));
+  EXPECT_DOUBLE_EQ(agent.state(), 3.0 - 1.0 * 1.0);
+}
+
+TEST(CrashSbgAgent, EmptyInboxReducesToLocalGradientStep) {
+  const HarmonicStep schedule;
+  CrashSbgAgent agent(AgentId{0}, huber_at(0.0), 1.0, schedule);
+  agent.step(Round{1}, {});
+  // h'(1) = 1 (huber delta 2): 1 - 1*1 = 0.
+  EXPECT_DOUBLE_EQ(agent.state(), 0.0);
+}
+
+// ---------------------------------------------------------- AsyncSbgAgent
+
+AsyncSbgConfig async_config() {
+  AsyncSbgConfig c;
+  c.n = 6;
+  c.f = 1;
+  return c;
+}
+
+TaggedMessage<SbgPayload> tagged(std::uint32_t from, std::uint32_t round,
+                                 double state, double gradient) {
+  return {AgentId{from}, Round{round}, SbgPayload{state, gradient}};
+}
+
+TEST(AsyncSbgConfig, RequiresNGreaterThan5F) {
+  AsyncSbgConfig c;
+  c.n = 5;
+  c.f = 1;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c.n = 6;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(AsyncSbgAgent, AdvancesExactlyAtQuorum) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, async_config());
+  // Quorum is n - f = 5 distinct senders.
+  EXPECT_FALSE(agent.on_message(tagged(0, 1, 0.0, 0.0)).has_value());
+  EXPECT_FALSE(agent.on_message(tagged(1, 1, 1.0, 0.0)).has_value());
+  EXPECT_FALSE(agent.on_message(tagged(2, 1, 2.0, 0.0)).has_value());
+  EXPECT_FALSE(agent.on_message(tagged(3, 1, 3.0, 0.0)).has_value());
+  const auto next = agent.on_message(tagged(4, 1, 4.0, 0.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(agent.current_round(), Round{2});
+  // States {0,1,2,3,4}, f=1 trim -> {1,2,3} -> 2; gradients all 0.
+  EXPECT_DOUBLE_EQ(agent.state(), 2.0);
+}
+
+TEST(AsyncSbgAgent, DuplicateSenderDoesNotCount) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, async_config());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(agent.on_message(tagged(1, 1, static_cast<double>(i), 0.0))
+                     .has_value());
+  EXPECT_EQ(agent.current_round(), Round{1});
+}
+
+TEST(AsyncSbgAgent, FirstPayloadPerSenderWins) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, async_config());
+  agent.on_message(tagged(1, 1, 100.0, 0.0));
+  agent.on_message(tagged(1, 1, -100.0, 0.0));  // ignored
+  agent.on_message(tagged(0, 1, 0.0, 0.0));
+  agent.on_message(tagged(2, 1, 0.0, 0.0));
+  agent.on_message(tagged(3, 1, 0.0, 0.0));
+  const auto next = agent.on_message(tagged(4, 1, 0.0, 0.0));
+  ASSERT_TRUE(next.has_value());
+  // States {100, 0, 0, 0, 0}: trim f=1 -> {0,0,0} -> 0 (the +100 dropped;
+  // had -100 replaced it the answer would differ).
+  EXPECT_DOUBLE_EQ(agent.state(), 0.0);
+}
+
+TEST(AsyncSbgAgent, BuffersFutureRounds) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, async_config());
+  // Round-2 messages arrive before round 1 completes.
+  for (std::uint32_t s = 0; s < 5; ++s)
+    agent.on_message(tagged(s, 2, 1.0, 0.0));
+  EXPECT_EQ(agent.current_round(), Round{1});
+  // Now complete round 1; round 2 completes at the next delivery.
+  for (std::uint32_t s = 0; s < 4; ++s)
+    agent.on_message(tagged(s, 1, 0.0, 0.0));
+  const auto next1 = agent.on_message(tagged(4, 1, 0.0, 0.0));
+  ASSERT_TRUE(next1.has_value());
+  EXPECT_EQ(agent.current_round(), Round{2});
+  // Any round-2+ delivery triggers the already-buffered quorum.
+  const auto next2 = agent.on_message(tagged(5, 2, 1.0, 0.0));
+  ASSERT_TRUE(next2.has_value());
+  EXPECT_EQ(agent.current_round(), Round{3});
+}
+
+TEST(AsyncSbgAgent, StaleRoundsIgnored) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 0.0, schedule, async_config());
+  for (std::uint32_t s = 0; s < 5; ++s) agent.on_message(tagged(s, 1, 0.0, 0.0));
+  EXPECT_EQ(agent.current_round(), Round{2});
+  EXPECT_FALSE(agent.on_message(tagged(5, 1, 9.0, 9.0)).has_value());
+  EXPECT_EQ(agent.current_round(), Round{2});
+}
+
+TEST(AsyncSbgAgent, HistoryRecordsPerRoundStates) {
+  const HarmonicStep schedule;
+  AsyncSbgAgent agent(AgentId{0}, huber_at(0.0), 7.0, schedule, async_config());
+  EXPECT_EQ(agent.history().size(), 1u);
+  EXPECT_DOUBLE_EQ(agent.history()[0], 7.0);
+  for (std::uint32_t s = 0; s < 5; ++s) agent.on_message(tagged(s, 1, 7.0, 0.0));
+  ASSERT_EQ(agent.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(agent.history()[1], agent.state());
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,284 @@
+// Unit tests for the dense two-phase simplex and the admissibility witness
+// queries built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+#include "lp/witness.hpp"
+
+namespace ftmao::lp {
+namespace {
+
+// ---------------------------------------------------------------- simplex
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), value 36.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {3.0, 5.0};
+  p.sense = Sense::Maximize;
+  p.add({1.0, 0.0}, Relation::LessEq, 4.0);
+  p.add({0.0, 2.0}, Relation::LessEq, 12.0);
+  p.add({3.0, 2.0}, Relation::LessEq, 18.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEq) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> (4, 0), value 8.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {2.0, 3.0};
+  p.add({1.0, 1.0}, Relation::GreaterEq, 4.0);
+  p.add({1.0, 0.0}, Relation::GreaterEq, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective_value, 8.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + y s.t. x + 2y = 3, x - y = 0 -> x = y = 1, value 2.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.add({1.0, 2.0}, Relation::Eq, 3.0);
+  p.add({1.0, -1.0}, Relation::Eq, 0.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p;
+  p.num_vars = 1;
+  p.add({1.0}, Relation::LessEq, 1.0);
+  p.add({1.0}, Relation::GreaterEq, 2.0);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibilityWithEqualities) {
+  // x + y = 1, x + y = 2 cannot hold together.
+  Problem p;
+  p.num_vars = 2;
+  p.add({1.0, 1.0}, Relation::Eq, 1.0);
+  p.add({1.0, 1.0}, Relation::Eq, 2.0);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.sense = Sense::Maximize;
+  p.add({-1.0}, Relation::LessEq, 0.0);  // -x <= 0, i.e. x >= 0: unbounded above
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -2  <=>  x >= 2; minimize x -> 2.
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.add({-1.0}, Relation::LessEq, -2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemNoCycle) {
+  // Classic degeneracy-prone instance; Bland's rule must terminate.
+  Problem p;
+  p.num_vars = 4;
+  p.objective = {-0.75, 150.0, -0.02, 6.0};
+  p.add({0.25, -60.0, -0.04, 9.0}, Relation::LessEq, 0.0);
+  p.add({0.5, -90.0, -0.02, 3.0}, Relation::LessEq, 0.0);
+  p.add({0.0, 0.0, 1.0, 0.0}, Relation::LessEq, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective_value, -0.05, 1e-9);
+}
+
+TEST(Simplex, FeasibilityOnlyNoObjective) {
+  Problem p;
+  p.num_vars = 3;
+  p.add({1.0, 1.0, 1.0}, Relation::Eq, 1.0);
+  p.add({1.0, 2.0, 3.0}, Relation::Eq, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0] + s.x[1] + s.x[2], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + 2 * s.x[1] + 3 * s.x[2], 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantConstraintsHarmless) {
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.add({1.0, 1.0}, Relation::Eq, 2.0);
+  p.add({2.0, 2.0}, Relation::Eq, 4.0);  // same hyperplane
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, RandomFeasibleConvexCombinationProblems) {
+  // alpha >= 0, sum = 1, sum alpha v = y with y inside the hull: always
+  // feasible; outside the hull: infeasible.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 3 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    std::vector<double> v(m);
+    for (auto& x : v) x = rng.uniform(-10.0, 10.0);
+    const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+
+    Problem inside;
+    inside.num_vars = m;
+    inside.add(std::vector<double>(m, 1.0), Relation::Eq, 1.0);
+    inside.add(v, Relation::Eq, rng.uniform(*mn, *mx));
+    EXPECT_EQ(solve(inside).status, Status::Optimal);
+
+    Problem outside = inside;
+    outside.constraints[1].rhs = *mx + 1.0;
+    EXPECT_EQ(solve(outside).status, Status::Infeasible);
+  }
+}
+
+// ---------------------------------------------------------------- witness
+
+TEST(Witness, UniformMidpointHasFullSupportWitness) {
+  // target = mean of 4 values; gamma = 4, beta = 1/8 is satisfiable by the
+  // uniform weights.
+  WitnessQuery q;
+  q.values = {0.0, 1.0, 2.0, 3.0};
+  q.target = 1.5;
+  q.beta = 1.0 / 8.0;
+  q.gamma = 4;
+  const WitnessResult w = find_admissible_witness(q);
+  ASSERT_TRUE(w.found);
+  EXPECT_TRUE(w.exact);
+  EXPECT_GE(w.support.size(), 4u);
+  double sum = std::accumulate(w.weights.begin(), w.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Witness, TargetOutsideHullFails) {
+  WitnessQuery q;
+  q.values = {0.0, 1.0, 2.0};
+  q.target = 5.0;
+  q.beta = 0.1;
+  q.gamma = 2;
+  EXPECT_FALSE(find_admissible_witness(q).found);
+}
+
+TEST(Witness, ExtremeTargetLimitsSupport) {
+  // target equals the max value: only weight-1-on-max works, so requiring
+  // 2 weights >= 0.25 must fail, while gamma = 1 succeeds.
+  WitnessQuery q;
+  q.values = {0.0, 1.0, 2.0};
+  q.target = 2.0;
+  q.beta = 0.25;
+  q.gamma = 2;
+  EXPECT_FALSE(find_admissible_witness(q).found);
+  q.gamma = 1;
+  EXPECT_TRUE(find_admissible_witness(q).found);
+}
+
+TEST(Witness, NearExtremeTargetNeedsSmallBeta) {
+  // target close to the max: a second weight can only be tiny.
+  WitnessQuery q;
+  q.values = {0.0, 10.0};
+  q.target = 9.9;
+  q.gamma = 2;
+  q.beta = 0.009;  // needs alpha_0 = 0.01 >= beta: ok
+  EXPECT_TRUE(find_admissible_witness(q).found);
+  q.beta = 0.02;  // alpha_0 = 0.01 < 0.02: impossible
+  EXPECT_FALSE(find_admissible_witness(q).found);
+}
+
+TEST(Witness, ToleranceAbsorbsFloatNoise) {
+  WitnessQuery q;
+  q.values = {1.0, 2.0};
+  q.target = 1.5 + 1e-9;  // off by less than tolerance
+  q.beta = 0.4;
+  q.gamma = 2;
+  q.tolerance = 1e-7;
+  EXPECT_TRUE(find_admissible_witness(q).found);
+}
+
+TEST(Witness, WitnessWeightsActuallyAdmissible) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 5;
+    WitnessQuery q;
+    q.values.resize(m);
+    for (auto& v : q.values) v = rng.uniform(-5.0, 5.0);
+    // A target generated by an actual admissible combination.
+    std::vector<double> alpha(m, 0.15);
+    alpha[0] = 0.4;
+    q.target = 0.0;
+    for (std::size_t i = 0; i < m; ++i) q.target += alpha[i] * q.values[i];
+    q.beta = 0.1;
+    q.gamma = 4;
+    const WitnessResult w = find_admissible_witness(q);
+    ASSERT_TRUE(w.found) << "trial " << trial;
+    double sum = 0.0;
+    double dot = 0.0;
+    std::size_t big = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_GE(w.weights[i], -1e-9);
+      sum += w.weights[i];
+      dot += w.weights[i] * q.values[i];
+      if (w.weights[i] >= q.beta - 1e-7) ++big;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_NEAR(dot, q.target, 1e-5);
+    EXPECT_GE(big, q.gamma);
+  }
+}
+
+TEST(MaxGuaranteedBeta, MeanOfTwoIsHalf) {
+  WitnessQuery q;
+  q.values = {0.0, 2.0};
+  q.target = 1.0;
+  q.gamma = 2;
+  EXPECT_NEAR(max_guaranteed_beta(q), 0.5, 1e-7);
+}
+
+TEST(MaxGuaranteedBeta, SkewedTarget) {
+  // target 0.5 on {0, 2}: alpha = (0.75, 0.25) -> best min weight 0.25.
+  WitnessQuery q;
+  q.values = {0.0, 2.0};
+  q.target = 0.5;
+  q.gamma = 2;
+  EXPECT_NEAR(max_guaranteed_beta(q), 0.25, 1e-7);
+}
+
+TEST(MaxGuaranteedBeta, InfeasibleTargetNegative) {
+  WitnessQuery q;
+  q.values = {0.0, 1.0};
+  q.target = 4.0;
+  q.gamma = 1;
+  EXPECT_LT(max_guaranteed_beta(q), 0.0);
+}
+
+TEST(MaxGuaranteedBeta, GammaOneIsUnconstrainedByBeta) {
+  // With gamma = 1 the best beta is the largest single weight over
+  // combinations hitting the target; for target = a value itself, 1.0.
+  WitnessQuery q;
+  q.values = {0.0, 1.0, 2.0};
+  q.target = 1.0;
+  q.gamma = 1;
+  EXPECT_NEAR(max_guaranteed_beta(q), 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace ftmao::lp

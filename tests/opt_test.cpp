@@ -1,0 +1,137 @@
+// Unit tests for src/opt: bisection, bracket expansion, Brent, golden
+// section, and the convex argmin helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "opt/argmin.hpp"
+#include "opt/bisection.hpp"
+#include "opt/brent.hpp"
+#include "opt/golden.hpp"
+
+namespace ftmao {
+namespace {
+
+// -------------------------------------------------------------- bisection
+
+TEST(Bisection, FindsStepThreshold) {
+  const MonotonePredicate pred = [](double x) { return x >= 3.25; };
+  const double x = bisect_threshold(pred, 0.0, 10.0);
+  EXPECT_NEAR(x, 3.25, 1e-9);
+  EXPECT_TRUE(pred(x));
+}
+
+TEST(Bisection, ReturnedPointSatisfiesPredicate) {
+  const MonotonePredicate pred = [](double x) { return x > 0.0; };
+  const double x = bisect_threshold(pred, -1.0, 1.0);
+  EXPECT_TRUE(pred(x));
+  EXPECT_NEAR(x, 0.0, 1e-9);
+}
+
+TEST(Bisection, RequiresFlippedEndpoints) {
+  const MonotonePredicate pred = [](double x) { return x >= 0.0; };
+  EXPECT_THROW(bisect_threshold(pred, 1.0, 2.0), ContractViolation);   // both true
+  EXPECT_THROW(bisect_threshold(pred, -2.0, -1.0), ContractViolation); // both false
+}
+
+TEST(Bisection, HonorsTolerance) {
+  const MonotonePredicate pred = [](double x) { return x >= M_PI; };
+  BisectOptions opts;
+  opts.tolerance = 1e-3;
+  const double x = bisect_threshold(pred, 0.0, 10.0, opts);
+  EXPECT_NEAR(x, M_PI, 1e-3);
+}
+
+TEST(ExpandBracket, GrowsUntilFlip) {
+  const MonotonePredicate pred = [](double x) { return x >= 1000.0; };
+  const Bracket b = expand_bracket(pred, 0.0, 1.0);
+  EXPECT_FALSE(pred(b.lo));
+  EXPECT_TRUE(pred(b.hi));
+}
+
+TEST(ExpandBracket, GrowsLeftToo) {
+  const MonotonePredicate pred = [](double x) { return x >= -500.0; };
+  const Bracket b = expand_bracket(pred, 0.0, 1.0);
+  EXPECT_FALSE(pred(b.lo));
+  EXPECT_TRUE(pred(b.hi));
+}
+
+TEST(ExpandBracket, ThrowsOnConstantPredicate) {
+  const MonotonePredicate always = [](double) { return true; };
+  EXPECT_THROW(expand_bracket(always, 0.0, 1.0, 20), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ brent
+
+TEST(Brent, FindsPolynomialRoot) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x - 5.0; };
+  const double root = brent_root(f, 2.0, 3.0);
+  EXPECT_NEAR(f(root), 0.0, 1e-9);
+  EXPECT_NEAR(root, 2.0945514815423265, 1e-9);
+}
+
+TEST(Brent, ExactRootAtEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(brent_root(f, 1.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(brent_root(f, -3.0, 1.0), 1.0);
+}
+
+TEST(Brent, RequiresSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(brent_root(f, -1.0, 1.0), ContractViolation);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const double root = brent_root(f, 0.0, 1.0);
+  EXPECT_NEAR(root, 0.7390851332151607, 1e-9);
+}
+
+// ----------------------------------------------------------------- golden
+
+TEST(Golden, MinimizesQuadratic) {
+  const auto f = [](double x) { return (x - 1.5) * (x - 1.5); };
+  EXPECT_NEAR(golden_section_min(f, -10.0, 10.0), 1.5, 1e-7);
+}
+
+TEST(Golden, MinimizesAsymmetricUnimodal) {
+  const auto f = [](double x) { return std::abs(x - 2.0) + 0.5 * x; };
+  EXPECT_NEAR(golden_section_min(f, -10.0, 10.0), 2.0, 1e-6);
+}
+
+TEST(Golden, DegenerateBracket) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_DOUBLE_EQ(golden_section_min(f, 3.0, 3.0), 3.0);
+}
+
+// ----------------------------------------------------------------- argmin
+
+TEST(Argmin, PointMinimumFromDerivative) {
+  const auto deriv = [](double x) { return std::tanh(x - 2.0); };
+  const Interval am = argmin_from_derivative(deriv);
+  EXPECT_NEAR(am.lo(), 2.0, 1e-8);
+  EXPECT_NEAR(am.hi(), 2.0, 1e-8);
+}
+
+TEST(Argmin, FlatMinimumInterval) {
+  // Derivative zero on [1, 4]: clamp-style.
+  const auto deriv = [](double x) {
+    if (x < 1.0) return x - 1.0;
+    if (x > 4.0) return x - 4.0;
+    return 0.0;
+  };
+  const Interval am = argmin_from_derivative(deriv);
+  EXPECT_NEAR(am.lo(), 1.0, 1e-8);
+  EXPECT_NEAR(am.hi(), 4.0, 1e-8);
+}
+
+TEST(Argmin, FarFromSeed) {
+  const auto deriv = [](double x) { return std::tanh((x - 500.0) / 10.0); };
+  const Interval am = argmin_from_derivative(deriv);
+  EXPECT_NEAR(am.midpoint(), 500.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,184 @@
+// Tests for function spec parsing/rendering and scenario file round-trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "func/functions.hpp"
+#include "func/nonsmooth.hpp"
+#include "func/spec.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario_io.hpp"
+
+namespace ftmao {
+namespace {
+
+// ----------------------------------------------------------- function spec
+
+TEST(FunctionSpec, ParsesEveryType) {
+  for (const char* spec :
+       {"huber(0, 2, 1)", "logcosh(1, 0.5, 2)", "smoothabs(-3, 0.5, 1)",
+        "flathuber(-1, 1, 2, 1)", "softplus(0, 2, 0.5, 1)",
+        "asymhuber(0, 1, 3, 1)", "abs(2, 1)"}) {
+    EXPECT_NE(parse_function(spec), nullptr) << spec;
+  }
+}
+
+TEST(FunctionSpec, WhitespaceInsensitive) {
+  const auto a = parse_function("huber(1,2,3)");
+  const auto b = parse_function("  huber ( 1 , 2 , 3 ) ");
+  EXPECT_DOUBLE_EQ(a->value(5.0), b->value(5.0));
+}
+
+TEST(FunctionSpec, RoundTripsExactly) {
+  for (const char* spec :
+       {"huber(0.25, 2, 1.5)", "logcosh(-1.125, 0.5, 2)",
+        "smoothabs(-3, 0.5, 1)", "flathuber(-1, 1.5, 2, 1)",
+        "softplus(0, 2, 0.5, 1)", "asymhuber(0.5, 1, 3, 1)", "abs(2, 1)"}) {
+    const auto fn = parse_function(spec);
+    const auto again = parse_function(to_spec(*fn));
+    for (double x : {-7.3, -1.0, 0.0, 0.6, 4.2}) {
+      EXPECT_DOUBLE_EQ(fn->value(x), again->value(x)) << spec;
+      EXPECT_DOUBLE_EQ(fn->derivative(x), again->derivative(x)) << spec;
+    }
+  }
+}
+
+TEST(FunctionSpec, ParsedBehaviourMatchesDirectConstruction) {
+  const auto parsed = parse_function("huber(1, 2, 3)");
+  const Huber direct(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->value(4.0), direct.value(4.0));
+  EXPECT_DOUBLE_EQ(parsed->derivative(-2.0), direct.derivative(-2.0));
+}
+
+TEST(FunctionSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_function("huber"), ContractViolation);
+  EXPECT_THROW(parse_function("huber(1, 2"), ContractViolation);
+  EXPECT_THROW(parse_function("(1, 2, 3)"), ContractViolation);
+  EXPECT_THROW(parse_function("waffles(1, 2, 3)"), ContractViolation);
+  EXPECT_THROW(parse_function("huber(1, 2)"), ContractViolation);       // arity
+  EXPECT_THROW(parse_function("huber(1, 2, 3, 4)"), ContractViolation); // arity
+  EXPECT_THROW(parse_function("huber(1, two, 3)"), ContractViolation);
+  EXPECT_THROW(parse_function("huber(0, -1, 1)"), ContractViolation);   // params
+  EXPECT_THROW(parse_function("flathuber(2, 1, 1, 1)"), ContractViolation);
+}
+
+TEST(FunctionSpec, ToSpecRejectsUnsupportedTypes) {
+  const MaxAffine fn({{-1.0, 0.0}, {1.0, 0.0}});
+  EXPECT_THROW(to_spec(fn), ContractViolation);
+}
+
+// ------------------------------------------------------------ name tables
+
+TEST(Names, AttackKindsRoundTrip) {
+  for (AttackKind kind :
+       {AttackKind::None, AttackKind::Silent, AttackKind::FixedValue,
+        AttackKind::SplitBrain, AttackKind::HullEdgeUp, AttackKind::HullEdgeDown,
+        AttackKind::RandomNoise, AttackKind::SignFlip, AttackKind::PullToTarget,
+        AttackKind::FlipFlop, AttackKind::DelayedStrike}) {
+    EXPECT_EQ(parse_attack_kind(attack_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_attack_kind("nope"), ContractViolation);
+}
+
+TEST(Names, StepKindsRoundTrip) {
+  for (StepKind kind : {StepKind::Harmonic, StepKind::Power, StepKind::Constant})
+    EXPECT_EQ(parse_step_kind(step_kind_name(kind)), kind);
+  EXPECT_THROW(parse_step_kind("geometric"), ContractViolation);
+}
+
+// ----------------------------------------------------------- scenario file
+
+Scenario rich_scenario() {
+  Scenario s = make_standard_scenario(7, 2, 8.0, AttackKind::PullToTarget, 321, 17);
+  s.attack.target = -42.5;
+  s.attack.gradient_magnitude = 7.25;
+  s.attack.consistent = true;
+  s.step = {StepKind::Power, 0.5, 0.6};
+  s.constraint = Interval(-3.0, 2.5);
+  s.default_payload = SbgPayload{1.5, -0.25};
+  s.drop_probability = 0.125;
+  s.faulty = {6};
+  s.crashes = {{5, 40}};
+  return s;
+}
+
+TEST(ScenarioIo, RoundTripPreservesEveryField) {
+  const Scenario original = rich_scenario();
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const Scenario loaded = load_scenario(buffer);
+
+  EXPECT_EQ(loaded.n, original.n);
+  EXPECT_EQ(loaded.f, original.f);
+  EXPECT_EQ(loaded.faulty, original.faulty);
+  EXPECT_EQ(loaded.rounds, original.rounds);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_EQ(loaded.attack.kind, original.attack.kind);
+  EXPECT_DOUBLE_EQ(loaded.attack.target, original.attack.target);
+  EXPECT_DOUBLE_EQ(loaded.attack.gradient_magnitude,
+                   original.attack.gradient_magnitude);
+  EXPECT_EQ(loaded.attack.consistent, original.attack.consistent);
+  EXPECT_EQ(loaded.step.kind, original.step.kind);
+  EXPECT_DOUBLE_EQ(loaded.step.scale, original.step.scale);
+  EXPECT_DOUBLE_EQ(loaded.step.exponent, original.step.exponent);
+  ASSERT_TRUE(loaded.constraint.has_value());
+  EXPECT_EQ(*loaded.constraint, *original.constraint);
+  EXPECT_DOUBLE_EQ(loaded.default_payload.state, original.default_payload.state);
+  EXPECT_DOUBLE_EQ(loaded.drop_probability, original.drop_probability);
+  EXPECT_EQ(loaded.crashes, original.crashes);
+  EXPECT_EQ(loaded.initial_states, original.initial_states);
+  ASSERT_EQ(loaded.functions.size(), original.functions.size());
+}
+
+TEST(ScenarioIo, LoadedScenarioRunsIdenticallyToOriginal) {
+  Scenario original = rich_scenario();
+  original.attack.consistent = false;  // exercise the plainest path
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const Scenario loaded = load_scenario(buffer);
+
+  const RunMetrics a = run_sbg(original);
+  const RunMetrics b = run_sbg(loaded);
+  ASSERT_EQ(a.final_states.size(), b.final_states.size());
+  for (std::size_t i = 0; i < a.final_states.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.final_states[i], b.final_states[i]);
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a scenario\n"
+      "n = 4\n"
+      "\n"
+      "f = 1   # fault bound\n"
+      "rounds = 10\n"
+      "function = huber(-1, 2, 1)\n"
+      "function = huber(0, 2, 1)\n"
+      "function = huber(1, 2, 1)\n"
+      "function = huber(2, 2, 1)\n"
+      "initial = 0, 0, 0, 0\n");
+  const Scenario s = load_scenario(in);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_EQ(s.f, 1u);
+  EXPECT_EQ(s.functions.size(), 4u);
+}
+
+TEST(ScenarioIo, ErrorsArePointed) {
+  std::stringstream bad_key("n = 4\nwat = 9\n");
+  EXPECT_THROW(load_scenario(bad_key), ContractViolation);
+  std::stringstream bad_line("n = 4\njust words\n");
+  EXPECT_THROW(load_scenario(bad_line), ContractViolation);
+  std::stringstream bad_crash("n = 4\ncrash = 1 : 5\n");
+  EXPECT_THROW(load_scenario(bad_crash), ContractViolation);
+  std::stringstream invalid(
+      "n = 6\nf = 2\nrounds = 1\n"  // violates n > 3f at validate()
+      "function = huber(0,1,1)\nfunction = huber(0,1,1)\n"
+      "function = huber(0,1,1)\nfunction = huber(0,1,1)\n"
+      "function = huber(0,1,1)\nfunction = huber(0,1,1)\n"
+      "initial = 0,0,0,0,0,0\n");
+  EXPECT_THROW(load_scenario(invalid), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

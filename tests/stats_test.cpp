@@ -1,0 +1,82 @@
+// Tests for the descriptive-statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, SingleValue) {
+  const std::vector<double> v{3.5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(Stats, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW(summarize(v), ContractViolation);
+  EXPECT_THROW(quantile(v, 0.5), ContractViolation);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileRangeChecked) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, -0.1), ContractViolation);
+  EXPECT_THROW(quantile(v, 1.1), ContractViolation);
+}
+
+TEST(Stats, CorrelationPerfectAndInverse) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationNearZeroForIndependentSamples) {
+  Rng rng(12);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 1.0);
+    y[i] = rng.uniform(0.0, 1.0);
+  }
+  EXPECT_LT(std::abs(correlation(x, y)), 0.05);
+}
+
+TEST(Stats, CorrelationRequiresVariance) {
+  const std::vector<double> flat{1.0, 1.0, 1.0};
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(flat, x), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

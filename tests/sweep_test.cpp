@@ -1,0 +1,70 @@
+// Tests for the sweep aggregation module.
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "sim/scenario_io.hpp"
+#include "sim/sweep.hpp"
+
+namespace ftmao {
+namespace {
+
+SweepConfig small_config() {
+  SweepConfig c;
+  c.sizes = {{7, 2}};
+  c.attacks = {AttackKind::SplitBrain, AttackKind::Silent};
+  c.seeds = {1, 2};
+  c.rounds = 300;
+  return c;
+}
+
+TEST(Sweep, ProducesOneCellPerSizeAttackPair) {
+  SweepConfig c = small_config();
+  c.sizes = {{7, 2}, {10, 3}};
+  const auto cells = run_sweep(c);
+  EXPECT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].n, 7u);
+  EXPECT_EQ(cells[0].attack, AttackKind::SplitBrain);
+  EXPECT_EQ(cells[3].n, 10u);
+  EXPECT_EQ(cells[3].attack, AttackKind::Silent);
+}
+
+TEST(Sweep, AggregatesOverAllSeeds) {
+  const auto cells = run_sweep(small_config());
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.disagreement.count, 2u);
+    EXPECT_EQ(c.dist_to_y.count, 2u);
+    EXPECT_GE(c.disagreement.max, c.disagreement.median);
+  }
+}
+
+TEST(Sweep, Deterministic) {
+  const auto a = run_sweep(small_config());
+  const auto b = run_sweep(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].disagreement.median, b[i].disagreement.median);
+    EXPECT_DOUBLE_EQ(a[i].dist_to_y.max, b[i].dist_to_y.max);
+  }
+}
+
+TEST(Sweep, CsvShape) {
+  const auto cells = run_sweep(small_config());
+  const std::string csv = sweep_to_csv(cells);
+  EXPECT_EQ(csv.rfind("n,f,attack,seeds,", 0), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(cells.size()) + 1);
+  EXPECT_NE(csv.find("split-brain"), std::string::npos);
+}
+
+TEST(Sweep, ValidationCatchesBadGrid) {
+  SweepConfig c = small_config();
+  c.sizes = {{6, 2}};  // violates n > 3f
+  EXPECT_THROW(run_sweep(c), ContractViolation);
+  c = small_config();
+  c.seeds.clear();
+  EXPECT_THROW(run_sweep(c), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,123 @@
+// Tests for the theoretical-bound calculators, including the strongest
+// theory-vs-practice check in the suite: the measured disagreement of
+// every round of every attacked run must sit below the exact bound (10).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/theory.hpp"
+#include "func/library.hpp"
+#include "sim/runner.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(Theory, ContractionFactorValues) {
+  EXPECT_DOUBLE_EQ(contraction_factor(5, 2), 1.0 - 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(contraction_factor(3, 0), 1.0 - 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(contraction_factor(2, 1), 0.5);
+  EXPECT_THROW(contraction_factor(2, 2), ContractViolation);
+}
+
+TEST(Theory, BoundSeriesDecaysToZeroWithHarmonic) {
+  const HarmonicStep schedule;
+  const Series bound = disagreement_upper_bound(10.0, 2.0, schedule, 5, 2, 50000);
+  EXPECT_LT(bound.back(), 0.01);
+  // And it is monotone after the transient.
+  for (std::size_t t = 100; t < bound.size(); ++t)
+    EXPECT_LE(bound[t], bound[t - 1] + 1e-15);
+}
+
+TEST(Theory, BoundSeriesMatchesClosedFormFirstSteps) {
+  // D[1] = rho*D0 + 2 L lambda[0] rho, by hand for rho = 5/6, L = 1.
+  const HarmonicStep schedule;  // lambda[0] = 1
+  const Series bound = disagreement_upper_bound(6.0, 1.0, schedule, 5, 2, 2);
+  const double rho = 5.0 / 6.0;
+  EXPECT_DOUBLE_EQ(bound[0], 6.0);
+  EXPECT_DOUBLE_EQ(bound[1], rho * 6.0 + 2.0 * rho);
+  EXPECT_DOUBLE_EQ(bound[2], rho * bound[1] + 2.0 * 1.0 * rho);
+}
+
+TEST(Theory, Proposition1MatchesDirectSummation) {
+  const HarmonicStep schedule;
+  const double b = 0.8;
+  const Series l = proposition1_series(b, schedule, 60);
+  // Direct double loop for l(t) = sum_{r=0}^{t-1} lambda[r] b^{t-r}.
+  for (std::size_t t : {1ul, 5ul, 20ul, 60ul}) {
+    double direct = 0.0;
+    for (std::size_t r = 0; r < t; ++r)
+      direct += schedule.at(r) * std::pow(b, static_cast<double>(t - r));
+    EXPECT_NEAR(l[t], direct, 1e-12);
+  }
+}
+
+TEST(Theory, Proposition1GoesToZero) {
+  const HarmonicStep schedule;
+  const Series l = proposition1_series(0.9, schedule, 100000);
+  EXPECT_LT(l.back(), 1e-3);
+  // O(1/t): t * l(t) bounded.
+  EXPECT_LT(100000.0 * l.back(), 50.0);
+}
+
+TEST(Theory, TravelBudgetHarmonicIsLogarithmic) {
+  const HarmonicStep schedule;
+  const double b1 = travel_budget(1.0, schedule, 100);
+  const double b2 = travel_budget(1.0, schedule, 10000);
+  // 1 + H_{T-1} ~ ln T: quadrupling e-folds adds ~ log factor.
+  EXPECT_NEAR(b2 - b1, std::log(10000.0 / 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(travel_budget(2.0, schedule, 100), 2.0 * b1);
+}
+
+TEST(Theory, BoundRoundsToEpsilonConsistentWithSeries) {
+  const HarmonicStep schedule;
+  const double eps = 0.05;
+  const std::size_t t =
+      bound_rounds_to_epsilon(eps, 8.0, 2.0, schedule, 5, 2, 200000);
+  const Series bound = disagreement_upper_bound(8.0, 2.0, schedule, 5, 2, t);
+  EXPECT_LE(bound.back(), eps);
+  const Series before = disagreement_upper_bound(8.0, 2.0, schedule, 5, 2, t - 1);
+  EXPECT_GT(before.back(), eps);
+}
+
+// --------------------------------------------- measured <= bound, always
+
+class BoundDominatesMeasurement : public ::testing::TestWithParam<AttackKind> {};
+
+TEST_P(BoundDominatesMeasurement, EveryRoundUnderEveryAttack) {
+  Scenario s = make_standard_scenario(7, 2, 8.0, GetParam(), 2000);
+  const RunMetrics m = run_sbg(s);
+  const double L = family_gradient_bound(s.honest_functions());
+  const HarmonicStep schedule;
+  const Series bound = disagreement_upper_bound(
+      m.disagreement[0], L, schedule, 5, 2, s.rounds);
+  ASSERT_EQ(bound.size(), m.disagreement.size());
+  for (std::size_t t = 0; t < bound.size(); ++t) {
+    ASSERT_LE(m.disagreement[t], bound[t] + 1e-9)
+        << "round " << t << " violates the Lemma 3 bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Attacks, BoundDominatesMeasurement,
+    ::testing::Values(AttackKind::None, AttackKind::SplitBrain,
+                      AttackKind::SignFlip, AttackKind::HullEdgeUp,
+                      AttackKind::RandomNoise, AttackKind::PullToTarget,
+                      AttackKind::FlipFlop));
+
+TEST(Theory, MeasuredRoundsToEpsNeverExceedsBoundPrediction) {
+  Scenario s = make_standard_scenario(7, 2, 8.0, AttackKind::SplitBrain, 100000);
+  const RunMetrics m = run_sbg(s);
+  const double L = family_gradient_bound(s.honest_functions());
+  const HarmonicStep schedule;
+  for (double eps : {0.1, 0.01, 0.001}) {
+    const std::size_t measured = m.disagreement.settled_below(eps);
+    const std::size_t predicted = bound_rounds_to_epsilon(
+        eps, m.disagreement[0], L, schedule, 5, 2, s.rounds);
+    EXPECT_LE(measured, predicted) << "eps " << eps;
+  }
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,178 @@
+// Unit + property tests for the Trim function (Section 4) and companion
+// reducers. The key safety property: with at most f adversarial entries in
+// a multiset of size >= 2f+1, the trimmed midpoint always lies within the
+// convex hull of the honest entries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "trim/trim.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(Trim, NoRemovalWithFZero) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  const TrimResult r = trim(v, 0);
+  EXPECT_DOUBLE_EQ(r.y_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.y_l, 3.0);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);
+}
+
+TEST(Trim, RemovesExtremes) {
+  const std::vector<double> v{-100.0, 1.0, 2.0, 3.0, 100.0};
+  const TrimResult r = trim(v, 1);
+  EXPECT_DOUBLE_EQ(r.y_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.y_l, 3.0);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);
+}
+
+TEST(Trim, MinimumSizeExactly2fPlus1) {
+  const std::vector<double> v{5.0, -7.0, 1.0};
+  const TrimResult r = trim(v, 1);  // one value survives: y_s == y_l == 1
+  EXPECT_DOUBLE_EQ(r.y_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.y_l, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+}
+
+TEST(Trim, TooFewValuesThrows) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(trim(v, 1), ContractViolation);
+}
+
+TEST(Trim, DuplicatesCountAsMultiset) {
+  const std::vector<double> v{2.0, 2.0, 2.0, 2.0, 9.0};
+  const TrimResult r = trim(v, 1);
+  EXPECT_DOUBLE_EQ(r.y_s, 2.0);
+  EXPECT_DOUBLE_EQ(r.y_l, 2.0);
+}
+
+TEST(Trim, OrderInvariant) {
+  std::vector<double> v{5.0, -3.0, 7.0, 0.0, 2.0, 9.0, -8.0};
+  const double a = trim_value(v, 2);
+  std::sort(v.begin(), v.end(), std::greater<>());
+  EXPECT_DOUBLE_EQ(trim_value(v, 2), a);
+}
+
+TEST(Trim, TranslationEquivariant) {
+  Rng rng(3);
+  std::vector<double> v(9);
+  for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+  const double base = trim_value(v, 2);
+  for (auto& x : v) x += 10.0;
+  EXPECT_NEAR(trim_value(v, 2), base + 10.0, 1e-12);
+}
+
+TEST(Trim, ScaleEquivariant) {
+  Rng rng(4);
+  std::vector<double> v(9);
+  for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+  const double base = trim_value(v, 2);
+  for (auto& x : v) x *= 3.0;
+  EXPECT_NEAR(trim_value(v, 2), 3.0 * base, 1e-12);
+}
+
+// The paper's core robustness property: Trim's output is sandwiched by
+// honest values when at most f entries are adversarial.
+TEST(Trim, OutputInsideHonestHullProperty) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t f = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    const std::size_t honest = 2 * f + 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    std::vector<double> values;
+    double h_lo = 1e300, h_hi = -1e300;
+    for (std::size_t i = 0; i < honest; ++i) {
+      const double x = rng.uniform(-10.0, 10.0);
+      values.push_back(x);
+      h_lo = std::min(h_lo, x);
+      h_hi = std::max(h_hi, x);
+    }
+    const std::size_t byz = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(f)));
+    for (std::size_t i = 0; i < byz; ++i)
+      values.push_back(rng.uniform(-1e6, 1e6));  // arbitrary adversarial junk
+    const TrimResult r = trim(values, f);
+    EXPECT_GE(r.value, h_lo) << "trial " << trial;
+    EXPECT_LE(r.value, h_hi) << "trial " << trial;
+    EXPECT_GE(r.y_s, h_lo);
+    EXPECT_LE(r.y_l, h_hi);
+  }
+}
+
+// Without trimming (f = 0) a single adversarial value escapes the hull —
+// the contrast that motivates the algorithm.
+TEST(Trim, NoTrimIsNotRobust) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 1e6};
+  EXPECT_GT(minmax_midpoint(v), 3.0);
+  EXPECT_LE(trim_value(v, 1), 3.0);
+}
+
+// ----------------------------------------------------------- trimmed mean
+
+TEST(TrimmedMean, DropsExtremesAndAverages) {
+  const std::vector<double> v{-100.0, 1.0, 2.0, 3.0, 100.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 1), 2.0);
+}
+
+TEST(TrimmedMean, FZeroIsMean) {
+  const std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0), 3.0);
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(TrimmedMean, AlsoInsideHonestHull) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t f = 2;
+    std::vector<double> values;
+    double h_lo = 1e300, h_hi = -1e300;
+    for (std::size_t i = 0; i < 7; ++i) {
+      const double x = rng.uniform(0.0, 1.0);
+      values.push_back(x);
+      h_lo = std::min(h_lo, x);
+      h_hi = std::max(h_hi, x);
+    }
+    values.push_back(1e9);
+    values.push_back(-1e9);
+    const double tm = trimmed_mean(values, f);
+    EXPECT_GE(tm, h_lo);
+    EXPECT_LE(tm, h_hi);
+  }
+}
+
+// ------------------------------------------------------------------ means
+
+TEST(Mean, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW(mean(v), ContractViolation);
+  EXPECT_THROW(minmax_midpoint(v), ContractViolation);
+}
+
+TEST(MinmaxMidpoint, Midrange) {
+  const std::vector<double> v{4.0, -2.0, 1.0};
+  EXPECT_DOUBLE_EQ(minmax_midpoint(v), 1.0);
+}
+
+// Parameterized sweep: trim on sorted sequences 0..n-1 has a closed form.
+class TrimSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrimSweep, ClosedFormOnArithmeticSequence) {
+  const auto [n, f] = GetParam();
+  if (n < 2 * f + 1) GTEST_SKIP();
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+  const TrimResult r = trim(v, static_cast<std::size_t>(f));
+  EXPECT_DOUBLE_EQ(r.y_s, f);
+  EXPECT_DOUBLE_EQ(r.y_l, n - 1 - f);
+  EXPECT_DOUBLE_EQ(r.value, (n - 1) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TrimSweep,
+                         ::testing::Combine(::testing::Values(3, 5, 8, 13, 21, 40),
+                                            ::testing::Values(0, 1, 2, 3, 6)));
+
+}  // namespace
+}  // namespace ftmao

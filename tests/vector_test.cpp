@@ -1,0 +1,251 @@
+// Tests for the vector extension: Vec algebra, vector cost functions,
+// coordinate-wise SBG behaviour, and the non-convexity of the vector
+// valid-optima set (the paper's core obstruction for k >= 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/step_size.hpp"
+#include "vector/vector_sbg.hpp"
+#include "vector/vector_valid.hpp"
+
+namespace ftmao {
+namespace {
+
+// --------------------------------------------------------------------- Vec
+
+TEST(Vec, Arithmetic) {
+  const Vec a{1.0, 2.0};
+  const Vec b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vec{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+}
+
+TEST(Vec, Norms) {
+  const Vec v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.distance_to(Vec{0.0, 0.0}), 5.0);
+}
+
+TEST(Vec, DimMismatchThrows) {
+  Vec a{1.0, 2.0};
+  const Vec b{1.0};
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW(a.dot(b), ContractViolation);
+}
+
+// --------------------------------------------------------- cost functions
+
+TEST(SeparableHuber, GradientPerCoordinate) {
+  const SeparableHuber h(Vec{1.0, -1.0}, 2.0, 1.0);
+  const Vec g = h.gradient(Vec{2.0, -1.0});
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.0);
+  EXPECT_DOUBLE_EQ(h.value(Vec{1.0, -1.0}), 0.0);
+}
+
+TEST(RadialHuber, RotationInvariantValue) {
+  const RadialHuber h(Vec{0.0, 0.0}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.value(Vec{3.0, 0.0}), h.value(Vec{0.0, 3.0}));
+  EXPECT_DOUBLE_EQ(h.value(Vec{3.0, 4.0}), 1.0 * (5.0 - 0.5));
+}
+
+TEST(RadialHuber, GradientPointsAwayFromCenterBounded) {
+  const RadialHuber h(Vec{1.0, 1.0}, 1.0, 2.0);
+  const Vec g = h.gradient(Vec{4.0, 1.0});
+  EXPECT_DOUBLE_EQ(g[0], 2.0);  // saturated slope scale*delta
+  EXPECT_DOUBLE_EQ(g[1], 0.0);
+  EXPECT_EQ(h.gradient(Vec{1.0, 1.0}), (Vec{0.0, 0.0}));
+}
+
+TEST(DirectionalHuber, GradientAlongDirection) {
+  const DirectionalHuber h(Vec{3.0, 4.0}, 0.0, 1.0, 1.0);  // normalized inside
+  const Vec g = h.gradient(Vec{10.0, 10.0});
+  // gradient parallel to (0.6, 0.8)
+  EXPECT_NEAR(g[0] / g[1], 0.6 / 0.8, 1e-12);
+}
+
+TEST(VectorWeightedSum, MinimizerOfSymmetricPair) {
+  const auto a = std::make_shared<SeparableHuber>(Vec{-2.0, 0.0}, 5.0, 1.0);
+  const auto b = std::make_shared<SeparableHuber>(Vec{2.0, 0.0}, 5.0, 1.0);
+  const VectorWeightedSum sum({{0.5, a}, {0.5, b}});
+  const Vec m = sum.a_minimizer();
+  EXPECT_NEAR(m[0], 0.0, 1e-5);
+  EXPECT_NEAR(m[1], 0.0, 1e-5);
+}
+
+// ----------------------------------------------------- coordinate-wise SBG
+
+VectorSbgConfig cfg(std::size_t n, std::size_t f, std::size_t dim) {
+  VectorSbgConfig c;
+  c.n = n;
+  c.f = f;
+  c.dim = dim;
+  return c;
+}
+
+std::vector<VectorFunctionPtr> separable_costs() {
+  return {
+      std::make_shared<SeparableHuber>(Vec{-3.0, 1.0}, 2.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{-1.0, -2.0}, 2.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{0.0, 0.0}, 2.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{2.0, 2.0}, 2.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{4.0, -1.0}, 2.0, 1.0),
+  };
+}
+
+std::vector<Vec> spread_initial(std::size_t count) {
+  std::vector<Vec> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = -4.0 + 8.0 * static_cast<double>(i) /
+                                 static_cast<double>(count - 1);
+    out.push_back(Vec{v, -v});
+  }
+  return out;
+}
+
+TEST(VectorSbg, ConsensusPerCoordinateUnderSplitBrain) {
+  const HarmonicStep schedule;
+  VectorSplitBrain attack(2, 50.0, 5.0);
+  const auto r = run_vector_sbg(cfg(7, 2, 2), separable_costs(),
+                                spread_initial(5), 2, &attack, schedule, 6000);
+  EXPECT_LT(r.disagreement.back(), 0.05);
+}
+
+TEST(VectorSbg, SeparableCostsLandNearAverageOptimumRegion) {
+  // For separable costs, each coordinate independently satisfies the
+  // scalar Theorem 2, so the final point sits inside the per-coordinate
+  // valid boxes — within a modest distance of the average optimum.
+  const HarmonicStep schedule;
+  VectorSplitBrain attack(2, 50.0, 5.0);
+  const auto r = run_vector_sbg(cfg(7, 2, 2), separable_costs(),
+                                spread_initial(5), 2, &attack, schedule, 6000);
+  EXPECT_LT(r.dist_to_average_optimum.back(), 4.0);
+}
+
+TEST(VectorSbg, FaultFreeWithPositiveFConverges) {
+  // No actual faults, but the algorithm still trims for f = 1.
+  const HarmonicStep schedule;
+  const auto r = run_vector_sbg(cfg(5, 1, 2), separable_costs(),
+                                spread_initial(5), 0, nullptr, schedule, 4000);
+  EXPECT_LT(r.disagreement.back(), 0.05);
+  EXPECT_LT(r.dist_to_average_optimum.back(), 0.5);
+}
+
+TEST(VectorSbg, DimMismatchRejected) {
+  const HarmonicStep schedule;
+  VectorSbgConfig c = cfg(4, 1, 3);  // functions are 2-D
+  EXPECT_THROW(VectorSbgAgent(AgentId{0}, separable_costs()[0], Vec{0, 0, 0},
+                              schedule, c),
+               ContractViolation);
+}
+
+TEST(VectorSbg, BoxConstraintKeepsStatesInside) {
+  const HarmonicStep schedule;
+  VectorSbgConfig c = cfg(7, 2, 2);
+  c.constraint = {Interval(-1.0, 0.5), Interval(0.0, 2.0)};
+  VectorSplitBrain attack(2, 50.0, 5.0);
+  const auto r = run_vector_sbg(c, separable_costs(), spread_initial(5), 2,
+                                &attack, schedule, 3000);
+  for (const Vec& x : r.final_states) {
+    EXPECT_GE(x[0], -1.0 - 1e-12);
+    EXPECT_LE(x[0], 0.5 + 1e-12);
+    EXPECT_GE(x[1], 0.0 - 1e-12);
+    EXPECT_LE(x[1], 2.0 + 1e-12);
+  }
+  EXPECT_LT(r.disagreement.back(), 0.05);
+}
+
+TEST(VectorSbg, ConstraintDimMismatchRejected) {
+  const HarmonicStep schedule;
+  VectorSbgConfig c = cfg(7, 2, 2);
+  c.constraint = {Interval(-1.0, 1.0)};  // only one interval for dim 2
+  EXPECT_THROW(VectorSbgAgent(AgentId{0}, separable_costs()[0], Vec{0.0, 0.0},
+                              schedule, c),
+               ContractViolation);
+}
+
+TEST(VectorSbg, InactiveBoxMatchesUnconstrained) {
+  const HarmonicStep schedule;
+  VectorSbgConfig unconstrained = cfg(7, 2, 2);
+  VectorSbgConfig boxed = cfg(7, 2, 2);
+  boxed.constraint = {Interval(-100.0, 100.0), Interval(-100.0, 100.0)};
+  VectorSplitBrain attack_a(2, 50.0, 5.0), attack_b(2, 50.0, 5.0);
+  const auto a = run_vector_sbg(unconstrained, separable_costs(),
+                                spread_initial(5), 2, &attack_a, schedule, 500);
+  const auto b = run_vector_sbg(boxed, separable_costs(), spread_initial(5), 2,
+                                &attack_b, schedule, 500);
+  ASSERT_EQ(a.final_states.size(), b.final_states.size());
+  for (std::size_t i = 0; i < a.final_states.size(); ++i)
+    EXPECT_EQ(a.final_states[i], b.final_states[i]);
+}
+
+// ------------------------------------------------- vector valid set Y_k
+
+std::vector<VectorFunctionPtr> radial_triangle() {
+  // Three radial hubers at the corners of a triangle + two repeats to get
+  // m = 5 > 2f with f = 1. Coupled (rotation-invariant) costs.
+  return {
+      std::make_shared<RadialHuber>(Vec{0.0, 0.0}, 3.0, 1.0),
+      std::make_shared<RadialHuber>(Vec{8.0, 0.0}, 3.0, 1.0),
+      std::make_shared<RadialHuber>(Vec{4.0, 7.0}, 3.0, 1.0),
+      std::make_shared<RadialHuber>(Vec{0.5, 0.5}, 3.0, 1.0),
+      std::make_shared<RadialHuber>(Vec{7.5, 0.5}, 3.0, 1.0),
+  };
+}
+
+TEST(VectorValid, UniformAverageOptimumIsValid) {
+  const auto fns = radial_triangle();
+  std::vector<VectorWeightedSum::Term> terms;
+  for (const auto& fn : fns) terms.push_back({0.2, fn});
+  const Vec opt = VectorWeightedSum(std::move(terms)).a_minimizer();
+  EXPECT_TRUE(is_valid_vector_optimum(opt, fns, 1, 1e-3));
+}
+
+TEST(VectorValid, FarawayPointIsNotValid) {
+  const auto fns = radial_triangle();
+  EXPECT_FALSE(is_valid_vector_optimum(Vec{100.0, 100.0}, fns, 1, 1e-3));
+}
+
+TEST(VectorValid, RandomValidOptimaAreMembers) {
+  const auto fns = radial_triangle();
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Vec x = random_valid_optimum(fns, 1, rng);
+    EXPECT_TRUE(is_valid_vector_optimum(x, fns, 1, 1e-3)) << "sample " << i;
+  }
+}
+
+TEST(VectorValid, SeparableFamilyMidpointsStayValid) {
+  // For separable costs the valid set is (coordinate-wise) convex-ish: the
+  // counterexample search should come up empty.
+  const std::vector<VectorFunctionPtr> fns{
+      std::make_shared<SeparableHuber>(Vec{0.0, 0.0}, 3.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{1.0, 1.0}, 3.0, 1.0),
+      std::make_shared<SeparableHuber>(Vec{2.0, -1.0}, 3.0, 1.0),
+  };
+  Rng rng(5);
+  EXPECT_FALSE(find_nonconvexity(fns, 0, rng, 40).has_value());
+}
+
+TEST(VectorValid, CoupledFamilyExhibitsNonconvexity) {
+  // The paper's obstruction: for coupled (radial) costs the valid-optima
+  // set is NOT convex — two valid optima whose midpoint is not valid.
+  const auto fns = radial_triangle();
+  Rng rng(11);
+  const auto counterexample = find_nonconvexity(fns, 1, rng, 120);
+  ASSERT_TRUE(counterexample.has_value());
+  EXPECT_TRUE(is_valid_vector_optimum(counterexample->a, fns, 1, 1e-3));
+  EXPECT_TRUE(is_valid_vector_optimum(counterexample->b, fns, 1, 1e-3));
+  EXPECT_FALSE(is_valid_vector_optimum(counterexample->midpoint, fns, 1, 1e-5));
+}
+
+}  // namespace
+}  // namespace ftmao
