@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao.dir/ftmao_cli.cpp.o"
+  "CMakeFiles/ftmao.dir/ftmao_cli.cpp.o.d"
+  "ftmao"
+  "ftmao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

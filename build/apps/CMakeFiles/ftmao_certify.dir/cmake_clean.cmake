@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_certify.dir/ftmao_certify.cpp.o"
+  "CMakeFiles/ftmao_certify.dir/ftmao_certify.cpp.o.d"
+  "ftmao_certify"
+  "ftmao_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_sweep.dir/ftmao_sweep.cpp.o"
+  "CMakeFiles/ftmao_sweep.dir/ftmao_sweep.cpp.o.d"
+  "ftmao_sweep"
+  "ftmao_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

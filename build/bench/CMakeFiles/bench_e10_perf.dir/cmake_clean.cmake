@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_perf.dir/e10_perf.cpp.o"
+  "CMakeFiles/bench_e10_perf.dir/e10_perf.cpp.o.d"
+  "bench_e10_perf"
+  "bench_e10_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

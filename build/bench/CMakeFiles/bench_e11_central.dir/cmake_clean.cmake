@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_central.dir/e11_central.cpp.o"
+  "CMakeFiles/bench_e11_central.dir/e11_central.cpp.o.d"
+  "bench_e11_central"
+  "bench_e11_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_graphs.dir/e12_graphs.cpp.o"
+  "CMakeFiles/bench_e12_graphs.dir/e12_graphs.cpp.o.d"
+  "bench_e12_graphs"
+  "bench_e12_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_vector.dir/e13_vector.cpp.o"
+  "CMakeFiles/bench_e13_vector.dir/e13_vector.cpp.o.d"
+  "bench_e13_vector"
+  "bench_e13_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_nonsmooth.dir/e14_nonsmooth.cpp.o"
+  "CMakeFiles/bench_e14_nonsmooth.dir/e14_nonsmooth.cpp.o.d"
+  "bench_e14_nonsmooth"
+  "bench_e14_nonsmooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_nonsmooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_async_rbc.dir/e15_async_rbc.cpp.o"
+  "CMakeFiles/bench_e15_async_rbc.dir/e15_async_rbc.cpp.o.d"
+  "bench_e15_async_rbc"
+  "bench_e15_async_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_async_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

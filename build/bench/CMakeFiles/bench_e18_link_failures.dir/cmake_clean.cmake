@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_link_failures.dir/e18_link_failures.cpp.o"
+  "CMakeFiles/bench_e18_link_failures.dir/e18_link_failures.cpp.o.d"
+  "bench_e18_link_failures"
+  "bench_e18_link_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_link_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

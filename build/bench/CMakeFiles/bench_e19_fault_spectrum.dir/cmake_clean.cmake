@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_fault_spectrum.dir/e19_fault_spectrum.cpp.o"
+  "CMakeFiles/bench_e19_fault_spectrum.dir/e19_fault_spectrum.cpp.o.d"
+  "bench_e19_fault_spectrum"
+  "bench_e19_fault_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_fault_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_optimality.dir/e2_optimality.cpp.o"
+  "CMakeFiles/bench_e2_optimality.dir/e2_optimality.cpp.o.d"
+  "bench_e2_optimality"
+  "bench_e2_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

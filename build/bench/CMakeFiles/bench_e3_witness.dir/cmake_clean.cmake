@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_witness.dir/e3_witness.cpp.o"
+  "CMakeFiles/bench_e3_witness.dir/e3_witness.cpp.o.d"
+  "bench_e3_witness"
+  "bench_e3_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_impossibility.dir/e4_impossibility.cpp.o"
+  "CMakeFiles/bench_e4_impossibility.dir/e4_impossibility.cpp.o.d"
+  "bench_e4_impossibility"
+  "bench_e4_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_constrained.dir/e6_constrained.cpp.o"
+  "CMakeFiles/bench_e6_constrained.dir/e6_constrained.cpp.o.d"
+  "bench_e6_constrained"
+  "bench_e6_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_crash.dir/e7_crash.cpp.o"
+  "CMakeFiles/bench_e7_crash.dir/e7_crash.cpp.o.d"
+  "bench_e7_crash"
+  "bench_e7_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

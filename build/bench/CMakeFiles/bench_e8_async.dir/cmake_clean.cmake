@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_async.dir/e8_async.cpp.o"
+  "CMakeFiles/bench_e8_async.dir/e8_async.cpp.o.d"
+  "bench_e8_async"
+  "bench_e8_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

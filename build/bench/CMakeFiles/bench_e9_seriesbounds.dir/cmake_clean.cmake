@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_seriesbounds.dir/e9_seriesbounds.cpp.o"
+  "CMakeFiles/bench_e9_seriesbounds.dir/e9_seriesbounds.cpp.o.d"
+  "bench_e9_seriesbounds"
+  "bench_e9_seriesbounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_seriesbounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

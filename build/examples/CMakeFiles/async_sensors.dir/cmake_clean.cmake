@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_sensors.dir/async_sensors.cpp.o"
+  "CMakeFiles/async_sensors.dir/async_sensors.cpp.o.d"
+  "async_sensors"
+  "async_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

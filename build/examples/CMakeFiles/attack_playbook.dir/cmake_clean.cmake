@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_playbook.dir/attack_playbook.cpp.o"
+  "CMakeFiles/attack_playbook.dir/attack_playbook.cpp.o.d"
+  "attack_playbook"
+  "attack_playbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_playbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

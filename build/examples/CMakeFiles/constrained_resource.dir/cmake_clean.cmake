@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_resource.dir/constrained_resource.cpp.o"
+  "CMakeFiles/constrained_resource.dir/constrained_resource.cpp.o.d"
+  "constrained_resource"
+  "constrained_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

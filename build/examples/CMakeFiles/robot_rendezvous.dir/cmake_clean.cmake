@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_rendezvous.dir/robot_rendezvous.cpp.o"
+  "CMakeFiles/robot_rendezvous.dir/robot_rendezvous.cpp.o.d"
+  "robot_rendezvous"
+  "robot_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

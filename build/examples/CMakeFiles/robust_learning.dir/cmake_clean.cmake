@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_learning.dir/robust_learning.cpp.o"
+  "CMakeFiles/robust_learning.dir/robust_learning.cpp.o.d"
+  "robust_learning"
+  "robust_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

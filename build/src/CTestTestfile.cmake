@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("func")
+subdirs("opt")
+subdirs("lp")
+subdirs("trim")
+subdirs("net")
+subdirs("adversary")
+subdirs("core")
+subdirs("consensus")
+subdirs("central")
+subdirs("baseline")
+subdirs("sim")
+subdirs("graph")
+subdirs("vector")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_adversary.dir/strategies.cpp.o"
+  "CMakeFiles/ftmao_adversary.dir/strategies.cpp.o.d"
+  "libftmao_adversary.a"
+  "libftmao_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_baseline.dir/consistent.cpp.o"
+  "CMakeFiles/ftmao_baseline.dir/consistent.cpp.o.d"
+  "CMakeFiles/ftmao_baseline.dir/dgd.cpp.o"
+  "CMakeFiles/ftmao_baseline.dir/dgd.cpp.o.d"
+  "CMakeFiles/ftmao_baseline.dir/local_gd.cpp.o"
+  "CMakeFiles/ftmao_baseline.dir/local_gd.cpp.o.d"
+  "libftmao_baseline.a"
+  "libftmao_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_central.dir/central_sbg.cpp.o"
+  "CMakeFiles/ftmao_central.dir/central_sbg.cpp.o.d"
+  "libftmao_central.a"
+  "libftmao_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

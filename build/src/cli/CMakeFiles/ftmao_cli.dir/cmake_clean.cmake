@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_cli.dir/args.cpp.o"
+  "CMakeFiles/ftmao_cli.dir/args.cpp.o.d"
+  "CMakeFiles/ftmao_cli.dir/cli_app.cpp.o"
+  "CMakeFiles/ftmao_cli.dir/cli_app.cpp.o.d"
+  "libftmao_cli.a"
+  "libftmao_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

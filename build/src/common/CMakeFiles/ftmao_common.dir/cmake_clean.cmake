@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_common.dir/rng.cpp.o"
+  "CMakeFiles/ftmao_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ftmao_common.dir/series.cpp.o"
+  "CMakeFiles/ftmao_common.dir/series.cpp.o.d"
+  "CMakeFiles/ftmao_common.dir/stats.cpp.o"
+  "CMakeFiles/ftmao_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ftmao_common.dir/table.cpp.o"
+  "CMakeFiles/ftmao_common.dir/table.cpp.o.d"
+  "libftmao_common.a"
+  "libftmao_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

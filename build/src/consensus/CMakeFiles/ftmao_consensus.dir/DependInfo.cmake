@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/eig.cpp" "src/consensus/CMakeFiles/ftmao_consensus.dir/eig.cpp.o" "gcc" "src/consensus/CMakeFiles/ftmao_consensus.dir/eig.cpp.o.d"
+  "/root/repo/src/consensus/iterative.cpp" "src/consensus/CMakeFiles/ftmao_consensus.dir/iterative.cpp.o" "gcc" "src/consensus/CMakeFiles/ftmao_consensus.dir/iterative.cpp.o.d"
+  "/root/repo/src/consensus/rbc_sbg.cpp" "src/consensus/CMakeFiles/ftmao_consensus.dir/rbc_sbg.cpp.o" "gcc" "src/consensus/CMakeFiles/ftmao_consensus.dir/rbc_sbg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/ftmao_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftmao_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ftmao_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ftmao_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_consensus.dir/eig.cpp.o"
+  "CMakeFiles/ftmao_consensus.dir/eig.cpp.o.d"
+  "CMakeFiles/ftmao_consensus.dir/iterative.cpp.o"
+  "CMakeFiles/ftmao_consensus.dir/iterative.cpp.o.d"
+  "CMakeFiles/ftmao_consensus.dir/rbc_sbg.cpp.o"
+  "CMakeFiles/ftmao_consensus.dir/rbc_sbg.cpp.o.d"
+  "libftmao_consensus.a"
+  "libftmao_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admissibility.cpp" "src/core/CMakeFiles/ftmao_core.dir/admissibility.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/admissibility.cpp.o.d"
+  "/root/repo/src/core/async_sbg.cpp" "src/core/CMakeFiles/ftmao_core.dir/async_sbg.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/async_sbg.cpp.o.d"
+  "/root/repo/src/core/crash_sbg.cpp" "src/core/CMakeFiles/ftmao_core.dir/crash_sbg.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/crash_sbg.cpp.o.d"
+  "/root/repo/src/core/sbg.cpp" "src/core/CMakeFiles/ftmao_core.dir/sbg.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/sbg.cpp.o.d"
+  "/root/repo/src/core/step_size.cpp" "src/core/CMakeFiles/ftmao_core.dir/step_size.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/step_size.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/ftmao_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/valid_set.cpp" "src/core/CMakeFiles/ftmao_core.dir/valid_set.cpp.o" "gcc" "src/core/CMakeFiles/ftmao_core.dir/valid_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ftmao_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/ftmao_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftmao_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ftmao_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_core.dir/admissibility.cpp.o"
+  "CMakeFiles/ftmao_core.dir/admissibility.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/async_sbg.cpp.o"
+  "CMakeFiles/ftmao_core.dir/async_sbg.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/crash_sbg.cpp.o"
+  "CMakeFiles/ftmao_core.dir/crash_sbg.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/sbg.cpp.o"
+  "CMakeFiles/ftmao_core.dir/sbg.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/step_size.cpp.o"
+  "CMakeFiles/ftmao_core.dir/step_size.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/theory.cpp.o"
+  "CMakeFiles/ftmao_core.dir/theory.cpp.o.d"
+  "CMakeFiles/ftmao_core.dir/valid_set.cpp.o"
+  "CMakeFiles/ftmao_core.dir/valid_set.cpp.o.d"
+  "libftmao_core.a"
+  "libftmao_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

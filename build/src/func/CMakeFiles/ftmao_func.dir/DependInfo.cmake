@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/combination.cpp" "src/func/CMakeFiles/ftmao_func.dir/combination.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/combination.cpp.o.d"
+  "/root/repo/src/func/functions.cpp" "src/func/CMakeFiles/ftmao_func.dir/functions.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/functions.cpp.o.d"
+  "/root/repo/src/func/library.cpp" "src/func/CMakeFiles/ftmao_func.dir/library.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/library.cpp.o.d"
+  "/root/repo/src/func/nonsmooth.cpp" "src/func/CMakeFiles/ftmao_func.dir/nonsmooth.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/nonsmooth.cpp.o.d"
+  "/root/repo/src/func/spec.cpp" "src/func/CMakeFiles/ftmao_func.dir/spec.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/spec.cpp.o.d"
+  "/root/repo/src/func/validate.cpp" "src/func/CMakeFiles/ftmao_func.dir/validate.cpp.o" "gcc" "src/func/CMakeFiles/ftmao_func.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

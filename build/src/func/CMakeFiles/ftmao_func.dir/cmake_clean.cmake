@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_func.dir/combination.cpp.o"
+  "CMakeFiles/ftmao_func.dir/combination.cpp.o.d"
+  "CMakeFiles/ftmao_func.dir/functions.cpp.o"
+  "CMakeFiles/ftmao_func.dir/functions.cpp.o.d"
+  "CMakeFiles/ftmao_func.dir/library.cpp.o"
+  "CMakeFiles/ftmao_func.dir/library.cpp.o.d"
+  "CMakeFiles/ftmao_func.dir/nonsmooth.cpp.o"
+  "CMakeFiles/ftmao_func.dir/nonsmooth.cpp.o.d"
+  "CMakeFiles/ftmao_func.dir/spec.cpp.o"
+  "CMakeFiles/ftmao_func.dir/spec.cpp.o.d"
+  "CMakeFiles/ftmao_func.dir/validate.cpp.o"
+  "CMakeFiles/ftmao_func.dir/validate.cpp.o.d"
+  "libftmao_func.a"
+  "libftmao_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

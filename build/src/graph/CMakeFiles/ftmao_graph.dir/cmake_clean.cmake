@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_graph.dir/graph_runner.cpp.o"
+  "CMakeFiles/ftmao_graph.dir/graph_runner.cpp.o.d"
+  "CMakeFiles/ftmao_graph.dir/robustness.cpp.o"
+  "CMakeFiles/ftmao_graph.dir/robustness.cpp.o.d"
+  "CMakeFiles/ftmao_graph.dir/topology.cpp.o"
+  "CMakeFiles/ftmao_graph.dir/topology.cpp.o.d"
+  "libftmao_graph.a"
+  "libftmao_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

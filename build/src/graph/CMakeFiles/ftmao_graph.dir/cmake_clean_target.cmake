@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftmao_graph.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ftmao_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/ftmao_lp.dir/witness.cpp.o"
+  "CMakeFiles/ftmao_lp.dir/witness.cpp.o.d"
+  "libftmao_lp.a"
+  "libftmao_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

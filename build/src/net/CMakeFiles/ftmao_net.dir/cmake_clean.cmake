@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_net.dir/delay.cpp.o"
+  "CMakeFiles/ftmao_net.dir/delay.cpp.o.d"
+  "libftmao_net.a"
+  "libftmao_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/bisection.cpp" "src/opt/CMakeFiles/ftmao_opt.dir/bisection.cpp.o" "gcc" "src/opt/CMakeFiles/ftmao_opt.dir/bisection.cpp.o.d"
+  "/root/repo/src/opt/brent.cpp" "src/opt/CMakeFiles/ftmao_opt.dir/brent.cpp.o" "gcc" "src/opt/CMakeFiles/ftmao_opt.dir/brent.cpp.o.d"
+  "/root/repo/src/opt/golden.cpp" "src/opt/CMakeFiles/ftmao_opt.dir/golden.cpp.o" "gcc" "src/opt/CMakeFiles/ftmao_opt.dir/golden.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_opt.dir/bisection.cpp.o"
+  "CMakeFiles/ftmao_opt.dir/bisection.cpp.o.d"
+  "CMakeFiles/ftmao_opt.dir/brent.cpp.o"
+  "CMakeFiles/ftmao_opt.dir/brent.cpp.o.d"
+  "CMakeFiles/ftmao_opt.dir/golden.cpp.o"
+  "CMakeFiles/ftmao_opt.dir/golden.cpp.o.d"
+  "libftmao_opt.a"
+  "libftmao_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

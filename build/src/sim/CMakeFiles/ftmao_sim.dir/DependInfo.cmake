@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_runner.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/async_runner.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/async_runner.cpp.o.d"
+  "/root/repo/src/sim/attack_search.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/attack_search.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/attack_search.cpp.o.d"
+  "/root/repo/src/sim/certify.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o.d"
+  "/root/repo/src/sim/crash_runner.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/crash_runner.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/crash_runner.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/scenario_io.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/scenario_io.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/scenario_io.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/sweep.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ftmao_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ftmao_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftmao_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/ftmao_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftmao_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ftmao_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/ftmao_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ftmao_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_sim.dir/async_runner.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/async_runner.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/attack_search.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/attack_search.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/certify.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/certify.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/crash_runner.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/crash_runner.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/report.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/runner.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/scenario_io.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/sweep.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/sweep.cpp.o.d"
+  "CMakeFiles/ftmao_sim.dir/trace.cpp.o"
+  "CMakeFiles/ftmao_sim.dir/trace.cpp.o.d"
+  "libftmao_sim.a"
+  "libftmao_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_trim.dir/trim.cpp.o"
+  "CMakeFiles/ftmao_trim.dir/trim.cpp.o.d"
+  "libftmao_trim.a"
+  "libftmao_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

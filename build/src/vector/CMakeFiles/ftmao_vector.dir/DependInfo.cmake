@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vector/vec.cpp" "src/vector/CMakeFiles/ftmao_vector.dir/vec.cpp.o" "gcc" "src/vector/CMakeFiles/ftmao_vector.dir/vec.cpp.o.d"
+  "/root/repo/src/vector/vector_function.cpp" "src/vector/CMakeFiles/ftmao_vector.dir/vector_function.cpp.o" "gcc" "src/vector/CMakeFiles/ftmao_vector.dir/vector_function.cpp.o.d"
+  "/root/repo/src/vector/vector_sbg.cpp" "src/vector/CMakeFiles/ftmao_vector.dir/vector_sbg.cpp.o" "gcc" "src/vector/CMakeFiles/ftmao_vector.dir/vector_sbg.cpp.o.d"
+  "/root/repo/src/vector/vector_valid.cpp" "src/vector/CMakeFiles/ftmao_vector.dir/vector_valid.cpp.o" "gcc" "src/vector/CMakeFiles/ftmao_vector.dir/vector_valid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ftmao_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/ftmao_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftmao_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ftmao_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmao_vector.dir/vec.cpp.o"
+  "CMakeFiles/ftmao_vector.dir/vec.cpp.o.d"
+  "CMakeFiles/ftmao_vector.dir/vector_function.cpp.o"
+  "CMakeFiles/ftmao_vector.dir/vector_function.cpp.o.d"
+  "CMakeFiles/ftmao_vector.dir/vector_sbg.cpp.o"
+  "CMakeFiles/ftmao_vector.dir/vector_sbg.cpp.o.d"
+  "CMakeFiles/ftmao_vector.dir/vector_valid.cpp.o"
+  "CMakeFiles/ftmao_vector.dir/vector_valid.cpp.o.d"
+  "libftmao_vector.a"
+  "libftmao_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmao_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

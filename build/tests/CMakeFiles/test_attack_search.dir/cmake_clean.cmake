@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_search.dir/attack_search_test.cpp.o"
+  "CMakeFiles/test_attack_search.dir/attack_search_test.cpp.o.d"
+  "test_attack_search"
+  "test_attack_search.pdb"
+  "test_attack_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

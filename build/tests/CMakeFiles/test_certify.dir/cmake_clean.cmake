@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certify.dir/certify_test.cpp.o"
+  "CMakeFiles/test_certify.dir/certify_test.cpp.o.d"
+  "test_certify"
+  "test_certify.pdb"
+  "test_certify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus.dir/consensus_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus_test.cpp.o.d"
+  "test_consensus"
+  "test_consensus.pdb"
+  "test_consensus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

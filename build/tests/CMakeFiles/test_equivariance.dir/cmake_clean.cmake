@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivariance.dir/equivariance_test.cpp.o"
+  "CMakeFiles/test_equivariance.dir/equivariance_test.cpp.o.d"
+  "test_equivariance"
+  "test_equivariance.pdb"
+  "test_equivariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonsmooth.dir/nonsmooth_test.cpp.o"
+  "CMakeFiles/test_nonsmooth.dir/nonsmooth_test.cpp.o.d"
+  "test_nonsmooth"
+  "test_nonsmooth.pdb"
+  "test_nonsmooth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonsmooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valid_set.dir/valid_set_test.cpp.o"
+  "CMakeFiles/test_valid_set.dir/valid_set_test.cpp.o.d"
+  "test_valid_set"
+  "test_valid_set.pdb"
+  "test_valid_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valid_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
