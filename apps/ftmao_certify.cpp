@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
       {"spread", "cost-optima layout width", "8", false},
       {"consensus-eps", "final-disagreement acceptance", "0.05", false},
       {"optimality-eps", "final Dist-to-Y acceptance", "0.1", false},
+      {"threads", "worker threads (0 = all cores); report is identical "
+                  "for every value", "1", false},
       {"help", "show usage", "false", true},
   });
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
     options.spread = parser.get_double("spread");
     options.consensus_eps = parser.get_double("consensus-eps");
     options.optimality_eps = parser.get_double("optimality-eps");
+    options.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
 
     std::cout << "certifying SBG at n=" << options.n << ", f=" << options.f
               << " over 10 attacks, " << options.rounds << " rounds...\n\n";

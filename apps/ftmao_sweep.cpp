@@ -45,6 +45,7 @@ SweepConfig config_from(const cli::ArgParser& parser) {
   config.step.kind = parse_step_kind(parser.get("step"));
   config.step.scale = parser.get_double("step-scale");
   config.step.exponent = parser.get_double("step-exp");
+  config.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
   return config;
 }
 
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
       {"step", "harmonic | power | constant", "harmonic", false},
       {"step-scale", "step size scale", "1", false},
       {"step-exp", "exponent for --step power", "0.75", false},
+      {"threads", "worker threads (0 = all cores); output is identical "
+                  "for every value", "1", false},
       {"csv", "emit CSV instead of the table", "false", true},
       {"help", "show usage", "false", true},
   });

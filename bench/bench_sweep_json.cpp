@@ -1,0 +1,141 @@
+// bench_sweep_json — tracked performance baseline for the sweep engine.
+//
+// Times the default ftmao_sweep grid at 1 thread and at N threads and
+// writes BENCH_sweep.json (cells/sec, rounds/sec, agent-rounds/sec per
+// thread count, plus the parallel speedup). Committed at the repo root so
+// future PRs have a trajectory to regress against; see docs/performance.md
+// for how to read and refresh it.
+//
+//   bench_sweep_json [--rounds R] [--seeds K] [--threads N] [--out FILE]
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "sim/scenario_io.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace ftmao;
+
+struct Throughput {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+  double runs_per_sec = 0.0;
+  double rounds_per_sec = 0.0;
+  double agent_rounds_per_sec = 0.0;
+};
+
+Throughput measure(const SweepConfig& config, std::size_t threads) {
+  SweepConfig timed = config;
+  timed.num_threads = threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<SweepCell> cells = run_sweep(timed);
+  const auto stop = std::chrono::steady_clock::now();
+
+  const std::size_t runs = cells.size() * config.seeds.size();
+  std::size_t agent_rounds = 0;
+  for (const SweepCell& c : cells)
+    agent_rounds += c.n * config.rounds * config.seeds.size();
+
+  Throughput r;
+  r.threads = threads;
+  r.seconds = std::chrono::duration<double>(stop - start).count();
+  if (r.seconds > 0.0) {
+    r.cells_per_sec = static_cast<double>(cells.size()) / r.seconds;
+    r.runs_per_sec = static_cast<double>(runs) / r.seconds;
+    r.rounds_per_sec = static_cast<double>(runs * config.rounds) / r.seconds;
+    r.agent_rounds_per_sec = static_cast<double>(agent_rounds) / r.seconds;
+  }
+  return r;
+}
+
+void emit(std::ostream& os, const Throughput& t) {
+  os << "    {\"threads\": " << t.threads << ", \"seconds\": " << t.seconds
+     << ", \"cells_per_sec\": " << t.cells_per_sec
+     << ", \"runs_per_sec\": " << t.runs_per_sec
+     << ", \"rounds_per_sec\": " << t.rounds_per_sec
+     << ", \"agent_rounds_per_sec\": " << t.agent_rounds_per_sec << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftmao;
+  cli::ArgParser parser({
+      {"rounds", "iterations per run", "1000", false},
+      {"seeds", "seeds per cell (1..k)", "3", false},
+      {"threads", "parallel thread count to compare against 1 "
+                  "(0 = all cores)", "0", false},
+      {"out", "output path", "BENCH_sweep.json", false},
+      {"help", "show usage", "false", true},
+  });
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (const auto error = parser.parse(args)) {
+    std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
+    return 2;
+  }
+  if (parser.get_bool("help")) {
+    std::cout << "bench_sweep_json — sweep-engine throughput baseline\n\n"
+              << parser.help_text();
+    return 0;
+  }
+
+  try {
+    // The ftmao_sweep default grid (sizes and attacks), with the round
+    // and seed counts trimmed so refreshing the baseline stays cheap.
+    SweepConfig config;
+    config.sizes = {{7, 2}, {10, 3}, {13, 4}};
+    config.attacks = {AttackKind::SplitBrain, AttackKind::SignFlip,
+                      AttackKind::PullToTarget};
+    const auto seed_count = static_cast<std::uint64_t>(parser.get_int("seeds"));
+    for (std::uint64_t s = 1; s <= seed_count; ++s) config.seeds.push_back(s);
+    config.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
+
+    std::size_t parallel = static_cast<std::size_t>(parser.get_int("threads"));
+    if (parallel == 0) parallel = std::thread::hardware_concurrency();
+    if (parallel == 0) parallel = 1;
+
+    const Throughput serial = measure(config, 1);
+    const Throughput threaded =
+        parallel > 1 ? measure(config, parallel) : serial;
+
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\n"
+       << "  \"benchmark\": \"sweep_default_grid\",\n"
+       << "  \"grid\": {\"sizes\": \"7:2,10:3,13:4\", "
+       << "\"attacks\": \"split-brain,sign-flip,pull\", "
+       << "\"seeds\": " << config.seeds.size()
+       << ", \"rounds\": " << config.rounds << "},\n"
+       << "  \"results\": [\n";
+    emit(os, serial);
+    os << ",\n";
+    emit(os, threaded);
+    os << "\n  ],\n"
+       << "  \"speedup\": "
+       << (threaded.seconds > 0.0 ? serial.seconds / threaded.seconds : 1.0)
+       << "\n}\n";
+
+    const std::string path = parser.get("out");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 1;
+    }
+    out << os.str();
+    std::cout << os.str();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

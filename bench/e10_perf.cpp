@@ -84,13 +84,14 @@ BENCHMARK(BM_WitnessAudit)->Arg(5)->Arg(8)->Arg(11);
 void BM_SbgFullRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t f = (n - 1) / 3;
-  Scenario s = make_standard_scenario(n, f, 8.0, AttackKind::SplitBrain, 1);
+  // Pre-built outside the loop: per-iteration PauseTiming/ResumeTiming has
+  // ~100ns+ overhead that dwarfs and distorts small-n timings. run_sbg
+  // takes the scenario by const& and never mutates it, so one instance
+  // serves every iteration.
+  const Scenario s =
+      make_standard_scenario(n, f, 8.0, AttackKind::SplitBrain, 10);
   for (auto _ : state) {
-    state.PauseTiming();
-    Scenario fresh = s;
-    fresh.rounds = 10;
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(run_sbg(fresh));
+    benchmark::DoNotOptimize(run_sbg(s));
   }
   state.SetItemsProcessed(state.iterations() * 10);
 }

@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ftmao {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_threads(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  work_cv_.notify_all();
+  // jthread members join on destruction; workers drain the queue before
+  // honouring the stop request, so no submitted task is lost.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&body, i] { body(i); });
+  }
+  pool.wait();
+}
+
+void parallel_for_each(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  const std::size_t resolved = ThreadPool::resolve_threads(threads);
+  if (resolved <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min(resolved, count));
+  parallel_for_each(pool, count, body);
+}
+
+}  // namespace ftmao

@@ -1,0 +1,80 @@
+#pragma once
+
+// Minimal fixed-size thread pool for embarrassingly-parallel experiment
+// grids (sweeps, attack searches, certification barrages).
+//
+// Design constraints, in order:
+//   1. Determinism: the pool never decides *what* a task computes, only
+//      *when*. Callers address all output by task index into pre-sized
+//      storage, so results are bit-identical regardless of thread count
+//      or scheduling order.
+//   2. Exception propagation: the first exception thrown by any task is
+//      captured and rethrown from wait()/parallel_for_each on the calling
+//      thread; remaining queued tasks still run (they are independent
+//      grid cells — partial results are not observable anyway because the
+//      rethrow happens after the barrier).
+//   3. No work stealing, no futures, no per-task allocation beyond the
+//      queued closure: tasks here are whole simulation runs (milliseconds
+//      to seconds), so queue contention is negligible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftmao {
+
+/// Fixed set of std::jthread workers draining a shared FIFO queue.
+/// Destruction drains the queue, then joins.
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (if one did). The pool is reusable
+  /// after wait() returns or throws.
+  void wait();
+
+  /// Resolves a user-facing thread-count knob: 0 -> hardware concurrency,
+  /// anything else unchanged (always >= 1).
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop(std::stop_token stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_cv_;   ///< workers wait here
+  std::condition_variable idle_cv_;       ///< wait() waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  std::vector<std::jthread> workers_;  ///< last member: joins before the rest die
+};
+
+/// Runs body(0) .. body(count - 1) on the pool and blocks until all are
+/// done. Rethrows the first task exception.
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+
+/// Convenience: `threads <= 1` (after resolving 0 to hardware concurrency)
+/// runs the loop inline on the calling thread — the exact serial path with
+/// zero threading overhead — otherwise spins up a transient pool. This is
+/// what the grid drivers call with their `num_threads` knob.
+void parallel_for_each(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace ftmao

@@ -40,8 +40,10 @@ std::optional<SbgPayload> AsyncSbgAgent::maybe_advance() {
   if (it == buffer_.end() || it->second.size() < config_.quorum())
     return std::nullopt;
 
-  std::vector<double> states;
-  std::vector<double> gradients;
+  std::vector<double>& states = states_scratch_;
+  std::vector<double>& gradients = gradients_scratch_;
+  states.clear();
+  gradients.clear();
   states.reserve(it->second.size());
   gradients.reserve(it->second.size());
   for (const auto& [from, payload] : it->second) {
@@ -49,8 +51,9 @@ std::optional<SbgPayload> AsyncSbgAgent::maybe_advance() {
     gradients.push_back(payload.gradient);
   }
 
-  const double trimmed_state = trim_value(states, config_.f);
-  const double trimmed_gradient = trim_value(gradients, config_.f);
+  const double trimmed_state = trim_value(states, config_.f, trim_scratch_);
+  const double trimmed_gradient =
+      trim_value(gradients, config_.f, trim_scratch_);
   const double lambda = schedule_->at(round_.value - 1);
   state_ = trimmed_state - lambda * trimmed_gradient;
   history_.push_back(state_);

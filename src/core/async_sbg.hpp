@@ -61,6 +61,10 @@ class AsyncSbgAgent final : public AsyncNode<SbgPayload> {
   std::vector<double> history_;
   // round -> (sender -> first payload received with that tag)
   std::map<std::uint32_t, std::map<AgentId, SbgPayload>> buffer_;
+  // Advance-scoped scratch reused across rounds (no per-round allocation).
+  std::vector<double> states_scratch_;
+  std::vector<double> gradients_scratch_;
+  std::vector<double> trim_scratch_;
 };
 
 }  // namespace ftmao

@@ -33,8 +33,10 @@ void SbgAgent::step(Round t, std::span<const Received<SbgPayload>> inbox) {
 
   // Step 2: D^x and D^g include our own tuple plus one entry per other
   // agent, substituting the default for agents we heard nothing from.
-  std::vector<double> states;
-  std::vector<double> gradients;
+  std::vector<double>& states = states_scratch_;
+  std::vector<double>& gradients = gradients_scratch_;
+  states.clear();
+  gradients.clear();
   states.reserve(config_.n);
   gradients.reserve(config_.n);
   states.push_back(state_);
@@ -51,8 +53,9 @@ void SbgAgent::step(Round t, std::span<const Received<SbgPayload>> inbox) {
   }
 
   // Step 3: independent trims, then the gradient step with lambda[t-1].
-  const double trimmed_state = trim_value(states, config_.f);
-  const double trimmed_gradient = trim_value(gradients, config_.f);
+  const double trimmed_state = trim_value(states, config_.f, trim_scratch_);
+  const double trimmed_gradient =
+      trim_value(gradients, config_.f, trim_scratch_);
   const double lambda = schedule_->at(t.value - 1);
   const double unprojected = trimmed_state - lambda * trimmed_gradient;
 

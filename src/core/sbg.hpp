@@ -66,6 +66,11 @@ class SbgAgent final : public SyncNode<SbgPayload> {
   const StepSchedule* schedule_;  // non-owning; outlives the agent
   SbgConfig config_;
   StepDiagnostics last_step_{};
+  // Step-scoped scratch reused across rounds so a run of T rounds costs
+  // O(1) allocations per agent instead of O(T).
+  std::vector<double> states_scratch_;
+  std::vector<double> gradients_scratch_;
+  std::vector<double> trim_scratch_;
 };
 
 }  // namespace ftmao

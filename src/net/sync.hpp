@@ -101,30 +101,34 @@ class SyncEngine {
 
   /// Executes one synchronous iteration: collect honest broadcasts, let
   /// Byzantine nodes react, deliver, and step every honest node.
+  /// The broadcast and inbox buffers are engine members reused across
+  /// rounds, so a multi-thousand-round run allocates only during the first
+  /// round (the dominant cost of small-n rounds was this churn).
   void run_round(Round t) {
     // Step 1: honest broadcasts (one payload for all recipients).
-    std::vector<Received<P>> honest_msgs;
-    honest_msgs.reserve(honest_.size());
-    for (auto& [id, node] : honest_) honest_msgs.push_back({id, node->broadcast(t)});
+    broadcast_scratch_.clear();
+    broadcast_scratch_.reserve(honest_.size());
+    for (auto& [id, node] : honest_)
+      broadcast_scratch_.push_back({id, node->broadcast(t)});
 
-    const RoundView<P> view{t, honest_msgs};
+    const RoundView<P> view{t, broadcast_scratch_};
 
     // Step 2: build each honest recipient's inbox.
     for (auto& [rid, rnode] : honest_) {
-      std::vector<Received<P>> inbox;
-      inbox.reserve(num_agents() - 1);
-      for (const auto& msg : honest_msgs) {
+      inbox_scratch_.clear();
+      inbox_scratch_.reserve(num_agents() - 1);
+      for (const auto& msg : broadcast_scratch_) {
         if (msg.from != rid && deliverable(msg.from, rid, t))
-          inbox.push_back(msg);
+          inbox_scratch_.push_back(msg);
       }
       for (auto& [bid, bnode] : byzantine_) {
         if (!deliverable(bid, rid, t)) continue;
         if (auto payload = bnode->send_to(bid, rid, view)) {
-          inbox.push_back({bid, *payload});
+          inbox_scratch_.push_back({bid, *payload});
         }
       }
-      messages_delivered_ += inbox.size();
-      rnode->step(t, inbox);
+      messages_delivered_ += inbox_scratch_.size();
+      rnode->step(t, inbox_scratch_);
     }
   }
 
@@ -150,6 +154,9 @@ class SyncEngine {
   std::vector<std::pair<AgentId, ByzantineNode<P>*>> byzantine_;
   DeliveryFilter filter_;
   std::uint64_t messages_delivered_ = 0;
+  // Round-scoped scratch (see run_round); never read across rounds.
+  std::vector<Received<P>> broadcast_scratch_;
+  std::vector<Received<P>> inbox_scratch_;
 };
 
 }  // namespace ftmao

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/runner.hpp"
 
 namespace ftmao {
@@ -55,7 +56,8 @@ std::vector<AttackCandidate> standard_attack_grid() {
 }
 
 AttackSearchResult find_strongest_attack(
-    const Scenario& base, const std::vector<AttackCandidate>& candidates) {
+    const Scenario& base, const std::vector<AttackCandidate>& candidates,
+    std::size_t num_threads) {
   FTMAO_EXPECTS(!candidates.empty());
 
   Scenario clean = base;
@@ -67,18 +69,21 @@ AttackSearchResult find_strongest_attack(
   result.reference_state = reference.final_states.front();
   result.optima = reference.optima;
 
-  for (const AttackCandidate& candidate : candidates) {
+  // Index-addressed evaluation: outcome i always describes candidate i,
+  // so the sort below sees the same array whatever the thread count.
+  result.outcomes.resize(candidates.size());
+  const double reference_state = result.reference_state;
+  parallel_for_each(num_threads, candidates.size(), [&](std::size_t i) {
     Scenario attacked = base;
-    attacked.attack = candidate.config;
+    attacked.attack = candidates[i].config;
     const RunMetrics m = run_sbg(attacked);
-    AttackOutcome outcome;
-    outcome.name = candidate.name;
+    AttackOutcome& outcome = result.outcomes[i];
+    outcome.name = candidates[i].name;
     outcome.final_state = m.final_states.front();
-    outcome.bias = std::abs(outcome.final_state - result.reference_state);
+    outcome.bias = std::abs(outcome.final_state - reference_state);
     outcome.dist_to_y = m.final_max_dist();
     outcome.disagreement = m.final_disagreement();
-    result.outcomes.push_back(std::move(outcome));
-  }
+  });
   std::sort(result.outcomes.begin(), result.outcomes.end(),
             [](const AttackOutcome& a, const AttackOutcome& b) {
               return a.bias > b.bias;

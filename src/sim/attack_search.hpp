@@ -40,8 +40,11 @@ struct AttackSearchResult {
 std::vector<AttackCandidate> standard_attack_grid();
 
 /// Runs `base` once without attack (reference) and once per candidate.
-/// `base`'s own attack field is ignored.
+/// `base`'s own attack field is ignored. Candidates are evaluated on
+/// `num_threads` workers (1 = serial, 0 = hardware concurrency); each
+/// writes to its own slot, so the ranking is identical for every value.
 AttackSearchResult find_strongest_attack(
-    const Scenario& base, const std::vector<AttackCandidate>& candidates);
+    const Scenario& base, const std::vector<AttackCandidate>& candidates,
+    std::size_t num_threads = 1);
 
 }  // namespace ftmao

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/theory.hpp"
 #include "func/library.hpp"
 #include "sim/runner.hpp"
@@ -50,50 +51,82 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   bool bounds_ok = true;
   std::string bound_detail = "measured <= Lemma 3 bound every round";
 
+  // Each attack's run is independent; evaluate them on the pool, writing
+  // per-attack verdicts into fixed slots, then fold in grid order below so
+  // the report (including which attack is named "worst") is byte-identical
+  // to the serial path regardless of thread count.
+  struct AttackVerdict {
+    std::string attack;
+    double disagreement = 0.0;
+    double dist = 0.0;
+    bool witnesses_ok = true;
+    bool invariants_ok = true;
+    std::string invariant_violation;
+    bool bounds_ok = true;
+    std::string bound_violation;
+  };
+  const std::vector<AttackKind>& grid = attack_grid();
+  std::vector<AttackVerdict> verdicts(grid.size());
+
   const HarmonicStep harmonic;
-  for (AttackKind kind : attack_grid()) {
-    Scenario s = scenario_for(options, kind);
+  parallel_for_each(options.num_threads, grid.size(), [&](std::size_t i) {
+    Scenario s = scenario_for(options, grid[i]);
     RunOptions run_options;
     run_options.record_trace = true;
     run_options.audit_witnesses = true;
     run_options.audit_every = 5;
     run_options.audit_max_rounds = 100;
     const RunMetrics m = run_sbg(s, run_options);
-    const std::string attack = attack_kind_name(kind);
 
-    if (m.final_disagreement() > worst_disagreement) {
-      worst_disagreement = m.final_disagreement();
-      worst_disagreement_attack = attack;
-    }
-    if (m.final_max_dist() > worst_dist) {
-      worst_dist = m.final_max_dist();
-      worst_dist_attack = attack;
-    }
-    if (!m.state_witness.all_passed() || !m.gradient_witness.all_passed()) {
-      witnesses_ok = false;
-      witness_detail = "witness audit failed under " + attack;
-    }
+    AttackVerdict& v = verdicts[i];
+    v.attack = attack_kind_name(grid[i]);
+    v.disagreement = m.final_disagreement();
+    v.dist = m.final_max_dist();
+    v.witnesses_ok =
+        m.state_witness.all_passed() && m.gradient_witness.all_passed();
 
     const double L = family_gradient_bound(s.honest_functions());
     if (s.step.kind == StepKind::Harmonic) {
       const InvariantReport inv =
           check_sbg_invariants(*m.trace, s.f, L, harmonic);
       if (!inv.ok) {
-        invariants_ok = false;
-        invariant_detail =
-            "under " + attack + ": " + inv.violations.front();
+        v.invariants_ok = false;
+        v.invariant_violation = inv.violations.front();
       }
       const Series bound = disagreement_upper_bound(
           m.disagreement[0], L, harmonic, s.n - s.f, s.f, s.rounds);
       for (std::size_t t = 0; t < bound.size(); ++t) {
         if (m.disagreement[t] > bound[t] + 1e-9) {
-          bounds_ok = false;
+          v.bounds_ok = false;
           std::ostringstream os;
-          os << "bound violated under " << attack << " at round " << t;
-          bound_detail = os.str();
+          os << "bound violated under " << v.attack << " at round " << t;
+          v.bound_violation = os.str();
           break;
         }
       }
+    }
+  });
+
+  for (const AttackVerdict& v : verdicts) {
+    if (v.disagreement > worst_disagreement) {
+      worst_disagreement = v.disagreement;
+      worst_disagreement_attack = v.attack;
+    }
+    if (v.dist > worst_dist) {
+      worst_dist = v.dist;
+      worst_dist_attack = v.attack;
+    }
+    if (!v.witnesses_ok) {
+      witnesses_ok = false;
+      witness_detail = "witness audit failed under " + v.attack;
+    }
+    if (!v.invariants_ok) {
+      invariants_ok = false;
+      invariant_detail = "under " + v.attack + ": " + v.invariant_violation;
+    }
+    if (!v.bounds_ok) {
+      bounds_ok = false;
+      bound_detail = v.bound_violation;
     }
   }
 

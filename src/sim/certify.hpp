@@ -20,6 +20,11 @@ struct CertifyOptions {
   std::uint64_t seed = 1;
   double consensus_eps = 0.05;  ///< final-disagreement acceptance
   double optimality_eps = 0.1;  ///< final Dist-to-Y acceptance
+
+  /// Worker threads for the attack grid (1 = serial, 0 = hardware
+  /// concurrency). The report is identical for every value: per-attack
+  /// results are computed into fixed slots and folded in grid order.
+  std::size_t num_threads = 1;
 };
 
 struct CertifyCheck {

@@ -1,7 +1,9 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "baseline/consistent.hpp"
@@ -62,17 +64,23 @@ RunMetrics run_with_agents(
   if (scenario.drop_probability > 0.0 || !scenario.crashes.empty()) {
     const std::uint64_t drop_seed = mix64(scenario.seed ^ 0xD509F00DULL);
     const double p = scenario.drop_probability;
-    const std::vector<std::size_t> faulty = scenario.faulty;
-    const auto crashes = scenario.crashes;
+    // Precompute O(1)-lookup tables once per run instead of copying the
+    // faulty/crash vectors into the lambda and scanning them per message:
+    // faulty_bitmap[i] marks Byzantine senders (exempt from drops),
+    // crash_round[i] is the round from which sender i falls silent.
+    constexpr std::uint32_t kNeverCrashes = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint8_t> faulty_bitmap(scenario.n, 0);
+    for (std::size_t idx : scenario.faulty) faulty_bitmap[idx] = 1;
+    std::vector<std::uint32_t> crash_round(scenario.n, kNeverCrashes);
+    for (const auto& [who, when] : scenario.crashes)
+      crash_round[who] = static_cast<std::uint32_t>(when);
     engine.set_delivery_filter(
-        [drop_seed, p, faulty, crashes](AgentId from, AgentId to, Round t) {
-          for (const auto& [who, when] : crashes) {
-            if (from.value == who && t.value >= when) return false;
-          }
+        [drop_seed, p, faulty_bitmap = std::move(faulty_bitmap),
+         crash_round = std::move(crash_round)](AgentId from, AgentId to,
+                                               Round t) {
+          if (t.value >= crash_round[from.value]) return false;
           if (p <= 0.0) return true;
-          if (std::find(faulty.begin(), faulty.end(), from.value) !=
-              faulty.end())
-            return true;
+          if (faulty_bitmap[from.value]) return true;
           std::uint64_t h = mix64(drop_seed ^ from.value);
           h = mix64(h ^ to.value);
           h = mix64(h ^ t.value);

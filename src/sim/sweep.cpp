@@ -1,8 +1,10 @@
 #include "sim/sweep.hpp"
 
+#include <span>
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 
@@ -18,39 +20,61 @@ void SweepConfig::validate() const {
 
 std::vector<SweepCell> run_sweep(const SweepConfig& config) {
   config.validate();
-  std::vector<SweepCell> cells;
-  for (const auto& [n, f] : config.sizes) {
-    for (AttackKind attack : config.attacks) {
-      SweepCell cell;
-      cell.n = n;
-      cell.f = f;
-      cell.attack = attack;
-      std::vector<double> disagreements, dists;
-      for (std::uint64_t seed : config.seeds) {
-        Scenario s = make_standard_scenario(n, f, config.spread, attack,
-                                            config.rounds, seed);
+
+  struct CellSpec {
+    std::size_t n, f;
+    AttackKind attack;
+  };
+  std::vector<CellSpec> specs;
+  specs.reserve(config.sizes.size() * config.attacks.size());
+  for (const auto& [n, f] : config.sizes)
+    for (AttackKind attack : config.attacks) specs.push_back({n, f, attack});
+
+  // One task per (cell, seed) run for load balancing (cells differ in n).
+  // Every run derives its randomness solely from its own seed and writes
+  // to its own index, so the aggregate below sees exactly the sequence the
+  // serial path would have produced, whatever the thread count.
+  const std::size_t num_seeds = config.seeds.size();
+  std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
+  std::vector<double> dists(specs.size() * num_seeds, 0.0);
+  parallel_for_each(
+      config.num_threads, specs.size() * num_seeds, [&](std::size_t task) {
+        const CellSpec& spec = specs[task / num_seeds];
+        Scenario s =
+            make_standard_scenario(spec.n, spec.f, config.spread, spec.attack,
+                                   config.rounds, config.seeds[task % num_seeds]);
         s.step = config.step;
         const RunMetrics m = run_sbg(s);
-        disagreements.push_back(m.final_disagreement());
-        dists.push_back(m.final_max_dist());
-      }
-      cell.disagreement = summarize(disagreements);
-      cell.dist_to_y = summarize(dists);
-      cells.push_back(std::move(cell));
-    }
+        disagreements[task] = m.final_disagreement();
+        dists[task] = m.final_max_dist();
+      });
+
+  std::vector<SweepCell> cells(specs.size());
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    cells[c].n = specs[c].n;
+    cells[c].f = specs[c].f;
+    cells[c].attack = specs[c].attack;
+    cells[c].disagreement =
+        summarize(std::span(disagreements).subspan(c * num_seeds, num_seeds));
+    cells[c].dist_to_y =
+        summarize(std::span(dists).subspan(c * num_seeds, num_seeds));
   }
   return cells;
 }
 
 std::string sweep_to_csv(const std::vector<SweepCell>& cells) {
   std::ostringstream os;
-  os << "n,f,attack,seeds,disagr_median,disagr_max,dist_median,dist_max\n";
+  os << "n,f,attack,seeds,dist_count,disagr_median,disagr_max,dist_median,"
+        "dist_max\n";
   os.precision(10);
   for (const SweepCell& c : cells) {
+    // Hand-built cells may carry empty summaries; emit zeros rather than
+    // whatever summarize-of-nothing would have divided into.
+    const Summary disagr = c.disagreement.count > 0 ? c.disagreement : Summary{};
+    const Summary dist = c.dist_to_y.count > 0 ? c.dist_to_y : Summary{};
     os << c.n << ',' << c.f << ',' << attack_kind_name(c.attack) << ','
-       << c.disagreement.count << ',' << c.disagreement.median << ','
-       << c.disagreement.max << ',' << c.dist_to_y.median << ','
-       << c.dist_to_y.max << '\n';
+       << disagr.count << ',' << dist.count << ',' << disagr.median << ','
+       << disagr.max << ',' << dist.median << ',' << dist.max << '\n';
   }
   return os.str();
 }

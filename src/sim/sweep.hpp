@@ -21,6 +21,12 @@ struct SweepConfig {
   std::size_t rounds = 4000;
   StepConfig step;
 
+  /// Worker threads for the grid. 1 = serial (the reference path); 0 =
+  /// hardware concurrency. Results are bit-identical for every value:
+  /// each (cell, seed) run is independently seeded and written to its own
+  /// pre-assigned output slot, so scheduling order cannot leak in.
+  std::size_t num_threads = 1;
+
   void validate() const;
 };
 

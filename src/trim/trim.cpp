@@ -7,34 +7,51 @@
 
 namespace ftmao {
 
-TrimResult trim(std::span<const double> values, std::size_t f) {
+TrimResult trim(std::span<const double> values, std::size_t f,
+                std::vector<double>& scratch) {
   FTMAO_EXPECTS(values.size() >= 2 * f + 1);
-  std::vector<double> sorted(values.begin(), values.end());
+  scratch.assign(values.begin(), values.end());
   // Only the f-th and (size-1-f)-th order statistics matter; partial
   // selection keeps this O(n) rather than O(n log n).
-  auto ys_it = sorted.begin() + static_cast<std::ptrdiff_t>(f);
-  std::nth_element(sorted.begin(), ys_it, sorted.end());
+  auto ys_it = scratch.begin() + static_cast<std::ptrdiff_t>(f);
+  std::nth_element(scratch.begin(), ys_it, scratch.end());
   const double y_s = *ys_it;
-  auto yl_it = sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() - 1 - f);
-  std::nth_element(ys_it, yl_it, sorted.end());
+  auto yl_it = scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() - 1 - f);
+  std::nth_element(ys_it, yl_it, scratch.end());
   const double y_l = *yl_it;
 
   FTMAO_ENSURES(y_s <= y_l);
   return TrimResult{y_s + (y_l - y_s) / 2.0, y_s, y_l};
 }
 
+TrimResult trim(std::span<const double> values, std::size_t f) {
+  std::vector<double> scratch;
+  return trim(values, f, scratch);
+}
+
 double trim_value(std::span<const double> values, std::size_t f) {
   return trim(values, f).value;
 }
 
-double trimmed_mean(std::span<const double> values, std::size_t f) {
+double trim_value(std::span<const double> values, std::size_t f,
+                  std::vector<double>& scratch) {
+  return trim(values, f, scratch).value;
+}
+
+double trimmed_mean(std::span<const double> values, std::size_t f,
+                    std::vector<double>& scratch) {
   FTMAO_EXPECTS(values.size() >= 2 * f + 1);
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  const auto first = sorted.begin() + static_cast<std::ptrdiff_t>(f);
-  const auto last = sorted.end() - static_cast<std::ptrdiff_t>(f);
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  const auto first = scratch.begin() + static_cast<std::ptrdiff_t>(f);
+  const auto last = scratch.end() - static_cast<std::ptrdiff_t>(f);
   const double sum = std::accumulate(first, last, 0.0);
   return sum / static_cast<double>(last - first);
+}
+
+double trimmed_mean(std::span<const double> values, std::size_t f) {
+  std::vector<double> scratch;
+  return trimmed_mean(values, f, scratch);
 }
 
 double mean(std::span<const double> values) {

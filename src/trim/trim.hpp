@@ -26,12 +26,26 @@ struct TrimResult {
 /// Applies Trim with parameter f. Requires values.size() >= 2f + 1.
 TrimResult trim(std::span<const double> values, std::size_t f);
 
+/// Scratch-buffer overload for hot loops: the selection happens inside
+/// `scratch` (resized/overwritten as needed), so a caller that reuses the
+/// same buffer across rounds performs no allocation after warm-up.
+TrimResult trim(std::span<const double> values, std::size_t f,
+                std::vector<double>& scratch);
+
 /// Convenience: just the trimmed midpoint.
 double trim_value(std::span<const double> values, std::size_t f);
+
+/// Allocation-free variant of trim_value (see the trim scratch overload).
+double trim_value(std::span<const double> values, std::size_t f,
+                  std::vector<double>& scratch);
 
 /// Mean of the surviving values after dropping f smallest and f largest
 /// (trimmed mean). Requires values.size() >= 2f + 1.
 double trimmed_mean(std::span<const double> values, std::size_t f);
+
+/// Allocation-free variant of trimmed_mean (see the trim scratch overload).
+double trimmed_mean(std::span<const double> values, std::size_t f,
+                    std::vector<double>& scratch);
 
 /// Plain arithmetic mean (crash-fault reducer: "no trimming at all").
 double mean(std::span<const double> values);

@@ -1,0 +1,87 @@
+// Determinism of the parallel grid drivers: every thread count must
+// reproduce the serial path byte for byte. This is the contract that lets
+// CI sweep wide grids on all cores without losing reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/attack_search.hpp"
+#include "sim/certify.hpp"
+#include "sim/sweep.hpp"
+
+namespace ftmao {
+namespace {
+
+SweepConfig grid_config() {
+  SweepConfig c;
+  c.sizes = {{7, 2}, {10, 3}};
+  c.attacks = {AttackKind::SplitBrain, AttackKind::SignFlip,
+               AttackKind::PullToTarget};
+  c.seeds = {1, 2, 3};
+  c.rounds = 200;
+  return c;
+}
+
+std::string csv_at(std::size_t threads) {
+  SweepConfig c = grid_config();
+  c.num_threads = threads;
+  return sweep_to_csv(run_sweep(c));
+}
+
+TEST(SweepParallel, CsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = csv_at(1);
+  EXPECT_EQ(csv_at(2), serial);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(csv_at(hw), serial);
+  EXPECT_EQ(csv_at(0), serial);  // 0 = auto must behave like hw
+}
+
+TEST(SweepParallel, OversubscribedStillIdentical) {
+  // More threads than grid cells: workers idle, output unchanged.
+  const std::string serial = csv_at(1);
+  EXPECT_EQ(csv_at(64), serial);
+}
+
+TEST(AttackSearchParallel, RankingIdenticalAcrossThreadCounts) {
+  const Scenario base =
+      make_standard_scenario(7, 2, 8.0, AttackKind::None, 300, 5);
+  const auto candidates = standard_attack_grid();
+  const AttackSearchResult serial = find_strongest_attack(base, candidates, 1);
+  const AttackSearchResult parallel =
+      find_strongest_attack(base, candidates, 4);
+
+  EXPECT_DOUBLE_EQ(parallel.reference_state, serial.reference_state);
+  ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(parallel.outcomes[i].name, serial.outcomes[i].name);
+    EXPECT_DOUBLE_EQ(parallel.outcomes[i].bias, serial.outcomes[i].bias);
+    EXPECT_DOUBLE_EQ(parallel.outcomes[i].final_state,
+                     serial.outcomes[i].final_state);
+  }
+}
+
+TEST(CertifyParallel, ReportIdenticalAcrossThreadCounts) {
+  CertifyOptions options;
+  options.n = 7;
+  options.f = 2;
+  options.rounds = 150;
+  options.consensus_eps = 1.0;  // generous: this test is about determinism,
+  options.optimality_eps = 1.0; // not about the acceptance thresholds
+  const CertificationReport serial = certify_sbg(options);
+  options.num_threads = 3;
+  const CertificationReport parallel = certify_sbg(options);
+
+  EXPECT_EQ(parallel.passed, serial.passed);
+  ASSERT_EQ(parallel.checks.size(), serial.checks.size());
+  for (std::size_t i = 0; i < serial.checks.size(); ++i) {
+    EXPECT_EQ(parallel.checks[i].name, serial.checks[i].name);
+    EXPECT_EQ(parallel.checks[i].passed, serial.checks[i].passed);
+    EXPECT_EQ(parallel.checks[i].detail, serial.checks[i].detail);
+  }
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,0 +1,117 @@
+// Tests for the common thread pool and parallel_for_each.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ftmao {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+  pool.wait();  // and must stay reusable
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Independent tasks keep running after one fails.
+  EXPECT_EQ(completed.load(), 9);
+  // The error does not stick to later, healthy batches.
+  pool.submit([&completed] { ++completed; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+    // No wait(): destruction must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  parallel_for_each(pool, hits.size(),
+                    [&hits](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ParallelForEach, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL(); });
+  parallel_for_each(/*threads=*/8, /*count=*/0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForEach, SingleThreadRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_each(/*threads=*/1, /*count=*/5,
+                    [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForEach, ConveniencePropagatesExceptions) {
+  EXPECT_THROW(parallel_for_each(/*threads=*/4, /*count=*/8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::logic_error("boom");
+                                 }),
+               std::logic_error);
+  EXPECT_THROW(parallel_for_each(/*threads=*/1, /*count=*/8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::logic_error("boom");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ParallelForEach, MoreTasksThanThreads) {
+  std::atomic<long> sum{0};
+  parallel_for_each(/*threads=*/3, /*count=*/1000,
+                    [&sum](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 999L * 1000L / 2);
+}
+
+}  // namespace
+}  // namespace ftmao
