@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sweep_json.cpp" "bench/CMakeFiles/bench_sweep_json.dir/bench_sweep_json.cpp.o" "gcc" "bench/CMakeFiles/bench_sweep_json.dir/bench_sweep_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/ftmao_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftmao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftmao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftmao_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/ftmao_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/central/CMakeFiles/ftmao_central.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ftmao_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ftmao_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftmao_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ftmao_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ftmao_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/ftmao_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftmao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

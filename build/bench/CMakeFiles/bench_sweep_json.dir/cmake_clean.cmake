@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_json.dir/bench_sweep_json.cpp.o"
+  "CMakeFiles/bench_sweep_json.dir/bench_sweep_json.cpp.o.d"
+  "bench_sweep_json"
+  "bench_sweep_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

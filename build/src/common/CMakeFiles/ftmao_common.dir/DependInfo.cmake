@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/series.cpp" "src/common/CMakeFiles/ftmao_common.dir/series.cpp.o" "gcc" "src/common/CMakeFiles/ftmao_common.dir/series.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/ftmao_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/ftmao_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/ftmao_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/ftmao_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/ftmao_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/ftmao_common.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

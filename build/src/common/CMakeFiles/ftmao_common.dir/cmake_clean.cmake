@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ftmao_common.dir/stats.cpp.o.d"
   "CMakeFiles/ftmao_common.dir/table.cpp.o"
   "CMakeFiles/ftmao_common.dir/table.cpp.o.d"
+  "CMakeFiles/ftmao_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ftmao_common.dir/thread_pool.cpp.o.d"
   "libftmao_common.a"
   "libftmao_common.pdb"
 )

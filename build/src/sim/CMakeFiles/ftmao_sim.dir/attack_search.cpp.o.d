@@ -258,4 +258,15 @@ src/sim/CMakeFiles/ftmao_sim.dir/attack_search.cpp.o: \
  /root/repo/src/common/../net/sync.hpp \
  /root/repo/src/common/../func/scalar_function.hpp \
  /root/repo/src/common/../common/table.hpp \
- /root/repo/src/common/../sim/runner.hpp
+ /root/repo/src/common/../common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/common/../sim/runner.hpp

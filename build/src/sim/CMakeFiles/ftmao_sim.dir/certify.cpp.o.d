@@ -171,21 +171,21 @@ src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/common/../common/contracts.hpp \
  /root/repo/src/common/../common/table.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/../core/theory.hpp \
- /root/repo/src/common/../common/series.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/common/../core/step_size.hpp \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /root/repo/src/common/../common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -207,7 +207,26 @@ src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/common/../core/theory.hpp \
+ /root/repo/src/common/../common/series.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/../core/step_size.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
@@ -224,8 +243,7 @@ src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -246,21 +264,13 @@ src/sim/CMakeFiles/ftmao_sim.dir/certify.cpp.o: \
  /root/repo/src/common/../common/interval.hpp \
  /root/repo/src/common/../sim/runner.hpp \
  /root/repo/src/common/../sim/metrics.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/../sim/trace.hpp \
  /root/repo/src/common/../sim/scenario.hpp \
  /root/repo/src/common/../adversary/strategies.hpp \
  /root/repo/src/common/../core/payload.hpp \
  /root/repo/src/common/../net/async.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/../common/types.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/../common/types.hpp \
  /root/repo/src/common/../net/delay.hpp \
  /root/repo/src/common/../net/sync.hpp \
  /root/repo/src/common/../sim/scenario_io.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_parallel.dir/sweep_parallel_test.cpp.o"
+  "CMakeFiles/test_sweep_parallel.dir/sweep_parallel_test.cpp.o.d"
+  "test_sweep_parallel"
+  "test_sweep_parallel.pdb"
+  "test_sweep_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

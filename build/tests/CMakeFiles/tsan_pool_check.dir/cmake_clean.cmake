@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsan_pool_check.dir/__/src/common/thread_pool.cpp.o"
+  "CMakeFiles/tsan_pool_check.dir/__/src/common/thread_pool.cpp.o.d"
+  "CMakeFiles/tsan_pool_check.dir/tsan_pool_check.cpp.o"
+  "CMakeFiles/tsan_pool_check.dir/tsan_pool_check.cpp.o.d"
+  "tsan_pool_check"
+  "tsan_pool_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsan_pool_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
