@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
       {"optimality-eps", "final Dist-to-Y acceptance", "0.1", false},
       {"threads", "worker threads (0 = all cores); report is identical "
                   "for every value", "1", false},
+      {"batch", "attacks per batched-engine call (0 = whole grid); report "
+                "is identical for every value", "0", false},
+      {"scalar", "force the scalar reference engine (one run per attack)",
+       "false", true},
       {"help", "show usage", "false", true},
   });
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
     options.consensus_eps = parser.get_double("consensus-eps");
     options.optimality_eps = parser.get_double("optimality-eps");
     options.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
+    options.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
+    options.scalar_engine = parser.get_bool("scalar");
 
     std::cout << "certifying SBG at n=" << options.n << ", f=" << options.f
               << " over 10 attacks, " << options.rounds << " rounds...\n\n";

@@ -46,6 +46,8 @@ SweepConfig config_from(const cli::ArgParser& parser) {
   config.step.scale = parser.get_double("step-scale");
   config.step.exponent = parser.get_double("step-exp");
   config.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
+  config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
+  config.scalar_engine = parser.get_bool("scalar");
   return config;
 }
 
@@ -65,6 +67,10 @@ int main(int argc, char** argv) {
       {"step-exp", "exponent for --step power", "0.75", false},
       {"threads", "worker threads (0 = all cores); output is identical "
                   "for every value", "1", false},
+      {"batch", "seeds per batched-engine call (0 = whole seed axis); "
+                "output is identical for every value", "0", false},
+      {"scalar", "force the scalar reference engine (one run per seed)",
+       "false", true},
       {"csv", "emit CSV instead of the table", "false", true},
       {"help", "show usage", "false", true},
   });

@@ -1,13 +1,17 @@
 // bench_sweep_json — tracked performance baseline for the sweep engine.
 //
-// Times the default ftmao_sweep grid at 1 thread and at N threads and
-// writes BENCH_sweep.json (cells/sec, rounds/sec, agent-rounds/sec per
-// thread count, plus the parallel speedup). Committed at the repo root so
-// future PRs have a trajectory to regress against; see docs/performance.md
-// for how to read and refresh it.
+// Times the default ftmao_sweep grid across a thread ladder (1, 2, 4,
+// all cores — deduplicated and capped at the machine's concurrency) and
+// writes BENCH_sweep.json (cells/sec, runs/sec, rounds/sec,
+// agent-rounds/sec per rung, plus the best-vs-1-thread speedup).
+// Committed at the repo root so future PRs have a trajectory to regress
+// against; scripts/bench_check.sh compares a fresh run to the committed
+// file. See docs/performance.md for how to read and refresh it.
 //
-//   bench_sweep_json [--rounds R] [--seeds K] [--threads N] [--out FILE]
+//   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
+//                    [--batch B] [--out FILE]
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -58,6 +62,22 @@ Throughput measure(const SweepConfig& config, std::size_t threads) {
   return r;
 }
 
+/// 1, 2, 4, all-cores — clipped to the machine and deduplicated, so a
+/// single-core box reports one rung instead of four copies of it.
+std::vector<std::size_t> thread_ladder() {
+  std::size_t max_threads = std::thread::hardware_concurrency();
+  if (max_threads == 0) max_threads = 1;
+  std::vector<std::size_t> ladder;
+  for (std::size_t rung : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           max_threads}) {
+    rung = std::min(rung, max_threads);
+    if (std::find(ladder.begin(), ladder.end(), rung) == ladder.end())
+      ladder.push_back(rung);
+  }
+  std::sort(ladder.begin(), ladder.end());
+  return ladder;
+}
+
 void emit(std::ostream& os, const Throughput& t) {
   os << "    {\"threads\": " << t.threads << ", \"seconds\": " << t.seconds
      << ", \"cells_per_sec\": " << t.cells_per_sec
@@ -73,8 +93,9 @@ int main(int argc, char** argv) {
   cli::ArgParser parser({
       {"rounds", "iterations per run", "1000", false},
       {"seeds", "seeds per cell (1..k)", "3", false},
-      {"threads", "parallel thread count to compare against 1 "
-                  "(0 = all cores)", "0", false},
+      {"engine", "sweep engine: batched | scalar", "batched", false},
+      {"batch", "replicas per batched-engine call (0 = whole seed axis)",
+       "0", false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
   });
@@ -100,30 +121,43 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= seed_count; ++s) config.seeds.push_back(s);
     config.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
 
-    std::size_t parallel = static_cast<std::size_t>(parser.get_int("threads"));
-    if (parallel == 0) parallel = std::thread::hardware_concurrency();
-    if (parallel == 0) parallel = 1;
+    const std::string engine = parser.get("engine");
+    if (engine != "batched" && engine != "scalar") {
+      std::cerr << "error: --engine must be 'batched' or 'scalar'\n";
+      return 2;
+    }
+    config.scalar_engine = engine == "scalar";
+    config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
 
-    const Throughput serial = measure(config, 1);
-    const Throughput threaded =
-        parallel > 1 ? measure(config, parallel) : serial;
+    std::vector<Throughput> results;
+    for (std::size_t threads : thread_ladder())
+      results.push_back(measure(config, threads));
+
+    const Throughput& serial = results.front();
+    double best_runs_per_sec = serial.runs_per_sec;
+    for (const Throughput& t : results)
+      best_runs_per_sec = std::max(best_runs_per_sec, t.runs_per_sec);
+    const double speedup = serial.runs_per_sec > 0.0
+                               ? best_runs_per_sec / serial.runs_per_sec
+                               : 1.0;
 
     std::ostringstream os;
     os.precision(6);
     os << "{\n"
        << "  \"benchmark\": \"sweep_default_grid\",\n"
+       << "  \"engine\": \"" << engine << "\",\n"
+       << "  \"batch_size\": " << config.batch_size << ",\n"
        << "  \"grid\": {\"sizes\": \"7:2,10:3,13:4\", "
        << "\"attacks\": \"split-brain,sign-flip,pull\", "
        << "\"seeds\": " << config.seeds.size()
        << ", \"rounds\": " << config.rounds << "},\n"
        << "  \"results\": [\n";
-    emit(os, serial);
-    os << ",\n";
-    emit(os, threaded);
-    os << "\n  ],\n"
-       << "  \"speedup\": "
-       << (threaded.seconds > 0.0 ? serial.seconds / threaded.seconds : 1.0)
-       << "\n}\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(os, results[i]);
+      os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n"
+       << "  \"speedup\": " << speedup << "\n}\n";
 
     const std::string path = parser.get("out");
     std::ofstream out(path);

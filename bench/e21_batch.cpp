@@ -1,0 +1,142 @@
+// E21 — batched-replica engine performance (google-benchmark).
+//
+// Microbenchmarks of the SoA kernels (trim_batch / trimmed_mean_batch vs
+// their scalar counterparts applied per replica) and of the whole round
+// loop (run_sbg per seed vs run_sbg_batch over the seed axis). The batched
+// numbers divide by the batch size where it makes per-replica costs
+// comparable. No paper counterpart; this is the harness's own hot path.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "trim/trim.hpp"
+#include "trim/trim_batch.hpp"
+
+namespace {
+
+using namespace ftmao;
+
+std::vector<double> random_matrix(std::size_t n, std::size_t batch,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(n * batch);
+  for (auto& x : m) x = rng.uniform(-10.0, 10.0);
+  return m;
+}
+
+// Scalar reference: trim each replica column independently, the work the
+// batched kernel replaces.
+void BM_TrimColumns_Scalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const std::size_t f = (n - 1) / 3;
+  const auto matrix = random_matrix(n, batch, 7);
+  std::vector<double> column(n);
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t s = 0; s < n; ++s) column[s] = matrix[s * batch + r];
+      benchmark::DoNotOptimize(trim_value(column, f, scratch));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TrimColumns_Scalar)
+    ->Args({7, 4})->Args({7, 16})->Args({13, 16})->Args({31, 16});
+
+void BM_TrimColumns_Batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const std::size_t f = (n - 1) / 3;
+  const auto matrix = random_matrix(n, batch, 7);
+  std::vector<double> scratch(n * batch);
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    scratch = matrix;  // trim_batch destroys its input
+    trim_batch(scratch.data(), n, batch, f, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TrimColumns_Batched)
+    ->Args({7, 4})->Args({7, 16})->Args({13, 16})->Args({31, 16});
+
+void BM_TrimmedMeanColumns_Batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const std::size_t f = (n - 1) / 3;
+  const auto matrix = random_matrix(n, batch, 7);
+  std::vector<double> scratch(n * batch);
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    scratch = matrix;
+    trimmed_mean_batch(scratch.data(), n, batch, f, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TrimmedMeanColumns_Batched)->Args({7, 16})->Args({13, 16});
+
+std::vector<Scenario> seed_replicas(std::size_t n, std::size_t f,
+                                    AttackKind attack, std::size_t rounds,
+                                    std::size_t batch) {
+  std::vector<Scenario> replicas;
+  replicas.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r)
+    replicas.push_back(
+        make_standard_scenario(n, f, 8.0, attack, rounds, 1 + r));
+  return replicas;
+}
+
+// Whole-round loop, scalar engine: one run_sbg per seed.
+void BM_RoundLoop_Scalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(n, (n - 1) / 3, kind, rounds, batch);
+  for (auto _ : state) {
+    for (const Scenario& s : replicas) {
+      benchmark::DoNotOptimize(run_sbg(s).final_disagreement());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+// Whole-round loop, batched engine: the seed axis advances in lockstep.
+void BM_RoundLoop_Batched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(n, (n - 1) / 3, kind, rounds, batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sbg_batch(replicas).front().final_disagreement());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+constexpr auto kNone = static_cast<int>(AttackKind::None);
+constexpr auto kSplitBrain = static_cast<int>(AttackKind::SplitBrain);
+constexpr auto kSignFlip = static_cast<int>(AttackKind::SignFlip);
+
+BENCHMARK(BM_RoundLoop_Scalar)
+    ->Args({7, 3, kNone})->Args({7, 3, kSplitBrain})->Args({7, 3, kSignFlip})
+    ->Args({13, 8, kNone})->Args({13, 8, kSplitBrain});
+BENCHMARK(BM_RoundLoop_Batched)
+    ->Args({7, 3, kNone})->Args({7, 3, kSplitBrain})->Args({7, 3, kSignFlip})
+    ->Args({13, 8, kNone})->Args({13, 8, kSplitBrain});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# bench_check.sh — performance regression gate for the sweep engine.
+#
+# Runs bench_sweep_json and fails (exit 1) if the fresh single-thread
+# runs_per_sec falls more than TOLERANCE below the committed
+# BENCH_sweep.json baseline. Wired as the ctest `bench_check` with label
+# `perf` (CONFIGURATIONS perf, so the default tier-1 `ctest` run skips it;
+# run it with `ctest -C perf` or directly).
+#
+#   scripts/bench_check.sh <bench_sweep_json-binary> <baseline.json> [tolerance]
+#
+# tolerance is the allowed fractional regression (default 0.10 = 10%).
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <bench_sweep_json-binary> <baseline.json> [tolerance]" >&2
+  exit 2
+fi
+
+BENCH_BIN=$1
+BASELINE=$2
+TOLERANCE=${3:-0.10}
+
+if [ ! -x "$BENCH_BIN" ]; then
+  echo "bench_check: bench binary not found or not executable: $BENCH_BIN" >&2
+  exit 2
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_check: baseline not found: $BASELINE" >&2
+  exit 2
+fi
+
+FRESH=$(mktemp /tmp/bench_sweep.XXXXXX.json)
+trap 'rm -f "$FRESH"' EXIT
+
+echo "bench_check: running $BENCH_BIN ..."
+"$BENCH_BIN" --out "$FRESH" > /dev/null
+
+python3 - "$BASELINE" "$FRESH" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def single_thread_runs_per_sec(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    for entry in doc["results"]:
+        if entry["threads"] == 1:
+            return float(entry["runs_per_sec"])
+    raise SystemExit(f"bench_check: no threads=1 entry in {path}")
+
+
+baseline = single_thread_runs_per_sec(baseline_path)
+fresh = single_thread_runs_per_sec(fresh_path)
+floor = baseline * (1.0 - tolerance)
+
+print(f"bench_check: baseline {baseline:.1f} runs/sec, fresh {fresh:.1f} "
+      f"runs/sec, floor {floor:.1f} (tolerance {tolerance:.0%})")
+if fresh < floor:
+    print("bench_check: FAIL — single-thread sweep throughput regressed")
+    raise SystemExit(1)
+print("bench_check: OK")
+EOF

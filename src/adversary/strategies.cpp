@@ -63,7 +63,9 @@ HullEdgeAdversary::HullEdgeAdversary(bool push_up) : push_up_(push_up) {}
 
 std::optional<SbgPayload> HullEdgeAdversary::send_to(
     AgentId, AgentId, const RoundView<SbgPayload>& view) {
-  if (view.honest_broadcasts.empty()) return std::nullopt;
+  if (!cache_.fresh(view.round)) return cache_.get();
+  if (view.honest_broadcasts.empty())
+    return cache_.store(view.round, std::nullopt);
   double state = view.honest_broadcasts.front().payload.state;
   double gradient = view.honest_broadcasts.front().payload.gradient;
   for (const auto& msg : view.honest_broadcasts) {
@@ -76,7 +78,7 @@ std::optional<SbgPayload> HullEdgeAdversary::send_to(
       gradient = std::max(gradient, msg.payload.gradient);
     }
   }
-  return SbgPayload{state, gradient};
+  return cache_.store(view.round, SbgPayload{state, gradient});
 }
 
 // ---------------------------------------------------------- RandomNoise
@@ -103,13 +105,16 @@ SignFlipAdversary::SignFlipAdversary(double amplification)
 
 std::optional<SbgPayload> SignFlipAdversary::send_to(
     AgentId, AgentId, const RoundView<SbgPayload>& view) {
-  if (view.honest_broadcasts.empty()) return std::nullopt;
+  if (!cache_.fresh(view.round)) return cache_.get();
+  if (view.honest_broadcasts.empty())
+    return cache_.store(view.round, std::nullopt);
   double mean_gradient = 0.0;
   for (const auto& msg : view.honest_broadcasts)
     mean_gradient += msg.payload.gradient;
   mean_gradient /= static_cast<double>(view.honest_broadcasts.size());
-  return SbgPayload{median_of(honest_states(view)),
-                    -amplification_ * mean_gradient};
+  return cache_.store(view.round,
+                      SbgPayload{median_of(honest_states(view)),
+                                 -amplification_ * mean_gradient});
 }
 
 // --------------------------------------------------------- PullToTarget
@@ -122,13 +127,15 @@ PullToTargetAdversary::PullToTargetAdversary(double target,
 
 std::optional<SbgPayload> PullToTargetAdversary::send_to(
     AgentId, AgentId, const RoundView<SbgPayload>& view) {
+  if (!cache_.fresh(view.round)) return cache_.get();
   if (view.honest_broadcasts.empty())
-    return SbgPayload{target_, 0.0};
+    return cache_.store(view.round, SbgPayload{target_, 0.0});
   const double median = median_of(honest_states(view));
   // A positive reported gradient pushes recipients' states down; point the
   // fake gradient from the honest median toward the target.
   const double direction = median > target_ ? 1.0 : -1.0;
-  return SbgPayload{target_, direction * gradient_magnitude_};
+  return cache_.store(view.round,
+                      SbgPayload{target_, direction * gradient_magnitude_});
 }
 
 // ---------------------------------------------------- DelayedActivation
@@ -150,13 +157,17 @@ std::optional<SbgPayload> DelayedActivationAdversary::send_to(
   if (view.round >= activation_) return late_->send_to(self, recipient, view);
   // Dormant phase: mimic a perfectly plausible honest agent (median state,
   // median gradient of the honest broadcasts).
-  if (view.honest_broadcasts.empty()) return std::nullopt;
+  if (!dormant_cache_.fresh(view.round)) return dormant_cache_.get();
+  if (view.honest_broadcasts.empty())
+    return dormant_cache_.store(view.round, std::nullopt);
   std::vector<double> states = honest_states(view);
   std::vector<double> gradients;
   gradients.reserve(view.honest_broadcasts.size());
   for (const auto& msg : view.honest_broadcasts)
     gradients.push_back(msg.payload.gradient);
-  return SbgPayload{median_of(std::move(states)), median_of(std::move(gradients))};
+  return dormant_cache_.store(
+      view.round,
+      SbgPayload{median_of(std::move(states)), median_of(std::move(gradients))});
 }
 
 // ------------------------------------------------------------- FlipFlop
@@ -167,7 +178,9 @@ FlipFlopAdversary::FlipFlopAdversary(std::size_t period) : period_(period) {
 
 std::optional<SbgPayload> FlipFlopAdversary::send_to(
     AgentId, AgentId, const RoundView<SbgPayload>& view) {
-  if (view.honest_broadcasts.empty()) return std::nullopt;
+  if (!cache_.fresh(view.round)) return cache_.get();
+  if (view.honest_broadcasts.empty())
+    return cache_.store(view.round, std::nullopt);
   const bool high = (view.round.value / period_) % 2 == 0;
   double state = view.honest_broadcasts.front().payload.state;
   double gradient = view.honest_broadcasts.front().payload.gradient;
@@ -180,7 +193,7 @@ std::optional<SbgPayload> FlipFlopAdversary::send_to(
       gradient = std::max(gradient, msg.payload.gradient);
     }
   }
-  return SbgPayload{state, gradient};
+  return cache_.store(view.round, SbgPayload{state, gradient});
 }
 
 }  // namespace ftmao

@@ -20,6 +20,7 @@
 // Byzantine interfaces (identical signatures), so the same attack runs
 // against SBG and async-SBG.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -36,6 +37,32 @@ class SbgAdversary : public ByzantineNode<SbgPayload>,
  public:
   std::optional<SbgPayload> send_to(AgentId self, AgentId recipient,
                                     const RoundView<SbgPayload>& view) override = 0;
+};
+
+/// Per-round payload memo for strategies whose payload is a pure function
+/// of the round view (recipient- and RNG-independent). Both engines fix
+/// the view for the duration of a round and call send_to once per
+/// recipient, so the derivation runs once per round and is replayed for
+/// the remaining n-1 recipients — same payload bits, O(view) work per
+/// round instead of per message.
+class RoundPayloadCache {
+ public:
+  bool fresh(Round round) const {
+    return !valid_ || round.value != round_;
+  }
+  const std::optional<SbgPayload>& store(Round round,
+                                         std::optional<SbgPayload> payload) {
+    round_ = round.value;
+    valid_ = true;
+    payload_ = payload;
+    return payload_;
+  }
+  const std::optional<SbgPayload>& get() const { return payload_; }
+
+ private:
+  std::uint32_t round_ = 0;
+  bool valid_ = false;
+  std::optional<SbgPayload> payload_;
 };
 
 /// Sends nothing; honest agents fall back to the default tuple (Step 2).
@@ -84,6 +111,7 @@ class HullEdgeAdversary final : public SbgAdversary {
 
  private:
   bool push_up_;
+  RoundPayloadCache cache_;
 };
 
 /// Independent uniform noise per (recipient, round); deterministic per
@@ -110,6 +138,7 @@ class SignFlipAdversary final : public SbgAdversary {
 
  private:
   double amplification_;
+  RoundPayloadCache cache_;
 };
 
 /// Drags the system toward `target`: states at the target, gradients of
@@ -124,6 +153,7 @@ class PullToTargetAdversary final : public SbgAdversary {
  private:
   double target_;
   double gradient_magnitude_;
+  RoundPayloadCache cache_;
 };
 
 /// Sleeper: behaves exactly like an honest median agent until
@@ -144,6 +174,7 @@ class DelayedActivationAdversary final : public SbgAdversary {
   Round activation_;
   SbgAdversary* late_;
   std::unique_ptr<SbgAdversary> owned_;
+  RoundPayloadCache dormant_cache_;  ///< active phase delegates uncached
 };
 
 /// Oscillator: alternates between pushing the extreme high and extreme low
@@ -157,6 +188,7 @@ class FlipFlopAdversary final : public SbgAdversary {
 
  private:
   std::size_t period_;
+  RoundPayloadCache cache_;
 };
 
 }  // namespace ftmao

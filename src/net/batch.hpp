@@ -1,0 +1,74 @@
+#pragma once
+
+// Batched-replica extensions of the synchronous engine model (net/sync.hpp).
+//
+// The batched engine (sim/batch_runner) advances B independent replicas of
+// one scenario shape in lockstep: honest state lives in structure-of-arrays
+// form and the hot reducers run across the replica dimension. Byzantine
+// strategies, however, are arbitrary user code written against the scalar
+// RoundView<P> interface — they must keep working unmodified, and their
+// per-replica RNG streams must see exactly the call sequence the scalar
+// SyncEngine would have produced.
+//
+// This header provides the bridge: BatchedHonestBroadcasts collects one
+// round's honest broadcasts for every replica and exposes a per-replica
+// RoundView<P> that is indistinguishable (same sender order, same payload
+// values, same round) from the scalar engine's view. A strategy object
+// belongs to exactly one replica and is always shown that replica's view,
+// so rushing/adaptive/randomized adversaries behave identically whether
+// the replica runs alone or inside a batch.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "net/sync.hpp"
+
+namespace ftmao {
+
+/// One round's honest broadcasts for B replicas, materialized per replica
+/// in the scalar engine's array-of-structures order so unmodified
+/// ByzantineNode implementations can observe them through RoundView<P>.
+/// Buffers are reused across rounds: a T-round run allocates only while
+/// the first round warms the per-replica vectors up.
+template <typename P>
+class BatchedHonestBroadcasts {
+ public:
+  /// Starts a round: `senders` is the honest population in engine add
+  /// order (shared by all replicas — the batch runs one scenario shape).
+  /// Invalidates views of previous rounds.
+  void begin_round(Round round, std::size_t replicas,
+                   std::span<const AgentId> senders) {
+    FTMAO_EXPECTS(replicas >= 1);
+    round_ = round;
+    num_senders_ = senders.size();
+    per_replica_.resize(replicas);
+    for (auto& view : per_replica_) {
+      view.resize(num_senders_);
+      for (std::size_t s = 0; s < num_senders_; ++s) view[s].from = senders[s];
+    }
+  }
+
+  /// Records sender `sender_index` (in begin_round order)'s broadcast for
+  /// replica `replica`.
+  void set(std::size_t sender_index, std::size_t replica, const P& payload) {
+    per_replica_[replica][sender_index].payload = payload;
+  }
+
+  /// The scalar-equivalent view of the current round for one replica.
+  /// Valid until the next begin_round.
+  RoundView<P> view(std::size_t replica) const {
+    return RoundView<P>{round_, per_replica_[replica]};
+  }
+
+  std::size_t num_senders() const { return num_senders_; }
+
+ private:
+  Round round_{0};
+  std::size_t num_senders_ = 0;
+  std::vector<std::vector<Received<P>>> per_replica_;
+};
+
+}  // namespace ftmao

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 
 namespace ftmao {
@@ -57,7 +58,7 @@ std::vector<AttackCandidate> standard_attack_grid() {
 
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
-    std::size_t num_threads) {
+    std::size_t num_threads, std::size_t batch_size, bool scalar_engine) {
   FTMAO_EXPECTS(!candidates.empty());
 
   Scenario clean = base;
@@ -70,19 +71,41 @@ AttackSearchResult find_strongest_attack(
   result.optima = reference.optima;
 
   // Index-addressed evaluation: outcome i always describes candidate i,
-  // so the sort below sees the same array whatever the thread count.
-  result.outcomes.resize(candidates.size());
+  // so the sort below sees the same array whatever the thread count or
+  // batch size. All candidates share the base scenario's shape, so a
+  // chunk of them advances in lockstep through the batched engine.
+  const std::size_t count = candidates.size();
+  result.outcomes.resize(count);
   const double reference_state = result.reference_state;
-  parallel_for_each(num_threads, candidates.size(), [&](std::size_t i) {
-    Scenario attacked = base;
-    attacked.attack = candidates[i].config;
-    const RunMetrics m = run_sbg(attacked);
-    AttackOutcome& outcome = result.outcomes[i];
-    outcome.name = candidates[i].name;
-    outcome.final_state = m.final_states.front();
-    outcome.bias = std::abs(outcome.final_state - reference_state);
-    outcome.dist_to_y = m.final_max_dist();
-    outcome.disagreement = m.final_disagreement();
+  const std::size_t chunk =
+      scalar_engine ? 1
+                    : std::min(batch_size == 0 ? count : batch_size, count);
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
+    const std::size_t first = task * chunk;
+    const std::size_t batch = std::min(chunk, count - first);
+    std::vector<Scenario> replicas;
+    replicas.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      Scenario attacked = base;
+      attacked.attack = candidates[first + i].config;
+      replicas.push_back(std::move(attacked));
+    }
+    std::vector<RunMetrics> metrics;
+    if (scalar_engine) {
+      for (const Scenario& s : replicas) metrics.push_back(run_sbg(s));
+    } else {
+      metrics = run_sbg_batch(replicas);
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      const RunMetrics& m = metrics[i];
+      AttackOutcome& outcome = result.outcomes[first + i];
+      outcome.name = candidates[first + i].name;
+      outcome.final_state = m.final_states.front();
+      outcome.bias = std::abs(outcome.final_state - reference_state);
+      outcome.dist_to_y = m.final_max_dist();
+      outcome.disagreement = m.final_disagreement();
+    }
   });
   std::sort(result.outcomes.begin(), result.outcomes.end(),
             [](const AttackOutcome& a, const AttackOutcome& b) {

@@ -41,10 +41,15 @@ std::vector<AttackCandidate> standard_attack_grid();
 
 /// Runs `base` once without attack (reference) and once per candidate.
 /// `base`'s own attack field is ignored. Candidates are evaluated on
-/// `num_threads` workers (1 = serial, 0 = hardware concurrency); each
-/// writes to its own slot, so the ranking is identical for every value.
+/// `num_threads` workers (1 = serial, 0 = hardware concurrency), in
+/// lockstep batches of `batch_size` candidates through the batched engine
+/// (0 = all candidates in one batch; they share the base scenario's
+/// shape). `scalar_engine` forces one run_sbg per candidate instead.
+/// Each run writes to its own slot, so the ranking is bit-identical for
+/// every thread count, batch size, and engine.
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
-    std::size_t num_threads = 1);
+    std::size_t num_threads = 1, std::size_t batch_size = 0,
+    bool scalar_engine = false);
 
 }  // namespace ftmao

@@ -1,0 +1,467 @@
+#include "sim/batch_runner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/consistent.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/admissibility.hpp"
+#include "core/payload.hpp"
+#include "core/step_size.hpp"
+#include "core/valid_set.hpp"
+#include "net/batch.hpp"
+#include "trim/trim_batch.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// Advances B replicas of one scenario shape in lockstep. SoA lane layout:
+// every per-agent array is indexed lane(j, r) = j * B + r, so one agent's
+// values across the batch are contiguous and the trim kernels vectorize
+// across r. See batch_runner.hpp for the determinism contract.
+class BatchedSbgRunner {
+ public:
+  BatchedSbgRunner(std::span<const Scenario> replicas,
+                   const RunOptions& options)
+      : scenarios_(replicas), options_(options) {
+    FTMAO_EXPECTS(!replicas.empty());
+    const Scenario& first = replicas.front();
+    for (const Scenario& s : replicas) {
+      s.validate();
+      // Shape fields must match across the batch; everything else (seed,
+      // functions, states, attack, step, constraint, drops) is per-replica.
+      FTMAO_EXPECTS(s.n == first.n);
+      FTMAO_EXPECTS(s.f == first.f);
+      FTMAO_EXPECTS(s.rounds == first.rounds);
+      FTMAO_EXPECTS(s.faulty == first.faulty);
+      FTMAO_EXPECTS(s.crashes == first.crashes);
+    }
+    B_ = replicas.size();
+    n_ = first.n;
+    f_ = first.f;
+    rounds_ = first.rounds;
+
+    // Engine-honest population in the scalar runner's add order: surviving
+    // honest agents first (metrics are taken over exactly these), then
+    // crashing-but-honest agents.
+    const std::vector<std::size_t> honest_idx = first.honest_indices();
+    S_ = honest_idx.size();
+    honest_ids_.reserve(honest_idx.size() + first.crashes.size());
+    for (std::size_t idx : honest_idx)
+      honest_ids_.push_back(AgentId{static_cast<std::uint32_t>(idx)});
+    for (const auto& [who, when] : first.crashes)
+      honest_ids_.push_back(AgentId{static_cast<std::uint32_t>(who)});
+    H_ = honest_ids_.size();
+    for (std::size_t idx : first.faulty)
+      faulty_ids_.push_back(AgentId{static_cast<std::uint32_t>(idx)});
+    F_ = faulty_ids_.size();
+    FTMAO_EXPECTS(H_ + F_ == n_);
+
+    fns_.resize(H_ * B_);
+    x_.resize(H_ * B_);
+    bx_.resize(H_ * B_);
+    bg_.resize(H_ * B_);
+    for (std::size_t j = 0; j < H_; ++j) {
+      const std::size_t idx = honest_ids_[j].value;
+      for (std::size_t r = 0; r < B_; ++r) {
+        const Scenario& s = replicas[r];
+        fns_[lane(j, r)] = s.functions[idx].get();
+        double x0 = s.initial_states[idx];
+        if (s.constraint) x0 = s.constraint->project(x0);
+        x_[lane(j, r)] = x0;
+      }
+    }
+
+    schedules_.reserve(B_);
+    families_.reserve(B_);
+    constraint_.reserve(B_);
+    defaults_.reserve(B_);
+    drop_p_.reserve(B_);
+    drop_seed_.reserve(B_);
+    filter_on_.reserve(B_);
+    adversaries_.resize(B_);
+    wrappers_.resize(B_);
+    byz_nodes_.resize(B_);
+    has_crashes_ = !first.crashes.empty();
+    constexpr std::uint32_t kNeverCrashes =
+        std::numeric_limits<std::uint32_t>::max();
+    crash_round_.assign(n_, kNeverCrashes);
+    for (const auto& [who, when] : first.crashes)
+      crash_round_[who] = static_cast<std::uint32_t>(when);
+    faulty_bitmap_.assign(n_, 0);
+    for (std::size_t idx : first.faulty) faulty_bitmap_[idx] = 1;
+
+    for (std::size_t r = 0; r < B_; ++r) {
+      const Scenario& s = replicas[r];
+      schedules_.push_back(make_schedule(s.step));
+      families_.emplace_back(s.honest_functions(), s.f);
+      constraint_.push_back(s.constraint);
+      defaults_.push_back(s.default_payload);
+      drop_p_.push_back(s.drop_probability);
+      drop_seed_.push_back(mix64(s.seed ^ 0xD509F00DULL));
+      filter_on_.push_back(s.drop_probability > 0.0 || has_crashes_ ? 1 : 0);
+      any_filter_ = any_filter_ || filter_on_.back() != 0;
+
+      // Per-replica adversary objects, seeded exactly as the scalar runner
+      // seeds them, so randomized strategies consume identical streams.
+      Rng rng(s.seed);
+      for (std::size_t idx : s.faulty) {
+        adversaries_[r].push_back(
+            make_adversary(s.attack, rng.substream("adversary", idx)));
+        ByzantineNode<SbgPayload>* node = adversaries_[r].back().get();
+        if (s.attack.consistent) {
+          wrappers_[r].push_back(
+              std::make_unique<ConsistentWrapper>(*adversaries_[r].back()));
+          node = wrappers_[r].back().get();
+        }
+        byz_nodes_[r].push_back(node);
+      }
+    }
+
+    metrics_.resize(B_);
+    for (std::size_t r = 0; r < B_; ++r) {
+      metrics_[r].optima = families_[r].optima_set();
+      if (options_.record_trace) {
+        metrics_[r].trace.emplace();
+        metrics_[r].trace->honest_ids = honest_idx;
+      }
+    }
+
+    dx_.resize(n_ * B_);
+    dg_.resize(n_ * B_);
+    tx_.resize(B_);
+    tg_.resize(B_);
+    lambda_.resize(B_);
+    pe_.assign(S_ * B_, 0.0);
+    trimmed_state_.resize(S_ * B_);
+    trimmed_gradient_.resize(S_ * B_);
+    bpx_.resize(H_ * F_ * B_);
+    bpg_.resize(H_ * F_ * B_);
+    bpresent_.resize(H_ * F_ * B_);
+  }
+
+  std::vector<RunMetrics> run() {
+    for (std::size_t r = 0; r < B_; ++r) {
+      record(r);
+      metrics_[r].max_projection_error.push(0.0);
+    }
+
+    for (std::size_t t = 1; t <= rounds_; ++t) {
+      const bool audit = options_.audit_witnesses &&
+                         t <= options_.audit_max_rounds &&
+                         (t - 1) % options_.audit_every == 0;
+      const Round round{static_cast<std::uint32_t>(t)};
+
+      broadcast_phase(round);
+      collect_byzantine(round);
+      for (std::size_t r = 0; r < B_; ++r)
+        lambda_[r] = schedules_[r]->at(t - 1);
+      for (std::size_t j = 0; j < H_; ++j) step_recipient(j, round, audit);
+      finish_round(audit);
+    }
+
+    for (std::size_t r = 0; r < B_; ++r) {
+      metrics_[r].final_states.reserve(S_);
+      for (std::size_t j = 0; j < S_; ++j)
+        metrics_[r].final_states.push_back(x_[lane(j, r)]);
+    }
+    return std::move(metrics_);
+  }
+
+ private:
+  std::size_t lane(std::size_t j, std::size_t r) const { return j * B_ + r; }
+
+  // Mirrors the delivery filter the scalar runner installs (crash
+  // silencing + seeded link drops; Byzantine senders exempt from drops).
+  bool deliverable(std::uint32_t from, std::uint32_t to, std::uint32_t t,
+                   std::size_t r) const {
+    if (!filter_on_[r]) return true;
+    if (t >= crash_round_[from]) return false;
+    const double p = drop_p_[r];
+    if (p <= 0.0) return true;
+    if (faulty_bitmap_[from]) return true;
+    std::uint64_t h = mix64(drop_seed_[r] ^ from);
+    h = mix64(h ^ to);
+    h = mix64(h ^ t);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 >= p;
+  }
+
+  // Step 1: every engine-honest agent's broadcast, SoA. The per-replica
+  // AoS views are materialized only when adversaries exist to observe them.
+  void broadcast_phase(Round t) {
+    const bool need_views = F_ > 0;
+    if (need_views) views_.begin_round(t, B_, honest_ids_);
+    for (std::size_t j = 0; j < H_; ++j) {
+      for (std::size_t r = 0; r < B_; ++r) {
+        const std::size_t l = lane(j, r);
+        const double xv = x_[l];
+        bx_[l] = xv;
+        bg_[l] = fns_[l]->derivative(xv);
+        if (need_views) views_.set(j, r, SbgPayload{xv, bg_[l]});
+      }
+    }
+  }
+
+  // Step 2a for the whole round: every Byzantine payload, in the scalar
+  // engine's exact call order (recipient outer, sender inner), each
+  // adversary observing its own replica's view. While collecting, detect
+  // whether every Byzantine sender sent bitwise the same payload to all
+  // recipients — true for every recipient-independent strategy — because
+  // then (absent delivery filters) all recipients trim the same multiset
+  // and the trim pair is computed once per replica instead of once per
+  // recipient.
+  void collect_byzantine(Round t) {
+    uniform_ = true;
+    const std::size_t stride = F_ * B_;
+    for (std::size_t j = 0; j < H_; ++j) {
+      const AgentId rid = honest_ids_[j];
+      for (std::size_t b = 0; b < F_; ++b) {
+        const AgentId bid = faulty_ids_[b];
+        for (std::size_t r = 0; r < B_; ++r) {
+          std::uint8_t present = 0;
+          double px = 0.0;
+          double pg = 0.0;
+          if (deliverable(bid.value, rid.value, t.value, r)) {
+            if (auto payload =
+                    byz_nodes_[r][b]->send_to(bid, rid, views_.view(r))) {
+              px = payload->state;
+              pg = payload->gradient;
+              present = 1;
+            }
+          }
+          const std::size_t o = j * stride + b * B_ + r;
+          bpx_[o] = px;
+          bpg_[o] = pg;
+          bpresent_[o] = present;
+          if (j > 0) {
+            const std::size_t o0 = b * B_ + r;
+            if (present != bpresent_[o0] ||
+                (present != 0 &&
+                 (std::bit_cast<std::uint64_t>(px) !=
+                      std::bit_cast<std::uint64_t>(bpx_[o0]) ||
+                  std::bit_cast<std::uint64_t>(pg) !=
+                      std::bit_cast<std::uint64_t>(bpg_[o0])))) {
+              uniform_ = false;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Steps 2b-3 for one recipient across all replicas: assemble the
+  // D^x/D^g multiset matrices, trim both with the batched kernels, apply
+  // the gradient step.
+  void step_recipient(std::size_t j, Round t, bool audit) {
+    const AgentId rid = honest_ids_[j];
+    const std::size_t byz_base = j * F_ * B_;
+
+    // Uniform-view fast path: with no delivery filter and
+    // recipient-independent Byzantine payloads, every recipient's multiset
+    // is the same n values (all broadcasts reach everyone, own tuple
+    // included), so recipients after the first reuse the first's trims.
+    const bool shared_view = uniform_ && !any_filter_;
+    if (!shared_view || j == 0) {
+      // Multiset rows: own tuple, then every other engine-honest sender,
+      // then the Byzantine senders; undelivered slots hold the default
+      // payload — the same multiset the scalar agent assembles (inbox plus
+      // substituted defaults), in which order is irrelevant to Trim.
+      double* dx = dx_.data();
+      double* dg = dg_.data();
+      std::size_t slot = 0;
+      std::memcpy(dx, bx_.data() + lane(j, 0), B_ * sizeof(double));
+      std::memcpy(dg, bg_.data() + lane(j, 0), B_ * sizeof(double));
+      ++slot;
+      for (std::size_t s = 0; s < H_; ++s) {
+        if (s == j) continue;
+        double* dxr = dx + slot * B_;
+        double* dgr = dg + slot * B_;
+        const double* sx = bx_.data() + lane(s, 0);
+        const double* sg = bg_.data() + lane(s, 0);
+        if (!any_filter_) {
+          std::memcpy(dxr, sx, B_ * sizeof(double));
+          std::memcpy(dgr, sg, B_ * sizeof(double));
+        } else {
+          const std::uint32_t sid = honest_ids_[s].value;
+          for (std::size_t r = 0; r < B_; ++r) {
+            if (deliverable(sid, rid.value, t.value, r)) {
+              dxr[r] = sx[r];
+              dgr[r] = sg[r];
+            } else {
+              dxr[r] = defaults_[r].state;
+              dgr[r] = defaults_[r].gradient;
+            }
+          }
+        }
+        ++slot;
+      }
+      for (std::size_t b = 0; b < F_; ++b) {
+        double* dxr = dx + slot * B_;
+        double* dgr = dg + slot * B_;
+        for (std::size_t r = 0; r < B_; ++r) {
+          const std::size_t o = byz_base + b * B_ + r;
+          if (bpresent_[o]) {
+            dxr[r] = bpx_[o];
+            dgr[r] = bpg_[o];
+          } else {
+            dxr[r] = defaults_[r].state;
+            dgr[r] = defaults_[r].gradient;
+          }
+        }
+        ++slot;
+      }
+      FTMAO_ENSURES(slot == n_);
+
+      trim_batch(dx, n_, B_, f_, tx_.data());
+      trim_batch(dg, n_, B_, f_, tg_.data());
+    }
+
+    for (std::size_t r = 0; r < B_; ++r) {
+      const double unprojected = tx_[r] - lambda_[r] * tg_[r];
+      double next = unprojected;
+      double projection_error = 0.0;
+      if (constraint_[r]) {
+        next = constraint_[r]->project(unprojected);
+        projection_error = next - unprojected;
+      }
+      x_[lane(j, r)] = next;
+      if (j < S_) {
+        pe_[lane(j, r)] = projection_error;
+        if (audit) {
+          trimmed_state_[lane(j, r)] = tx_[r];
+          trimmed_gradient_[lane(j, r)] = tg_[r];
+        }
+      }
+    }
+  }
+
+  // Post-round bookkeeping per replica: metric series, projection-error
+  // fold, witness audits — each in the scalar runner's operation order.
+  void finish_round(bool audit) {
+    std::vector<double> pre_states;
+    std::vector<double> pre_gradients;
+    for (std::size_t r = 0; r < B_; ++r) {
+      record(r);
+
+      double max_proj = 0.0;
+      for (std::size_t j = 0; j < S_; ++j)
+        max_proj = std::max(max_proj, std::abs(pe_[lane(j, r)]));
+
+      if (audit) {
+        pre_states.clear();
+        pre_gradients.clear();
+        for (std::size_t j = 0; j < S_; ++j) {
+          pre_states.push_back(bx_[lane(j, r)]);
+          pre_gradients.push_back(bg_[lane(j, r)]);
+        }
+        auto absorb = [](WitnessStats& stats, const TrimAuditResult& res) {
+          ++stats.checks;
+          if (!res.witness_found) ++stats.failures;
+          if (!res.exact) ++stats.inexact;
+          if (res.witness_found) {
+            stats.min_weight_seen =
+                std::min(stats.min_weight_seen, res.min_support_weight);
+            stats.min_support_seen =
+                std::min(stats.min_support_seen, res.support_size);
+          }
+        };
+        RunMetrics& m = metrics_[r];
+        for (std::size_t j = 0; j < S_; ++j) {
+          absorb(m.state_witness,
+                 audit_trim(pre_states, trimmed_state_[lane(j, r)], f_));
+          absorb(m.gradient_witness,
+                 audit_trim(pre_gradients, trimmed_gradient_[lane(j, r)], f_));
+        }
+      }
+      metrics_[r].max_projection_error.push(max_proj);
+    }
+  }
+
+  void record(std::size_t r) {
+    RunMetrics& m = metrics_[r];
+    double lo = x_[lane(0, r)];
+    double hi = lo;
+    double dist = families_[r].distance_to_optima(lo);
+    std::vector<double> snapshot;
+    if (m.trace) snapshot.reserve(S_);
+    for (std::size_t j = 0; j < S_; ++j) {
+      const double xv = x_[lane(j, r)];
+      lo = std::min(lo, xv);
+      hi = std::max(hi, xv);
+      dist = std::max(dist, families_[r].distance_to_optima(xv));
+      if (m.trace) snapshot.push_back(xv);
+    }
+    m.disagreement.push(hi - lo);
+    m.max_dist_to_y.push(dist);
+    if (m.trace) m.trace->rounds.push_back(std::move(snapshot));
+  }
+
+  std::span<const Scenario> scenarios_;
+  RunOptions options_;
+  std::size_t B_ = 0;       ///< replicas in the batch
+  std::size_t n_ = 0;       ///< total agents
+  std::size_t f_ = 0;       ///< fault bound
+  std::size_t rounds_ = 0;
+  std::size_t S_ = 0;       ///< surviving honest agents (metric population)
+  std::size_t H_ = 0;       ///< engine-honest agents (surviving + crashing)
+  std::size_t F_ = 0;       ///< Byzantine agents
+  std::vector<AgentId> honest_ids_;
+  std::vector<AgentId> faulty_ids_;
+
+  // SoA state, lane(j, r) = j * B + r.
+  std::vector<const ScalarFunction*> fns_;
+  std::vector<double> x_;   ///< current states
+  std::vector<double> bx_;  ///< this round's broadcast states
+  std::vector<double> bg_;  ///< this round's broadcast gradients
+
+  std::vector<std::unique_ptr<StepSchedule>> schedules_;
+  std::vector<ValidFamily> families_;
+  std::vector<std::optional<Interval>> constraint_;
+  std::vector<SbgPayload> defaults_;
+  std::vector<std::vector<std::unique_ptr<SbgAdversary>>> adversaries_;
+  std::vector<std::vector<std::unique_ptr<ConsistentWrapper>>> wrappers_;
+  std::vector<std::vector<ByzantineNode<SbgPayload>*>> byz_nodes_;
+
+  // Delivery-filter tables (crash schedule shared; drops seeded per
+  // replica).
+  bool has_crashes_ = false;
+  bool any_filter_ = false;
+  std::vector<std::uint32_t> crash_round_;
+  std::vector<std::uint8_t> faulty_bitmap_;
+  std::vector<double> drop_p_;
+  std::vector<std::uint64_t> drop_seed_;
+  std::vector<std::uint8_t> filter_on_;
+
+  BatchedHonestBroadcasts<SbgPayload> views_;
+  std::vector<RunMetrics> metrics_;
+
+  // Round-scoped scratch, sized once in the constructor.
+  std::vector<double> dx_, dg_;        ///< n x B multiset matrices
+  std::vector<double> tx_, tg_;        ///< per-replica trim outputs
+  std::vector<double> lambda_;         ///< per-replica step size this round
+  std::vector<double> pe_;             ///< projection errors, S x B
+  std::vector<double> trimmed_state_;  ///< audit diagnostics, S x B
+  std::vector<double> trimmed_gradient_;
+  std::vector<double> bpx_, bpg_;      ///< Byzantine payloads, H x F x B
+  std::vector<std::uint8_t> bpresent_;
+  bool uniform_ = false;  ///< this round's byz payloads recipient-independent
+};
+
+}  // namespace
+
+std::vector<RunMetrics> run_sbg_batch(std::span<const Scenario> replicas,
+                                      const RunOptions& options) {
+  if (replicas.empty()) return {};
+  return BatchedSbgRunner(replicas, options).run();
+}
+
+}  // namespace ftmao

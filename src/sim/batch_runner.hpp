@@ -1,0 +1,46 @@
+#pragma once
+
+// Batched replica execution of Algorithm SBG (Section 4).
+//
+// The grid drivers (sweep, certify, attack search) reduce to running many
+// independent replicas of one scenario *shape* — same population size,
+// fault set, crash schedule, and horizon, differing only in seed, cost
+// functions, initial states, attack configuration, step schedule, or
+// constraint. BatchedSbgRunner advances B such replicas per round in
+// lockstep over structure-of-arrays state (x[agent][replica],
+// broadcast[sender][replica], inbox matrices [slot][replica]) so the
+// dominant inner kernel — Trim over each recipient's fan-in — runs as a
+// branchless batched sorting network across the replica lanes
+// (trim/trim_batch.hpp).
+//
+// Determinism contract: the output is bit-identical to running run_sbg on
+// each scenario separately. Replicas never interact; per-replica adversary
+// objects observe per-replica RoundViews in the scalar engine's exact call
+// order (so RNG streams advance identically); the batched trim selects the
+// same order statistics as the scalar nth_element path; and every
+// floating-point reduction (metrics folds, trimmed-mean style sums) runs
+// in the scalar path's operation order. tests/batch_runner_test.cpp pins
+// this contract across attacks, crashes, link drops, constraints, and
+// audit options.
+
+#include <span>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace ftmao {
+
+/// Runs every scenario in `replicas` to completion in lockstep and returns
+/// one RunMetrics per scenario, in order — bit-identical to calling
+/// run_sbg(replicas[i], options) for each i.
+///
+/// All scenarios must share the same shape: n, f, faulty set, crash
+/// schedule, and rounds. Everything else (seed, functions, initial states,
+/// attack, step, constraint, default payload, drop probability) may differ
+/// per replica.
+std::vector<RunMetrics> run_sbg_batch(std::span<const Scenario> replicas,
+                                      const RunOptions& options = {});
+
+}  // namespace ftmao

@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"
 #include "core/theory.hpp"
 #include "func/library.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/trace.hpp"
@@ -69,39 +70,64 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   std::vector<AttackVerdict> verdicts(grid.size());
 
   const HarmonicStep harmonic;
-  parallel_for_each(options.num_threads, grid.size(), [&](std::size_t i) {
-    Scenario s = scenario_for(options, grid[i]);
+  // Every attack in the grid runs the same scenario shape, so a chunk of
+  // them advances in lockstep through the batched engine; the per-attack
+  // verdicts (audits, invariants, bound domination) are then computed from
+  // each replica's metrics exactly as the scalar path would.
+  const std::size_t chunk =
+      options.scalar_engine
+          ? 1
+          : std::min(options.batch_size == 0 ? grid.size() : options.batch_size,
+                     grid.size());
+  const std::size_t num_chunks = (grid.size() + chunk - 1) / chunk;
+  parallel_for_each(options.num_threads, num_chunks, [&](std::size_t task) {
+    const std::size_t first = task * chunk;
+    const std::size_t batch = std::min(chunk, grid.size() - first);
     RunOptions run_options;
     run_options.record_trace = true;
     run_options.audit_witnesses = true;
     run_options.audit_every = 5;
     run_options.audit_max_rounds = 100;
-    const RunMetrics m = run_sbg(s, run_options);
 
-    AttackVerdict& v = verdicts[i];
-    v.attack = attack_kind_name(grid[i]);
-    v.disagreement = m.final_disagreement();
-    v.dist = m.final_max_dist();
-    v.witnesses_ok =
-        m.state_witness.all_passed() && m.gradient_witness.all_passed();
+    std::vector<Scenario> replicas;
+    replicas.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i)
+      replicas.push_back(scenario_for(options, grid[first + i]));
+    std::vector<RunMetrics> metrics;
+    if (options.scalar_engine) {
+      for (const Scenario& s : replicas) metrics.push_back(run_sbg(s, run_options));
+    } else {
+      metrics = run_sbg_batch(replicas, run_options);
+    }
 
-    const double L = family_gradient_bound(s.honest_functions());
-    if (s.step.kind == StepKind::Harmonic) {
-      const InvariantReport inv =
-          check_sbg_invariants(*m.trace, s.f, L, harmonic);
-      if (!inv.ok) {
-        v.invariants_ok = false;
-        v.invariant_violation = inv.violations.front();
-      }
-      const Series bound = disagreement_upper_bound(
-          m.disagreement[0], L, harmonic, s.n - s.f, s.f, s.rounds);
-      for (std::size_t t = 0; t < bound.size(); ++t) {
-        if (m.disagreement[t] > bound[t] + 1e-9) {
-          v.bounds_ok = false;
-          std::ostringstream os;
-          os << "bound violated under " << v.attack << " at round " << t;
-          v.bound_violation = os.str();
-          break;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Scenario& s = replicas[i];
+      const RunMetrics& m = metrics[i];
+      AttackVerdict& v = verdicts[first + i];
+      v.attack = attack_kind_name(grid[first + i]);
+      v.disagreement = m.final_disagreement();
+      v.dist = m.final_max_dist();
+      v.witnesses_ok =
+          m.state_witness.all_passed() && m.gradient_witness.all_passed();
+
+      const double L = family_gradient_bound(s.honest_functions());
+      if (s.step.kind == StepKind::Harmonic) {
+        const InvariantReport inv =
+            check_sbg_invariants(*m.trace, s.f, L, harmonic);
+        if (!inv.ok) {
+          v.invariants_ok = false;
+          v.invariant_violation = inv.violations.front();
+        }
+        const Series bound = disagreement_upper_bound(
+            m.disagreement[0], L, harmonic, s.n - s.f, s.f, s.rounds);
+        for (std::size_t t = 0; t < bound.size(); ++t) {
+          if (m.disagreement[t] > bound[t] + 1e-9) {
+            v.bounds_ok = false;
+            std::ostringstream os;
+            os << "bound violated under " << v.attack << " at round " << t;
+            v.bound_violation = os.str();
+            break;
+          }
         }
       }
     }

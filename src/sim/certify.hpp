@@ -25,6 +25,14 @@ struct CertifyOptions {
   /// concurrency). The report is identical for every value: per-attack
   /// results are computed into fixed slots and folded in grid order.
   std::size_t num_threads = 1;
+
+  /// Attacks per batched-engine call (the whole grid shares one scenario
+  /// shape). 0 = all attacks in one lockstep batch (the default). The
+  /// report is bit-identical for every value, and to scalar_engine.
+  std::size_t batch_size = 0;
+
+  /// Force the scalar reference engine (one run_sbg per attack).
+  bool scalar_engine = false;
 };
 
 struct CertifyCheck {

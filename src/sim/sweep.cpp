@@ -1,10 +1,13 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <span>
 #include <sstream>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 
@@ -30,23 +33,50 @@ std::vector<SweepCell> run_sweep(const SweepConfig& config) {
   for (const auto& [n, f] : config.sizes)
     for (AttackKind attack : config.attacks) specs.push_back({n, f, attack});
 
-  // One task per (cell, seed) run for load balancing (cells differ in n).
-  // Every run derives its randomness solely from its own seed and writes
-  // to its own index, so the aggregate below sees exactly the sequence the
-  // serial path would have produced, whatever the thread count.
+  // One task per (cell, seed-chunk): each chunk's replicas share a shape
+  // (only the seed differs) and advance in lockstep through the batched
+  // engine. Every run derives its randomness solely from its own seed and
+  // writes to its own index, so the aggregate below sees exactly the
+  // sequence the serial scalar path would have produced, whatever the
+  // thread count, batch size, or engine.
   const std::size_t num_seeds = config.seeds.size();
+  const std::size_t chunk =
+      config.scalar_engine
+          ? 1
+          : std::min(config.batch_size == 0 ? num_seeds : config.batch_size,
+                     num_seeds);
+  const std::size_t chunks_per_cell = (num_seeds + chunk - 1) / chunk;
   std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
   std::vector<double> dists(specs.size() * num_seeds, 0.0);
   parallel_for_each(
-      config.num_threads, specs.size() * num_seeds, [&](std::size_t task) {
-        const CellSpec& spec = specs[task / num_seeds];
-        Scenario s =
-            make_standard_scenario(spec.n, spec.f, config.spread, spec.attack,
-                                   config.rounds, config.seeds[task % num_seeds]);
-        s.step = config.step;
-        const RunMetrics m = run_sbg(s);
-        disagreements[task] = m.final_disagreement();
-        dists[task] = m.final_max_dist();
+      config.num_threads, specs.size() * chunks_per_cell,
+      [&](std::size_t task) {
+        const CellSpec& spec = specs[task / chunks_per_cell];
+        const std::size_t first = (task % chunks_per_cell) * chunk;
+        const std::size_t count = std::min(chunk, num_seeds - first);
+        std::vector<Scenario> replicas;
+        replicas.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          Scenario s = make_standard_scenario(spec.n, spec.f, config.spread,
+                                              spec.attack, config.rounds,
+                                              config.seeds[first + i]);
+          s.step = config.step;
+          replicas.push_back(std::move(s));
+        }
+        const std::size_t base = (task / chunks_per_cell) * num_seeds + first;
+        if (config.scalar_engine) {
+          for (std::size_t i = 0; i < count; ++i) {
+            const RunMetrics m = run_sbg(replicas[i]);
+            disagreements[base + i] = m.final_disagreement();
+            dists[base + i] = m.final_max_dist();
+          }
+        } else {
+          const std::vector<RunMetrics> ms = run_sbg_batch(replicas);
+          for (std::size_t i = 0; i < count; ++i) {
+            disagreements[base + i] = ms[i].final_disagreement();
+            dists[base + i] = ms[i].final_max_dist();
+          }
+        }
       });
 
   std::vector<SweepCell> cells(specs.size());

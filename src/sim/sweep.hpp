@@ -27,6 +27,16 @@ struct SweepConfig {
   /// pre-assigned output slot, so scheduling order cannot leak in.
   std::size_t num_threads = 1;
 
+  /// Replicas per batched-engine call (sim/batch_runner): the seed axis of
+  /// each cell is cut into chunks of this size and every chunk advances in
+  /// lockstep. 0 = the whole seed axis of a cell (the default). Results
+  /// are bit-identical for every value, and to scalar_engine.
+  std::size_t batch_size = 0;
+
+  /// Force the scalar reference engine (one run_sbg per seed). For
+  /// benchmarking the batched path against its baseline.
+  bool scalar_engine = false;
+
   void validate() const;
 };
 

@@ -1,0 +1,148 @@
+#include "trim/trim_batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// Batcher odd-even mergesort comparators for `n` elements. Generated for
+// the next power of two with comparators touching indices >= n pruned:
+// pruned positions behave as +infinity padding at the top of the array,
+// which a compare-exchange can never move below position n, so the pruned
+// network sorts the real prefix exactly.
+std::vector<ComparatorPair> make_batcher_network(std::size_t n) {
+  std::size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  std::vector<ComparatorPair> pairs;
+  for (std::size_t p = 1; p < pow2; p <<= 1) {
+    for (std::size_t k = p; k >= 1; k >>= 1) {
+      for (std::size_t j = k % p; j + k < pow2; j += 2 * k) {
+        for (std::size_t i = 0; i < k && i + j + k < pow2; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p) && i + j + k < n) {
+            pairs.emplace_back(static_cast<std::uint16_t>(i + j),
+                               static_cast<std::uint16_t>(i + j + k));
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+const std::array<std::vector<ComparatorPair>, kMaxSortingNetworkN + 1>&
+network_table() {
+  // Magic static: built once, thread-safe, ~2 KiB total.
+  static const auto table = [] {
+    std::array<std::vector<ComparatorPair>, kMaxSortingNetworkN + 1> t;
+    for (std::size_t n = 2; n <= kMaxSortingNetworkN; ++n)
+      t[n] = make_batcher_network(n);
+    return t;
+  }();
+  return table;
+}
+
+// Elementwise compare-exchange of two slot rows across the replica lanes.
+// Branchless (min/max), contiguous, and independent per lane — the loop
+// the whole batched design exists to expose to the vectorizer.
+inline void compare_exchange_rows(double* __restrict a, double* __restrict b,
+                                  std::size_t batch) {
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double lo = std::min(a[r], b[r]);
+    const double hi = std::max(a[r], b[r]);
+    a[r] = lo;
+    b[r] = hi;
+  }
+}
+
+void sort_columns_network(double* data, std::size_t n, std::size_t batch) {
+  for (const auto& [i, j] : sorting_network(n))
+    compare_exchange_rows(data + i * batch, data + j * batch, batch);
+}
+
+void sort_columns_fallback(double* data, std::size_t n, std::size_t batch) {
+  std::vector<double> column(n);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t s = 0; s < n; ++s) column[s] = data[s * batch + r];
+    std::sort(column.begin(), column.end());
+    for (std::size_t s = 0; s < n; ++s) data[s * batch + r] = column[s];
+  }
+}
+
+}  // namespace
+
+std::span<const ComparatorPair> sorting_network(std::size_t n) {
+  FTMAO_EXPECTS(n >= 2 && n <= kMaxSortingNetworkN);
+  return network_table()[n];
+}
+
+void sort_columns(double* data, std::size_t n, std::size_t batch) {
+  FTMAO_EXPECTS(data != nullptr || n * batch == 0);
+  if (n < 2 || batch == 0) return;
+  if (n <= kMaxSortingNetworkN) {
+    sort_columns_network(data, n, batch);
+  } else {
+    sort_columns_fallback(data, n, batch);
+  }
+}
+
+void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
+                double* out_value, double* out_y_s, double* out_y_l) {
+  FTMAO_EXPECTS(n >= 2 * f + 1);
+  FTMAO_EXPECTS(out_value != nullptr);
+  if (batch == 0) return;
+
+  if (n > kMaxSortingNetworkN) {
+    // Scalar fallback: the exact trim() selection per replica.
+    std::vector<double> column(n);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t s = 0; s < n; ++s) column[s] = data[s * batch + r];
+      auto ys_it = column.begin() + static_cast<std::ptrdiff_t>(f);
+      std::nth_element(column.begin(), ys_it, column.end());
+      const double y_s = *ys_it;
+      auto yl_it = column.begin() + static_cast<std::ptrdiff_t>(n - 1 - f);
+      std::nth_element(ys_it, yl_it, column.end());
+      const double y_l = *yl_it;
+      out_value[r] = y_s + (y_l - y_s) / 2.0;
+      if (out_y_s) out_y_s[r] = y_s;
+      if (out_y_l) out_y_l[r] = y_l;
+    }
+    return;
+  }
+
+  if (n >= 2) sort_columns_network(data, n, batch);
+  const double* ys_row = data + f * batch;
+  const double* yl_row = data + (n - 1 - f) * batch;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double y_s = ys_row[r];
+    const double y_l = yl_row[r];
+    out_value[r] = y_s + (y_l - y_s) / 2.0;
+  }
+  if (out_y_s) std::copy(ys_row, ys_row + batch, out_y_s);
+  if (out_y_l) std::copy(yl_row, yl_row + batch, out_y_l);
+}
+
+void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
+                        std::size_t f, double* out_mean) {
+  FTMAO_EXPECTS(n >= 2 * f + 1);
+  FTMAO_EXPECTS(out_mean != nullptr);
+  if (batch == 0) return;
+
+  sort_columns(data, n, batch);
+  const std::size_t surviving = n - 2 * f;
+  const double inv = static_cast<double>(surviving);
+  for (std::size_t r = 0; r < batch; ++r) out_mean[r] = 0.0;
+  // Ascending-row accumulation = the scalar path's sorted-order sum, so
+  // the floating-point result matches trimmed_mean() bit for bit.
+  for (std::size_t s = f; s < n - f; ++s) {
+    const double* row = data + s * batch;
+    for (std::size_t r = 0; r < batch; ++r) out_mean[r] += row[r];
+  }
+  for (std::size_t r = 0; r < batch; ++r) out_mean[r] /= inv;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,74 @@
+#pragma once
+
+// Batched (structure-of-arrays) variants of the Section 4 reducers.
+//
+// The sweep/certify/attack-search drivers run the *same* scenario shape
+// many times (seeds, attack candidates); advancing B replicas in lockstep
+// turns every Trim over a fan-in of n values into n compare-exchanges over
+// contiguous lanes of B doubles — a shape compilers auto-vectorize.
+//
+// Layout: `data` holds an n x batch matrix, row-major by *slot*:
+// data[slot * batch + r] is the slot-th multiset entry of replica r. Rows
+// are contiguous, so an elementwise min/max of two rows is one vector loop.
+//
+// Kernel: for n <= kMaxSortingNetworkN the rows are run through a Batcher
+// odd-even mergesort network — a fixed, data-independent comparator
+// sequence (branchless: each comparator is a min/max pair). After the
+// network, row k holds every replica's k-th order statistic, so Trim reads
+// rows f and n-1-f and the trimmed mean sums rows f..n-1-f. Larger n falls
+// back to the scalar per-replica path (nth_element / sort), bit-identical
+// to trim()/trimmed_mean() by construction.
+//
+// Bit-identity with the scalar reducers holds for every n and batch: order
+// statistics are well-defined values of the multiset (sorting network and
+// nth_element select the same doubles), and the midpoint / mean arithmetic
+// matches the scalar implementations operation for operation.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace ftmao {
+
+/// Largest fan-in handled by the fixed comparator networks. The paper's
+/// complete graphs stay far below this (n <= ~32 in every experiment);
+/// beyond it the batched kernels fall back to the scalar path per replica.
+inline constexpr std::size_t kMaxSortingNetworkN = 32;
+
+/// Comparator index pair (i, j), i < j: order data[i], data[j] so the
+/// smaller lands at i.
+using ComparatorPair = std::pair<std::uint16_t, std::uint16_t>;
+
+/// The Batcher odd-even mergesort comparator sequence for n elements
+/// (2 <= n <= kMaxSortingNetworkN). Built once per process, cached;
+/// thread-safe. Applying the comparators in order sorts any n-element
+/// array ascending.
+std::span<const ComparatorPair> sorting_network(std::size_t n);
+
+/// Sorts every replica column of the n x batch SoA matrix ascending (row k
+/// ends up holding each replica's k-th order statistic). Uses the
+/// comparator network for n <= kMaxSortingNetworkN, per-column std::sort
+/// beyond. Exposed for tests and for reducers that need full order
+/// statistics.
+void sort_columns(double* data, std::size_t n, std::size_t batch);
+
+/// Batched Trim (paper Section 4): for each replica r, drop the f smallest
+/// and f largest of its n entries and write the midpoint of the surviving
+/// extremes to out_value[r]. Optionally reports the surviving extremes
+/// themselves (pass nullptr to skip). Destroys `data` (used as the
+/// selection scratch). Requires n >= 2f + 1.
+/// Bit-identical to trim() applied per replica.
+void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
+                double* out_value, double* out_y_s = nullptr,
+                double* out_y_l = nullptr);
+
+/// Batched trimmed mean: mean of the surviving values after dropping the f
+/// smallest and f largest, per replica. Destroys `data`. Requires
+/// n >= 2f + 1. Bit-identical to trimmed_mean() applied per replica (the
+/// surviving values are accumulated in ascending order, like the scalar
+/// path).
+void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
+                        std::size_t f, double* out_mean);
+
+}  // namespace ftmao

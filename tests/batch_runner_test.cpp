@@ -1,0 +1,233 @@
+// Bit-identity tests for the batched replica engine (sim/batch_runner):
+// run_sbg_batch must produce exactly the RunMetrics run_sbg produces per
+// scenario — every series entry, final state, witness counter, and trace
+// snapshot, compared bitwise. Exercised across attacks (including
+// randomized and consistent-broadcast ones), crashes, link drops,
+// constraints, and audit options, plus end-to-end through the sweep /
+// attack-search / certify drivers at several batch sizes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "sim/attack_search.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/certify.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+
+namespace ftmao {
+namespace {
+
+void expect_series_identical(const Series& a, const Series& b,
+                             const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise equality — the engine's determinism contract.
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at index " << i;
+  }
+}
+
+void expect_witness_identical(const WitnessStats& a, const WitnessStats& b) {
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.inexact, b.inexact);
+  EXPECT_EQ(a.min_weight_seen, b.min_weight_seen);
+  EXPECT_EQ(a.min_support_seen, b.min_support_seen);
+}
+
+void expect_metrics_identical(const RunMetrics& scalar,
+                              const RunMetrics& batched) {
+  expect_series_identical(scalar.disagreement, batched.disagreement,
+                          "disagreement");
+  expect_series_identical(scalar.max_dist_to_y, batched.max_dist_to_y,
+                          "max_dist_to_y");
+  expect_series_identical(scalar.max_projection_error,
+                          batched.max_projection_error,
+                          "max_projection_error");
+  EXPECT_EQ(scalar.final_states, batched.final_states);
+  EXPECT_EQ(scalar.optima, batched.optima);
+  expect_witness_identical(scalar.state_witness, batched.state_witness);
+  expect_witness_identical(scalar.gradient_witness, batched.gradient_witness);
+  ASSERT_EQ(scalar.trace.has_value(), batched.trace.has_value());
+  if (scalar.trace) {
+    EXPECT_EQ(scalar.trace->honest_ids, batched.trace->honest_ids);
+    ASSERT_EQ(scalar.trace->rounds.size(), batched.trace->rounds.size());
+    for (std::size_t t = 0; t < scalar.trace->rounds.size(); ++t)
+      ASSERT_EQ(scalar.trace->rounds[t], batched.trace->rounds[t])
+          << "trace diverges at round " << t;
+  }
+}
+
+void expect_batch_matches_scalar(const std::vector<Scenario>& replicas,
+                                 const RunOptions& options = {}) {
+  const std::vector<RunMetrics> batched = run_sbg_batch(replicas, options);
+  ASSERT_EQ(batched.size(), replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    SCOPED_TRACE("replica " + std::to_string(i));
+    expect_metrics_identical(run_sbg(replicas[i], options), batched[i]);
+  }
+}
+
+std::vector<Scenario> seed_axis(std::size_t n, std::size_t f, AttackKind kind,
+                                std::size_t rounds, std::size_t seeds) {
+  std::vector<Scenario> replicas;
+  for (std::size_t s = 0; s < seeds; ++s)
+    replicas.push_back(
+        make_standard_scenario(n, f, 8.0, kind, rounds, 1 + s));
+  return replicas;
+}
+
+TEST(BatchRunner, EveryAttackKindMatchesScalar) {
+  // Covers the uniform fast path (recipient-independent strategies), the
+  // per-recipient slow path (SplitBrain), and randomized per-recipient RNG
+  // streams (RandomNoise).
+  for (AttackKind kind :
+       {AttackKind::None, AttackKind::Silent, AttackKind::FixedValue,
+        AttackKind::SplitBrain, AttackKind::HullEdgeUp,
+        AttackKind::HullEdgeDown, AttackKind::RandomNoise,
+        AttackKind::SignFlip, AttackKind::PullToTarget, AttackKind::FlipFlop,
+        AttackKind::DelayedStrike}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    expect_batch_matches_scalar(seed_axis(7, 2, kind, 60, 3));
+  }
+}
+
+TEST(BatchRunner, SingleReplicaBatchMatchesScalar) {
+  expect_batch_matches_scalar(seed_axis(10, 3, AttackKind::SignFlip, 50, 1));
+}
+
+TEST(BatchRunner, ConsistentBroadcastWrapperMatchesScalar) {
+  auto replicas = seed_axis(7, 2, AttackKind::SplitBrain, 50, 3);
+  for (Scenario& s : replicas) s.attack.consistent = true;
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchRunner, LinkDropsMatchScalar) {
+  auto replicas = seed_axis(7, 2, AttackKind::PullToTarget, 60, 3);
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    replicas[i].drop_probability = 0.1 + 0.1 * static_cast<double>(i);
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchRunner, CrashesMatchScalar) {
+  auto replicas = seed_axis(8, 2, AttackKind::SignFlip, 60, 3);
+  for (Scenario& s : replicas) {
+    s.faulty = {7};  // one Byzantine + one crash, within the f = 2 budget
+    s.crashes = {{0, 20}};
+  }
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchRunner, ConstraintAndProjectionErrorsMatchScalar) {
+  auto replicas = seed_axis(7, 2, AttackKind::HullEdgeUp, 60, 3);
+  for (Scenario& s : replicas) s.constraint = Interval{-1.0, 1.0};
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchRunner, AuditAndTraceMatchScalar) {
+  RunOptions options;
+  options.audit_witnesses = true;
+  options.audit_every = 3;
+  options.audit_max_rounds = 30;
+  options.record_trace = true;
+  expect_batch_matches_scalar(seed_axis(7, 2, AttackKind::SplitBrain, 40, 2),
+                              options);
+  expect_batch_matches_scalar(seed_axis(7, 2, AttackKind::SignFlip, 40, 2),
+                              options);
+}
+
+TEST(BatchRunner, HeterogeneousReplicasMatchScalar) {
+  // Same shape, everything else different: attack, step schedule, drops,
+  // constraint, default payload.
+  std::vector<Scenario> replicas = seed_axis(7, 2, AttackKind::None, 50, 4);
+  replicas[1].attack.kind = AttackKind::PullToTarget;
+  replicas[1].attack.target = -11.0;
+  replicas[1].step.kind = StepKind::Power;
+  replicas[2].attack.kind = AttackKind::RandomNoise;
+  replicas[2].drop_probability = 0.2;
+  replicas[2].default_payload = SbgPayload{1.5, -0.5};
+  replicas[3].constraint = Interval{-2.0, 2.0};
+  replicas[3].seed = 99;
+  // A shared fault/crash schedule keeps the shape identical across
+  // replicas; the crash counts against f, so one Byzantine agent remains.
+  for (Scenario& s : replicas) {
+    s.faulty = {6};
+    s.crashes = {{1, 25}};
+  }
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchRunner, MismatchedShapeThrows) {
+  std::vector<Scenario> replicas = seed_axis(7, 2, AttackKind::None, 20, 1);
+  replicas.push_back(make_standard_scenario(10, 3, 8.0, AttackKind::None, 20, 2));
+  EXPECT_THROW(run_sbg_batch(replicas), ContractViolation);
+}
+
+TEST(BatchRunner, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(run_sbg_batch({}).empty());
+}
+
+TEST(SweepBatched, CsvIdenticalAcrossEnginesAndBatchSizes) {
+  SweepConfig config;
+  config.sizes = {{7, 2}, {10, 3}};
+  config.attacks = {AttackKind::SplitBrain, AttackKind::SignFlip};
+  config.seeds = {1, 2, 3, 4, 5};
+  config.rounds = 120;
+
+  config.scalar_engine = true;
+  const std::string reference = sweep_to_csv(run_sweep(config));
+  config.scalar_engine = false;
+  for (std::size_t batch_size : {0u, 1u, 3u, 5u, 7u}) {
+    config.batch_size = batch_size;
+    EXPECT_EQ(reference, sweep_to_csv(run_sweep(config)))
+        << "batch_size=" << batch_size;
+  }
+}
+
+TEST(AttackSearchBatched, RankingIdenticalAcrossEnginesAndBatchSizes) {
+  const Scenario base =
+      make_standard_scenario(7, 2, 8.0, AttackKind::None, 150, 5);
+  const auto grid = standard_attack_grid();
+  const AttackSearchResult reference =
+      find_strongest_attack(base, grid, 1, 0, /*scalar_engine=*/true);
+  for (std::size_t batch_size : {0u, 1u, 4u}) {
+    const AttackSearchResult batched =
+        find_strongest_attack(base, grid, 1, batch_size);
+    ASSERT_EQ(reference.outcomes.size(), batched.outcomes.size());
+    EXPECT_EQ(reference.reference_state, batched.reference_state);
+    for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+      EXPECT_EQ(reference.outcomes[i].name, batched.outcomes[i].name);
+      EXPECT_EQ(reference.outcomes[i].final_state,
+                batched.outcomes[i].final_state);
+      EXPECT_EQ(reference.outcomes[i].bias, batched.outcomes[i].bias);
+    }
+  }
+}
+
+TEST(CertifyBatched, ReportIdenticalAcrossEngines) {
+  CertifyOptions options;
+  options.n = 7;
+  options.f = 2;
+  options.rounds = 150;
+
+  options.scalar_engine = true;
+  const CertificationReport reference = certify_sbg(options);
+  options.scalar_engine = false;
+  for (std::size_t batch_size : {0u, 3u}) {
+    options.batch_size = batch_size;
+    const CertificationReport batched = certify_sbg(options);
+    EXPECT_EQ(reference.passed, batched.passed);
+    ASSERT_EQ(reference.checks.size(), batched.checks.size());
+    for (std::size_t i = 0; i < reference.checks.size(); ++i) {
+      EXPECT_EQ(reference.checks[i].name, batched.checks[i].name);
+      EXPECT_EQ(reference.checks[i].passed, batched.checks[i].passed);
+      EXPECT_EQ(reference.checks[i].detail, batched.checks[i].detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftmao
