@@ -11,6 +11,7 @@
 #include "cli/args.hpp"
 #include "common/table.hpp"
 #include "sim/certify.hpp"
+#include "simd/simd.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftmao;
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
                 "is identical for every value", "0", false},
       {"scalar", "force the scalar reference engine (one run per attack)",
        "false", true},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2; report is "
+              "identical for every value", "auto", false},
       {"help", "show usage", "false", true},
   });
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -42,6 +45,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+    if (!simd_select(isa)) {
+      std::cerr << "error: ISA '" << simd_isa_name(isa)
+                << "' is not supported on this machine/build\n";
+      return 2;
+    }
     CertifyOptions options;
     options.n = static_cast<std::size_t>(parser.get_int("n"));
     options.f = static_cast<std::size_t>(parser.get_int("f"));

@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -71,6 +72,8 @@ int main(int argc, char** argv) {
                 "output is identical for every value", "0", false},
       {"scalar", "force the scalar reference engine (one run per seed)",
        "false", true},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2; output is "
+              "identical for every value", "auto", false},
       {"csv", "emit CSV instead of the table", "false", true},
       {"help", "show usage", "false", true},
   });
@@ -86,6 +89,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+    if (!simd_select(isa)) {
+      std::cerr << "error: ISA '" << simd_isa_name(isa)
+                << "' is not supported on this machine/build\n";
+      return 2;
+    }
     const SweepConfig config = config_from(parser);
     const std::vector<SweepCell> cells = run_sweep(config);
     if (parser.get_bool("csv")) {

@@ -1,15 +1,23 @@
 // bench_sweep_json — tracked performance baseline for the sweep engine.
 //
 // Times the default ftmao_sweep grid across a thread ladder (1, 2, 4,
-// all cores — deduplicated and capped at the machine's concurrency) and
-// writes BENCH_sweep.json (cells/sec, runs/sec, rounds/sec,
-// agent-rounds/sec per rung, plus the best-vs-1-thread speedup).
-// Committed at the repo root so future PRs have a trajectory to regress
-// against; scripts/bench_check.sh compares a fresh run to the committed
-// file. See docs/performance.md for how to read and refresh it.
+// all cores — common/thread_pool's thread_ladder(), deduplicated and
+// capped at the machine's concurrency) and writes BENCH_sweep.json
+// (cells/sec, runs/sec, rounds/sec, agent-rounds/sec per rung, plus the
+// best-vs-1-thread speedup and a `machine` block pinning the conditions
+// the numbers were taken under: hardware concurrency, the detected and
+// active SIMD ISA, compiler and flags). Committed at the repo root so
+// future PRs have a trajectory to regress against; scripts/bench_check.sh
+// compares a fresh run to the committed file. See docs/performance.md
+// for how to read and refresh it.
+//
+// Each rung is timed as the best (minimum-wall-time) of --repeats grid
+// passes, so a transient noisy neighbour cannot masquerade as a
+// regression.
 //
 //   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
-//                    [--batch B] [--out FILE]
+//                    [--batch B] [--isa auto|scalar|sse2|avx2]
+//                    [--repeats N] [--out FILE]
 
 #include <algorithm>
 #include <chrono>
@@ -21,8 +29,22 @@
 #include <vector>
 
 #include "cli/args.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
+#include "simd/simd.hpp"
+
+// Baked in by bench/CMakeLists.txt so the JSON records how the binary
+// was compiled; fall back to unknowns for out-of-tree builds.
+#ifndef FTMAO_BENCH_COMPILER
+#define FTMAO_BENCH_COMPILER "unknown"
+#endif
+#ifndef FTMAO_BENCH_CXX_FLAGS
+#define FTMAO_BENCH_CXX_FLAGS "unknown"
+#endif
+#ifndef FTMAO_BENCH_BUILD_TYPE
+#define FTMAO_BENCH_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -37,13 +59,27 @@ struct Throughput {
   double agent_rounds_per_sec = 0.0;
 };
 
-Throughput measure(const SweepConfig& config, std::size_t threads) {
+// One pass over the default grid takes ~25 ms single-threaded, which is
+// far too short for a single sample: scheduler interference or a busy
+// hypervisor neighbour can inflate one pass by 40%+. Interference only
+// ever *adds* time, so the minimum wall time over `repeats` passes is
+// the robust throughput estimator (same rationale as Google Benchmark's
+// repetition aggregates).
+Throughput measure(const SweepConfig& config, std::size_t threads,
+                   std::size_t repeats) {
   SweepConfig timed = config;
   timed.num_threads = threads;
 
-  const auto start = std::chrono::steady_clock::now();
-  const std::vector<SweepCell> cells = run_sweep(timed);
-  const auto stop = std::chrono::steady_clock::now();
+  double best_seconds = 0.0;
+  std::vector<SweepCell> cells;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    cells = run_sweep(timed);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
 
   const std::size_t runs = cells.size() * config.seeds.size();
   std::size_t agent_rounds = 0;
@@ -52,7 +88,7 @@ Throughput measure(const SweepConfig& config, std::size_t threads) {
 
   Throughput r;
   r.threads = threads;
-  r.seconds = std::chrono::duration<double>(stop - start).count();
+  r.seconds = best_seconds;
   if (r.seconds > 0.0) {
     r.cells_per_sec = static_cast<double>(cells.size()) / r.seconds;
     r.runs_per_sec = static_cast<double>(runs) / r.seconds;
@@ -60,22 +96,6 @@ Throughput measure(const SweepConfig& config, std::size_t threads) {
     r.agent_rounds_per_sec = static_cast<double>(agent_rounds) / r.seconds;
   }
   return r;
-}
-
-/// 1, 2, 4, all-cores — clipped to the machine and deduplicated, so a
-/// single-core box reports one rung instead of four copies of it.
-std::vector<std::size_t> thread_ladder() {
-  std::size_t max_threads = std::thread::hardware_concurrency();
-  if (max_threads == 0) max_threads = 1;
-  std::vector<std::size_t> ladder;
-  for (std::size_t rung : {std::size_t{1}, std::size_t{2}, std::size_t{4},
-                           max_threads}) {
-    rung = std::min(rung, max_threads);
-    if (std::find(ladder.begin(), ladder.end(), rung) == ladder.end())
-      ladder.push_back(rung);
-  }
-  std::sort(ladder.begin(), ladder.end());
-  return ladder;
 }
 
 void emit(std::ostream& os, const Throughput& t) {
@@ -96,6 +116,10 @@ int main(int argc, char** argv) {
       {"engine", "sweep engine: batched | scalar", "batched", false},
       {"batch", "replicas per batched-engine call (0 = whole seed axis)",
        "0", false},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2", "auto",
+       false},
+      {"repeats", "grid passes per rung; best (min-time) pass is reported",
+       "20", false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
   });
@@ -129,9 +153,20 @@ int main(int argc, char** argv) {
     config.scalar_engine = engine == "scalar";
     config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
 
+    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+    if (!simd_select(isa)) {
+      std::cerr << "error: ISA '" << simd_isa_name(isa)
+                << "' is not supported on this machine/build\n";
+      return 2;
+    }
+
+    const auto repeats =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, parser.get_int("repeats")));
+
     std::vector<Throughput> results;
     for (std::size_t threads : thread_ladder())
-      results.push_back(measure(config, threads));
+      results.push_back(measure(config, threads, repeats));
 
     const Throughput& serial = results.front();
     double best_runs_per_sec = serial.runs_per_sec;
@@ -147,10 +182,18 @@ int main(int argc, char** argv) {
        << "  \"benchmark\": \"sweep_default_grid\",\n"
        << "  \"engine\": \"" << engine << "\",\n"
        << "  \"batch_size\": " << config.batch_size << ",\n"
+       << "  \"machine\": {\"hardware_concurrency\": "
+       << std::thread::hardware_concurrency()
+       << ", \"simd_isa_detected\": \"" << simd_isa_name(simd_detect())
+       << "\", \"simd_isa_active\": \"" << simd_isa_name(simd_active())
+       << "\", \"compiler\": \"" << FTMAO_BENCH_COMPILER
+       << "\", \"cxx_flags\": \"" << FTMAO_BENCH_CXX_FLAGS
+       << "\", \"build_type\": \"" << FTMAO_BENCH_BUILD_TYPE << "\"},\n"
        << "  \"grid\": {\"sizes\": \"7:2,10:3,13:4\", "
        << "\"attacks\": \"split-brain,sign-flip,pull\", "
        << "\"seeds\": " << config.seeds.size()
-       << ", \"rounds\": " << config.rounds << "},\n"
+       << ", \"rounds\": " << config.rounds
+       << ", \"repeats\": " << repeats << "},\n"
        << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       emit(os, results[i]);

@@ -1,19 +1,27 @@
 // E21 — batched-replica engine performance (google-benchmark).
 //
 // Microbenchmarks of the SoA kernels (trim_batch / trimmed_mean_batch vs
-// their scalar counterparts applied per replica) and of the whole round
-// loop (run_sbg per seed vs run_sbg_batch over the seed axis). The batched
-// numbers divide by the batch size where it makes per-replica costs
-// comparable. No paper counterpart; this is the harness's own hot path.
+// their scalar counterparts applied per replica, and the devirtualized
+// gradient kernel vs per-value virtual derivative() calls) and of the
+// whole round loop (run_sbg per seed vs run_sbg_batch over the seed
+// axis). Every batched benchmark is registered once per compiled-and-
+// supported SIMD backend (scalar / sse2 / avx2 — a custom main below
+// replaces BENCHMARK_MAIN), so a single run reports the per-backend
+// kernel numbers side by side. The batched numbers divide by the batch
+// size where it makes per-replica costs comparable. No paper
+// counterpart; this is the harness's own hot path.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "func/functions.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
+#include "simd/simd.hpp"
 #include "trim/trim.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -50,7 +58,8 @@ void BM_TrimColumns_Scalar(benchmark::State& state) {
 BENCHMARK(BM_TrimColumns_Scalar)
     ->Args({7, 4})->Args({7, 16})->Args({13, 16})->Args({31, 16});
 
-void BM_TrimColumns_Batched(benchmark::State& state) {
+void BM_TrimColumns_Batched(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto batch = static_cast<std::size_t>(state.range(1));
   const std::size_t f = (n - 1) / 3;
@@ -65,10 +74,9 @@ void BM_TrimColumns_Batched(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_TrimColumns_Batched)
-    ->Args({7, 4})->Args({7, 16})->Args({13, 16})->Args({31, 16});
 
-void BM_TrimmedMeanColumns_Batched(benchmark::State& state) {
+void BM_TrimmedMeanColumns_Batched(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto batch = static_cast<std::size_t>(state.range(1));
   const std::size_t f = (n - 1) / 3;
@@ -83,7 +91,43 @@ void BM_TrimmedMeanColumns_Batched(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_TrimmedMeanColumns_Batched)->Args({7, 16})->Args({13, 16});
+
+// Gradient evaluation across a lane row: one virtual derivative() call
+// per value (the path mixed-family rows keep)...
+void BM_Gradient_Virtual(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const Huber h(1.5, 2.0, 0.75);
+  const auto x = random_matrix(1, count, 11);
+  std::vector<double> g(count);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < count; ++k) g[k] = h.derivative(x[k]);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_Gradient_Virtual)->Arg(16)->Arg(256);
+
+// ...vs the devirtualized clamp kernel the batched engine uses for
+// closed-form families.
+void BM_Gradient_Kernel(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
+  const SimdKernels& kernels = simd_kernels_for(isa);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const Huber h(1.5, 2.0, 0.75);
+  const BatchGradientKernel d = h.batch_gradient_kernel();
+  const auto x = random_matrix(1, count, 11);
+  const std::vector<double> a(count, d.a), b(count, d.b), lo(count, d.lo),
+      hi(count, d.hi), scale(count, d.scale);
+  std::vector<double> g(count);
+  for (auto _ : state) {
+    kernels.gradient_clamp(x.data(), a.data(), b.data(), lo.data(), hi.data(),
+                           scale.data(), g.data(), count);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
 
 std::vector<Scenario> seed_replicas(std::size_t n, std::size_t f,
                                     AttackKind attack, std::size_t rounds,
@@ -113,7 +157,8 @@ void BM_RoundLoop_Scalar(benchmark::State& state) {
 }
 
 // Whole-round loop, batched engine: the seed axis advances in lockstep.
-void BM_RoundLoop_Batched(benchmark::State& state) {
+void BM_RoundLoop_Batched(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto batch = static_cast<std::size_t>(state.range(1));
   const auto kind = static_cast<AttackKind>(state.range(2));
@@ -133,10 +178,40 @@ constexpr auto kSignFlip = static_cast<int>(AttackKind::SignFlip);
 BENCHMARK(BM_RoundLoop_Scalar)
     ->Args({7, 3, kNone})->Args({7, 3, kSplitBrain})->Args({7, 3, kSignFlip})
     ->Args({13, 8, kNone})->Args({13, 8, kSplitBrain});
-BENCHMARK(BM_RoundLoop_Batched)
-    ->Args({7, 3, kNone})->Args({7, 3, kSplitBrain})->Args({7, 3, kSignFlip})
-    ->Args({13, 8, kNone})->Args({13, 8, kSplitBrain});
+
+// One instance of every batched benchmark per compiled-and-supported
+// SIMD backend, name-tagged "<bench>/<isa>".
+void register_per_backend() {
+  for (const SimdIsa isa : simd_compiled()) {
+    if (!simd_supported(isa)) continue;
+    const std::string tag = std::string("/") + simd_isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_TrimColumns_Batched" + tag).c_str(),
+                                 BM_TrimColumns_Batched, isa)
+        ->Args({7, 4})->Args({7, 16})->Args({13, 16})->Args({31, 16});
+    benchmark::RegisterBenchmark(
+        ("BM_TrimmedMeanColumns_Batched" + tag).c_str(),
+        BM_TrimmedMeanColumns_Batched, isa)
+        ->Args({7, 16})->Args({13, 16});
+    benchmark::RegisterBenchmark(("BM_Gradient_Kernel" + tag).c_str(),
+                                 BM_Gradient_Kernel, isa)
+        ->Arg(16)->Arg(256);
+    benchmark::RegisterBenchmark(("BM_RoundLoop_Batched" + tag).c_str(),
+                                 BM_RoundLoop_Batched, isa)
+        ->Args({7, 3, kNone})
+        ->Args({7, 3, kSplitBrain})
+        ->Args({7, 3, kSignFlip})
+        ->Args({13, 8, kNone})
+        ->Args({13, 8, kSplitBrain});
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_per_backend();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

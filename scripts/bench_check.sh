@@ -10,6 +10,10 @@
 #   scripts/bench_check.sh <bench_sweep_json-binary> <baseline.json> [tolerance]
 #
 # tolerance is the allowed fractional regression (default 0.10 = 10%).
+# Precedence: positional argument > FTMAO_BENCH_TOLERANCE environment
+# variable > default — so CI can loosen the gate on noisy shared runners
+# (FTMAO_BENCH_TOLERANCE=0.25 ctest -C perf) without editing the ctest
+# registration.
 
 set -eu
 
@@ -20,7 +24,7 @@ fi
 
 BENCH_BIN=$1
 BASELINE=$2
-TOLERANCE=${3:-0.10}
+TOLERANCE=${3:-${FTMAO_BENCH_TOLERANCE:-0.10}}
 
 if [ ! -x "$BENCH_BIN" ]; then
   echo "bench_check: bench binary not found or not executable: $BENCH_BIN" >&2
@@ -62,5 +66,6 @@ print(f"bench_check: baseline {baseline:.1f} runs/sec, fresh {fresh:.1f} "
 if fresh < floor:
     print("bench_check: FAIL — single-thread sweep throughput regressed")
     raise SystemExit(1)
-print("bench_check: OK")
+delta = (fresh - baseline) / baseline
+print(f"bench_check: OK ({delta:+.1%} vs baseline)")
 EOF

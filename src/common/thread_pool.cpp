@@ -86,4 +86,17 @@ void parallel_for_each(std::size_t threads, std::size_t count,
   parallel_for_each(pool, count, body);
 }
 
+std::vector<std::size_t> thread_ladder(std::size_t max_threads) {
+  const std::size_t max = ThreadPool::resolve_threads(max_threads);
+  std::vector<std::size_t> ladder;
+  for (std::size_t rung :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, max}) {
+    rung = std::min(rung, max);
+    if (std::find(ladder.begin(), ladder.end(), rung) == ladder.end())
+      ladder.push_back(rung);
+  }
+  std::sort(ladder.begin(), ladder.end());
+  return ladder;
+}
+
 }  // namespace ftmao

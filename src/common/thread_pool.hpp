@@ -77,4 +77,10 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
 void parallel_for_each(std::size_t threads, std::size_t count,
                        const std::function<void(std::size_t)>& body);
 
+/// Benchmark thread ladder: {1, 2, 4, max} clipped to `max_threads`
+/// (0 resolves to hardware concurrency), deduplicated, ascending — so a
+/// single-core box reports one rung instead of four copies of it, and a
+/// 3-core box reports {1, 2, 3}. Always non-empty, always starts at 1.
+std::vector<std::size_t> thread_ladder(std::size_t max_threads = 0);
+
 }  // namespace ftmao

@@ -25,6 +25,9 @@ class Huber final : public ScalarFunction {
   double gradient_bound() const override { return scale_ * delta_; }
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return Interval(center_); }
+  BatchGradientKernel batch_gradient_kernel() const override {
+    return {true, center_, center_, -delta_, delta_, scale_};
+  }
 
   double center() const { return center_; }
   double delta() const { return delta_; }
@@ -97,6 +100,9 @@ class FlatHuber final : public ScalarFunction {
   double gradient_bound() const override { return scale_ * delta_; }
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return flat_; }
+  BatchGradientKernel batch_gradient_kernel() const override {
+    return {true, flat_.lo(), flat_.hi(), -delta_, delta_, scale_};
+  }
 
   Interval flat() const { return flat_; }
   double delta() const { return delta_; }
@@ -126,6 +132,9 @@ class AsymmetricHuber final : public ScalarFunction {
   }
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return Interval(center_); }
+  BatchGradientKernel batch_gradient_kernel() const override {
+    return {true, center_, center_, -delta_neg_, delta_pos_, scale_};
+  }
 
   double center() const { return center_; }
   double delta_neg() const { return delta_neg_; }

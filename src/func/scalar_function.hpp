@@ -11,11 +11,47 @@
 // system). argmin() must return the exact minimizing interval; numeric
 // cross-checks live in opt/argmin.hpp and func/validate.hpp.
 
+#include <algorithm>
 #include <memory>
 
 #include "common/interval.hpp"
 
 namespace ftmao {
+
+/// Closed-form descriptor of a derivative composed only of +, −, ×, ÷
+/// and compares — the shape shared by the quadratic-core families with
+/// piecewise-linear saturation (Huber, AsymmetricHuber, FlatHuber):
+///
+///   h'(x) = scale * clamp(min(x − a, 0) + max(x − b, 0), lo, hi)
+///
+/// with a <= b the flat interval of the residual (a == b == center for a
+/// point minimum) and [lo, hi] the saturation band. min/max/clamp use
+/// std:: tie semantics, under which min(x−c, 0) + max(x−c, 0) == x − c
+/// bit-for-bit for every double x (including ±0 and ±inf), so the
+/// descriptor reproduces the virtual derivative() exactly.
+///
+/// The batched engine (sim/batch_runner) evaluates these descriptors
+/// across replica lanes through the SIMD gradient kernel instead of
+/// making one virtual derivative() call per agent per replica. Families
+/// whose derivative needs transcendentals (LogCosh, SoftplusBasin) or
+/// libm selection logic (SmoothAbs's hypot) return an invalid descriptor
+/// and keep the virtual path.
+struct BatchGradientKernel {
+  bool valid = false;
+  double a = 0.0;      ///< lower edge of the zero-derivative interval
+  double b = 0.0;      ///< upper edge of the zero-derivative interval
+  double lo = 0.0;     ///< saturation floor (<= 0)
+  double hi = 0.0;     ///< saturation ceiling (>= 0)
+  double scale = 0.0;  ///< output multiplier
+
+  /// Scalar reference evaluation — the exact operation sequence the SIMD
+  /// lanes replicate. Tests pin this bitwise against derivative().
+  double evaluate(double x) const {
+    const double below = std::min(x - a, 0.0);
+    const double above = std::max(x - b, 0.0);
+    return scale * std::clamp(below + above, lo, hi);
+  }
+};
 
 /// A convex, continuously differentiable cost h with bounded, Lipschitz
 /// derivative and compact argmin. Immutable and thread-compatible.
@@ -39,6 +75,11 @@ class ScalarFunction {
   /// The closed interval argmin_x h(x) (non-empty, compact by
   /// admissibility).
   virtual Interval argmin() const = 0;
+
+  /// Closed-form batch descriptor of h', if h' fits the clamp form above
+  /// (then kernel.evaluate(x) == derivative(x) bit-for-bit for every x).
+  /// Default: invalid — callers fall back to per-value derivative().
+  virtual BatchGradientKernel batch_gradient_kernel() const { return {}; }
 };
 
 using ScalarFunctionPtr = std::shared_ptr<const ScalarFunction>;

@@ -18,6 +18,7 @@
 #include "core/step_size.hpp"
 #include "core/valid_set.hpp"
 #include "net/batch.hpp"
+#include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
 namespace ftmao {
@@ -25,14 +26,18 @@ namespace ftmao {
 namespace {
 
 // Advances B replicas of one scenario shape in lockstep. SoA lane layout:
-// every per-agent array is indexed lane(j, r) = j * B + r, so one agent's
-// values across the batch are contiguous and the trim kernels vectorize
-// across r. See batch_runner.hpp for the determinism contract.
+// every per-agent array is indexed lane(j, r) = j * Bpad + r, where Bpad
+// rounds B up to the active SIMD backend's lane width, so one agent's
+// values across the batch are contiguous, vector-aligned rows for the
+// explicit lane kernels (simd/simd.hpp). Lanes r >= B are padding: they
+// hold benign finite values, are advanced by the same strictly lanewise
+// kernels (so they can never contaminate a real lane), and are never read
+// back. See batch_runner.hpp for the determinism contract.
 class BatchedSbgRunner {
  public:
   BatchedSbgRunner(std::span<const Scenario> replicas,
                    const RunOptions& options)
-      : scenarios_(replicas), options_(options) {
+      : scenarios_(replicas), options_(options), kernels_(&simd_kernels()) {
     FTMAO_EXPECTS(!replicas.empty());
     const Scenario& first = replicas.front();
     for (const Scenario& s : replicas) {
@@ -46,6 +51,7 @@ class BatchedSbgRunner {
       FTMAO_EXPECTS(s.crashes == first.crashes);
     }
     B_ = replicas.size();
+    Bpad_ = ((B_ + kernels_->width - 1) / kernels_->width) * kernels_->width;
     n_ = first.n;
     f_ = first.f;
     rounds_ = first.rounds;
@@ -66,18 +72,40 @@ class BatchedSbgRunner {
     F_ = faulty_ids_.size();
     FTMAO_EXPECTS(H_ + F_ == n_);
 
-    fns_.resize(H_ * B_);
-    x_.resize(H_ * B_);
-    bx_.resize(H_ * B_);
-    bg_.resize(H_ * B_);
+    fns_.resize(H_ * Bpad_);
+    x_.resize(H_ * Bpad_);
+    bx_.resize(H_ * Bpad_);
+    bg_.resize(H_ * Bpad_);
+    // Devirtualized gradient descriptors, SoA. A row (= one agent across
+    // all replicas) takes the SIMD fast path only if every replica's cost
+    // exposes a closed-form clamp kernel; mixed rows keep the virtual
+    // per-replica derivative() calls. Padding lanes keep the
+    // zero-initialized descriptor (scale 0 -> gradient +0, benign).
+    ga_.resize(H_ * Bpad_);
+    gb_.resize(H_ * Bpad_);
+    glo_.resize(H_ * Bpad_);
+    ghi_.resize(H_ * Bpad_);
+    gscale_.resize(H_ * Bpad_);
+    grad_row_kernel_.assign(H_, 1);
     for (std::size_t j = 0; j < H_; ++j) {
       const std::size_t idx = honest_ids_[j].value;
       for (std::size_t r = 0; r < B_; ++r) {
         const Scenario& s = replicas[r];
-        fns_[lane(j, r)] = s.functions[idx].get();
+        const std::size_t l = lane(j, r);
+        fns_[l] = s.functions[idx].get();
+        const BatchGradientKernel k = fns_[l]->batch_gradient_kernel();
+        if (k.valid) {
+          ga_[l] = k.a;
+          gb_[l] = k.b;
+          glo_[l] = k.lo;
+          ghi_[l] = k.hi;
+          gscale_[l] = k.scale;
+        } else {
+          grad_row_kernel_[j] = 0;
+        }
         double x0 = s.initial_states[idx];
         if (s.constraint) x0 = s.constraint->project(x0);
-        x_[lane(j, r)] = x0;
+        x_[l] = x0;
       }
     }
 
@@ -136,14 +164,36 @@ class BatchedSbgRunner {
       }
     }
 
-    dx_.resize(n_ * B_);
-    dg_.resize(n_ * B_);
-    tx_.resize(B_);
-    tg_.resize(B_);
-    lambda_.resize(B_);
-    pe_.assign(S_ * B_, 0.0);
-    trimmed_state_.resize(S_ * B_);
-    trimmed_gradient_.resize(S_ * B_);
+    // Per-replica projection parameters, SoA for the fused step kernel.
+    // Unconstrained lanes clamp against (-inf, +inf) — a bitwise identity
+    // on the unprojected value — with an all-zero mask selecting the
+    // literal 0.0 projection error the scalar path records. Padding lanes
+    // clamp to [0, 0] with mask 0, pinning them at a benign finite value.
+    clo_.assign(Bpad_, 0.0);
+    chi_.assign(Bpad_, 0.0);
+    pemask_.assign(Bpad_, 0.0);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double kAllBits =
+        std::bit_cast<double>(~std::uint64_t{0});
+    for (std::size_t r = 0; r < B_; ++r) {
+      if (constraint_[r]) {
+        clo_[r] = constraint_[r]->lo();
+        chi_[r] = constraint_[r]->hi();
+        pemask_[r] = kAllBits;
+      } else {
+        clo_[r] = -kInf;
+        chi_[r] = kInf;
+      }
+    }
+
+    dx_.resize(n_ * Bpad_);
+    dg_.resize(n_ * Bpad_);
+    tx_.resize(Bpad_);
+    tg_.resize(Bpad_);
+    lambda_.assign(Bpad_, 0.0);
+    pe_.assign(H_ * Bpad_, 0.0);
+    trimmed_state_.resize(S_ * Bpad_);
+    trimmed_gradient_.resize(S_ * Bpad_);
     bpx_.resize(H_ * F_ * B_);
     bpg_.resize(H_ * F_ * B_);
     bpresent_.resize(H_ * F_ * B_);
@@ -178,7 +228,9 @@ class BatchedSbgRunner {
   }
 
  private:
-  std::size_t lane(std::size_t j, std::size_t r) const { return j * B_ + r; }
+  std::size_t lane(std::size_t j, std::size_t r) const {
+    return j * Bpad_ + r;
+  }
 
   // Mirrors the delivery filter the scalar runner installs (crash
   // silencing + seeded link drops; Byzantine senders exempt from drops).
@@ -195,19 +247,33 @@ class BatchedSbgRunner {
     return static_cast<double>(h >> 11) * 0x1.0p-53 >= p;
   }
 
-  // Step 1: every engine-honest agent's broadcast, SoA. The per-replica
-  // AoS views are materialized only when adversaries exist to observe them.
+  // Step 1: every engine-honest agent's broadcast, SoA. Rows whose costs
+  // all expose a closed-form clamp descriptor evaluate h'(x) through the
+  // SIMD gradient kernel — one indirect call per row instead of one
+  // virtual call per lane; derivative() is pure, so the reordering is
+  // unobservable and the kernel is pinned bitwise to derivative() by the
+  // BatchGradientKernel contract. The per-replica AoS views are
+  // materialized only when adversaries exist to observe them.
   void broadcast_phase(Round t) {
     const bool need_views = F_ > 0;
     if (need_views) views_.begin_round(t, B_, honest_ids_);
     for (std::size_t j = 0; j < H_; ++j) {
-      for (std::size_t r = 0; r < B_; ++r) {
-        const std::size_t l = lane(j, r);
-        const double xv = x_[l];
-        bx_[l] = xv;
-        bg_[l] = fns_[l]->derivative(xv);
-        if (need_views) views_.set(j, r, SbgPayload{xv, bg_[l]});
+      const std::size_t base = lane(j, 0);
+      const double* x = x_.data() + base;
+      double* bx = bx_.data() + base;
+      double* bg = bg_.data() + base;
+      std::memcpy(bx, x, Bpad_ * sizeof(double));
+      if (grad_row_kernel_[j]) {
+        kernels_->gradient_clamp(x, ga_.data() + base, gb_.data() + base,
+                                 glo_.data() + base, ghi_.data() + base,
+                                 gscale_.data() + base, bg, Bpad_);
+      } else {
+        for (std::size_t r = 0; r < B_; ++r)
+          bg[r] = fns_[base + r]->derivative(x[r]);
       }
+      if (need_views)
+        for (std::size_t r = 0; r < B_; ++r)
+          views_.set(j, r, SbgPayload{bx[r], bg[r]});
     }
   }
 
@@ -278,18 +344,18 @@ class BatchedSbgRunner {
       double* dx = dx_.data();
       double* dg = dg_.data();
       std::size_t slot = 0;
-      std::memcpy(dx, bx_.data() + lane(j, 0), B_ * sizeof(double));
-      std::memcpy(dg, bg_.data() + lane(j, 0), B_ * sizeof(double));
+      std::memcpy(dx, bx_.data() + lane(j, 0), Bpad_ * sizeof(double));
+      std::memcpy(dg, bg_.data() + lane(j, 0), Bpad_ * sizeof(double));
       ++slot;
       for (std::size_t s = 0; s < H_; ++s) {
         if (s == j) continue;
-        double* dxr = dx + slot * B_;
-        double* dgr = dg + slot * B_;
+        double* dxr = dx + slot * Bpad_;
+        double* dgr = dg + slot * Bpad_;
         const double* sx = bx_.data() + lane(s, 0);
         const double* sg = bg_.data() + lane(s, 0);
         if (!any_filter_) {
-          std::memcpy(dxr, sx, B_ * sizeof(double));
-          std::memcpy(dgr, sg, B_ * sizeof(double));
+          std::memcpy(dxr, sx, Bpad_ * sizeof(double));
+          std::memcpy(dgr, sg, Bpad_ * sizeof(double));
         } else {
           const std::uint32_t sid = honest_ids_[s].value;
           for (std::size_t r = 0; r < B_; ++r) {
@@ -305,8 +371,8 @@ class BatchedSbgRunner {
         ++slot;
       }
       for (std::size_t b = 0; b < F_; ++b) {
-        double* dxr = dx + slot * B_;
-        double* dgr = dg + slot * B_;
+        double* dxr = dx + slot * Bpad_;
+        double* dgr = dg + slot * Bpad_;
         for (std::size_t r = 0; r < B_; ++r) {
           const std::size_t o = byz_base + b * B_ + r;
           if (bpresent_[o]) {
@@ -321,26 +387,24 @@ class BatchedSbgRunner {
       }
       FTMAO_ENSURES(slot == n_);
 
-      trim_batch(dx, n_, B_, f_, tx_.data());
-      trim_batch(dg, n_, B_, f_, tg_.data());
+      trim_batch(dx, n_, Bpad_, f_, tx_.data());
+      trim_batch(dg, n_, Bpad_, f_, tg_.data());
     }
 
-    for (std::size_t r = 0; r < B_; ++r) {
-      const double unprojected = tx_[r] - lambda_[r] * tg_[r];
-      double next = unprojected;
-      double projection_error = 0.0;
-      if (constraint_[r]) {
-        next = constraint_[r]->project(unprojected);
-        projection_error = next - unprojected;
-      }
-      x_[lane(j, r)] = next;
-      if (j < S_) {
-        pe_[lane(j, r)] = projection_error;
-        if (audit) {
-          trimmed_state_[lane(j, r)] = tx_[r];
-          trimmed_gradient_[lane(j, r)] = tg_[r];
-        }
-      }
+    // Fused projected step across the whole lane row:
+    //   u = tx - lambda * tg;  x = clamp(u, clo, chi);  pe = masked(x - u)
+    // — the scalar update's exact operation sequence (Interval::project is
+    // std::clamp, matched tie-for-tie by the lane clamp; unconstrained
+    // lanes clamp against +/-inf, a bitwise identity).
+    const std::size_t base = lane(j, 0);
+    kernels_->fused_step(tx_.data(), tg_.data(), lambda_.data(), clo_.data(),
+                         chi_.data(), pemask_.data(), x_.data() + base,
+                         pe_.data() + base, Bpad_);
+    if (audit && j < S_) {
+      std::memcpy(trimmed_state_.data() + base, tx_.data(),
+                  Bpad_ * sizeof(double));
+      std::memcpy(trimmed_gradient_.data() + base, tg_.data(),
+                  Bpad_ * sizeof(double));
     }
   }
 
@@ -407,7 +471,9 @@ class BatchedSbgRunner {
 
   std::span<const Scenario> scenarios_;
   RunOptions options_;
+  const SimdKernels* kernels_;  ///< active lane backend, captured once
   std::size_t B_ = 0;       ///< replicas in the batch
+  std::size_t Bpad_ = 0;    ///< B rounded up to the backend lane width
   std::size_t n_ = 0;       ///< total agents
   std::size_t f_ = 0;       ///< fault bound
   std::size_t rounds_ = 0;
@@ -417,11 +483,19 @@ class BatchedSbgRunner {
   std::vector<AgentId> honest_ids_;
   std::vector<AgentId> faulty_ids_;
 
-  // SoA state, lane(j, r) = j * B + r.
+  // SoA state, lane(j, r) = j * Bpad + r.
   std::vector<const ScalarFunction*> fns_;
   std::vector<double> x_;   ///< current states
   std::vector<double> bx_;  ///< this round's broadcast states
   std::vector<double> bg_;  ///< this round's broadcast gradients
+
+  // Devirtualized gradient descriptors (H x Bpad, SoA) and per-row
+  // eligibility flags; see BatchGradientKernel.
+  std::vector<double> ga_, gb_, glo_, ghi_, gscale_;
+  std::vector<std::uint8_t> grad_row_kernel_;
+
+  // Per-replica projection parameters for the fused step (length Bpad).
+  std::vector<double> clo_, chi_, pemask_;
 
   std::vector<std::unique_ptr<StepSchedule>> schedules_;
   std::vector<ValidFamily> families_;
@@ -445,11 +519,11 @@ class BatchedSbgRunner {
   std::vector<RunMetrics> metrics_;
 
   // Round-scoped scratch, sized once in the constructor.
-  std::vector<double> dx_, dg_;        ///< n x B multiset matrices
+  std::vector<double> dx_, dg_;        ///< n x Bpad multiset matrices
   std::vector<double> tx_, tg_;        ///< per-replica trim outputs
   std::vector<double> lambda_;         ///< per-replica step size this round
-  std::vector<double> pe_;             ///< projection errors, S x B
-  std::vector<double> trimmed_state_;  ///< audit diagnostics, S x B
+  std::vector<double> pe_;             ///< projection errors, H x Bpad
+  std::vector<double> trimmed_state_;  ///< audit diagnostics, S x Bpad
   std::vector<double> trimmed_gradient_;
   std::vector<double> bpx_, bpg_;      ///< Byzantine payloads, H x F x B
   std::vector<std::uint8_t> bpresent_;

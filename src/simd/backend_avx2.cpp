@@ -1,0 +1,45 @@
+// AVX2 (width-4) backend. Compiled with per-TU -mavx2 -ffp-contract=off
+// — and deliberately WITHOUT -mfma: a fused multiply-add rounds once
+// where the scalar engine rounds twice, which would break bit-identity
+// in fused_step's tx - lambda*tg. Only this TU carries the flag; the
+// rest of the tree stays on the default architecture, and the dispatcher
+// only hands these kernels out after cpuid confirms AVX2 (so no illegal
+// instruction can execute on older hardware).
+//
+// VBLENDVPD selects on the sign bit of each mask lane; our masks are
+// full-lane all-ones/all-zeros (from VCMPPD or precomputed), for which
+// sign-bit select and full bit select agree.
+
+#include <immintrin.h>
+
+#include "simd/lanes_impl.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+namespace {
+
+struct Avx2Lanes {
+  static constexpr std::size_t kWidth = 4;
+  using Vec = __m256d;
+  static Vec load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+  static Vec broadcast(double x) { return _mm256_set1_pd(x); }
+  static Vec add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
+  static Vec mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+  static Vec div(Vec a, Vec b) { return _mm256_div_pd(a, b); }
+  static Vec less(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static Vec select(Vec m, Vec t, Vec f) { return _mm256_blendv_pd(f, t, m); }
+  static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+};
+
+}  // namespace
+
+const SimdKernels& simd_backend_avx2() {
+  static const SimdKernels kernels =
+      simd_detail::make_kernels<Avx2Lanes>(SimdIsa::kAvx2, "avx2");
+  return kernels;
+}
+
+}  // namespace ftmao

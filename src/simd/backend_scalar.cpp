@@ -1,0 +1,16 @@
+// Scalar (width-1) backend: the portable reference every wider backend
+// must match bit-for-bit. Compiled with the tree's default flags — this
+// TU *is* the determinism baseline, so it gets no special options.
+
+#include "simd/lanes_impl.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+const SimdKernels& simd_backend_scalar() {
+  static const SimdKernels kernels = simd_detail::make_kernels<
+      simd_detail::ScalarLanes>(SimdIsa::kScalar, "scalar");
+  return kernels;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,43 @@
+// SSE2 (width-2) backend. Compiled with per-TU -msse2 -ffp-contract=off
+// (SSE2 is the x86-64 baseline, but the flag is stated so the contract
+// is explicit and the TU keeps working if the global defaults change).
+//
+// SSE2 has no BLENDVPD, so select() is the classic and/andnot/or mask
+// blend — an exact bit operation on the full-lane masks CMPLTPD
+// produces, so selected lane values match the scalar backend exactly.
+
+#include <emmintrin.h>
+
+#include "simd/lanes_impl.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+namespace {
+
+struct Sse2Lanes {
+  static constexpr std::size_t kWidth = 2;
+  using Vec = __m128d;
+  static Vec load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, Vec v) { _mm_storeu_pd(p, v); }
+  static Vec broadcast(double x) { return _mm_set1_pd(x); }
+  static Vec add(Vec a, Vec b) { return _mm_add_pd(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm_sub_pd(a, b); }
+  static Vec mul(Vec a, Vec b) { return _mm_mul_pd(a, b); }
+  static Vec div(Vec a, Vec b) { return _mm_div_pd(a, b); }
+  static Vec less(Vec a, Vec b) { return _mm_cmplt_pd(a, b); }
+  static Vec select(Vec m, Vec t, Vec f) {
+    return _mm_or_pd(_mm_and_pd(m, t), _mm_andnot_pd(m, f));
+  }
+  static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+};
+
+}  // namespace
+
+const SimdKernels& simd_backend_sse2() {
+  static const SimdKernels kernels =
+      simd_detail::make_kernels<Sse2Lanes>(SimdIsa::kSse2, "sse2");
+  return kernels;
+}
+
+}  // namespace ftmao

@@ -1,0 +1,178 @@
+// Runtime ISA dispatch: pick the widest backend the CPU supports, once,
+// and hand out its kernel table through a single atomic pointer.
+//
+// Backend availability has two layers:
+//   - compile time: FTMAO_SIMD_HAS_SSE2 / FTMAO_SIMD_HAS_AVX2 are defined
+//     by src/simd/CMakeLists.txt only when FTMAO_ENABLE_SIMD is ON, the
+//     target is x86-64, and the compiler accepts the per-TU flag;
+//   - run time: __builtin_cpu_supports() (cpuid) must confirm the feature
+//     before a table whose code uses it is ever returned. An AVX2 binary
+//     on an SSE2-only machine therefore degrades instead of trapping.
+//
+// Overrides, strongest first: simd_select() (the --isa flag, tests),
+// then the FTMAO_ISA environment variable, then cpuid detection. An
+// unsupported FTMAO_ISA value warns on stderr and falls back to
+// detection — the per-backend ctest instances rely on this to degrade
+// gracefully on hardware that lacks a compiled-in tier.
+
+#include "simd/simd.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace ftmao {
+
+const SimdKernels& simd_backend_scalar();
+#ifdef FTMAO_SIMD_HAS_SSE2
+const SimdKernels& simd_backend_sse2();
+#endif
+#ifdef FTMAO_SIMD_HAS_AVX2
+const SimdKernels& simd_backend_avx2();
+#endif
+
+namespace {
+
+constexpr std::array<SimdIsa, 3> kAllIsas = {SimdIsa::kScalar, SimdIsa::kSse2,
+                                             SimdIsa::kAvx2};
+
+const SimdKernels* backend_or_null(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return &simd_backend_scalar();
+    case SimdIsa::kSse2:
+#ifdef FTMAO_SIMD_HAS_SSE2
+      return &simd_backend_sse2();
+#else
+      return nullptr;
+#endif
+    case SimdIsa::kAvx2:
+#ifdef FTMAO_SIMD_HAS_AVX2
+      return &simd_backend_avx2();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(SimdIsa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case SimdIsa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return isa == SimdIsa::kScalar;
+#endif
+}
+
+/// First selection: FTMAO_ISA override (with fallback warning) or cpuid.
+const SimdKernels* initial_backend() {
+  if (const char* env = std::getenv("FTMAO_ISA");
+      env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    bool known = false;
+    for (SimdIsa isa : kAllIsas) {
+      if (std::strcmp(env, simd_isa_name(isa)) == 0) {
+        known = true;
+        if (simd_supported(isa)) return backend_or_null(isa);
+      }
+    }
+    std::fprintf(stderr,
+                 "ftmao: FTMAO_ISA=%s is %s on this build/CPU; "
+                 "falling back to %s\n",
+                 env, known ? "unsupported" : "unknown",
+                 simd_isa_name(simd_detect()));
+  }
+  return backend_or_null(simd_detect());
+}
+
+std::atomic<const SimdKernels*>& active_slot() {
+  static std::atomic<const SimdKernels*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+std::span<const SimdIsa> simd_compiled() {
+  static const auto compiled = [] {
+    static std::array<SimdIsa, 3> storage;
+    std::size_t n = 0;
+    for (SimdIsa isa : kAllIsas) {
+      if (backend_or_null(isa) != nullptr) storage[n++] = isa;
+    }
+    return std::span<const SimdIsa>(storage.data(), n);
+  }();
+  return compiled;
+}
+
+bool simd_supported(SimdIsa isa) {
+  return backend_or_null(isa) != nullptr && cpu_supports(isa);
+}
+
+SimdIsa simd_detect() {
+  SimdIsa best = SimdIsa::kScalar;
+  for (SimdIsa isa : kAllIsas) {
+    if (simd_supported(isa)) best = isa;
+  }
+  return best;
+}
+
+const SimdKernels& simd_kernels_for(SimdIsa isa) {
+  FTMAO_EXPECTS(simd_supported(isa));
+  return *backend_or_null(isa);
+}
+
+const SimdKernels& simd_kernels() {
+  const SimdKernels* table = active_slot().load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = initial_backend();
+    const SimdKernels* expected = nullptr;
+    // Racing first calls agree on the winner's table (both candidates
+    // are process-lifetime statics), so losing the exchange is fine.
+    active_slot().compare_exchange_strong(expected, table,
+                                          std::memory_order_acq_rel);
+    table = active_slot().load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+SimdIsa simd_active() { return simd_kernels().isa; }
+
+bool simd_select(SimdIsa isa) {
+  if (!simd_supported(isa)) return false;
+  active_slot().store(&simd_kernels_for(isa), std::memory_order_release);
+  return true;
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kSse2:
+      return "sse2";
+    case SimdIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdIsa parse_simd_isa(const std::string& name) {
+  if (name == "auto") return simd_detect();
+  for (SimdIsa isa : kAllIsas) {
+    if (name == simd_isa_name(isa)) return isa;
+  }
+  throw ContractViolation("unknown ISA '" + name +
+                          "' (expected auto|scalar|sse2|avx2)");
+}
+
+}  // namespace ftmao

@@ -1,0 +1,201 @@
+#pragma once
+
+// Width-agnostic kernel bodies for the SIMD backends.
+//
+// A backend TU defines a `DoubleLanes` policy type and calls
+// make_kernels<L>() to obtain its SimdKernels table. The policy supplies:
+//
+//   static constexpr std::size_t kWidth;   // doubles per vector
+//   using Vec;                             // vector register type
+//   static Vec  load(const double*);       // unaligned load of kWidth
+//   static void store(double*, Vec);       // unaligned store of kWidth
+//   static Vec  broadcast(double);
+//   static Vec  add(Vec, Vec); sub(Vec, Vec); mul(Vec, Vec); div(Vec, Vec);
+//   static Vec  less(Vec a, Vec b);        // ordered-quiet a < b, all-ones
+//                                          // lane mask as Vec bits
+//   static Vec  select(Vec m, Vec t, Vec f);     // m ? t : f, m from less()
+//   static Vec  bitselect(Vec m, Vec t, Vec f);  // m ? t : f, m a *stored*
+//                                                // all-ones/all-zeros mask
+//
+// Every kernel body below performs the identical IEEE operation sequence
+// per lane in every instantiation; vector tails reuse the scalar policy
+// (ScalarLanes) so a lane computed in the tail is bit-identical to the
+// same lane computed in a full vector. That — plus the conditional-swap
+// comparator and first-argument-wins min/max (simd/simd.hpp, rules 2
+// and 3) — is the whole cross-backend determinism argument.
+//
+// Instantiate only inside the backend's own TU (each policy type is
+// TU-local, so template instantiations cannot collide across differently
+// flagged objects).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace ftmao::simd_detail {
+
+/// The width-1 policy: plain doubles, branch-free selects. Used both as
+/// the scalar backend's policy and as every wider backend's tail path.
+struct ScalarLanes {
+  static constexpr std::size_t kWidth = 1;
+  using Vec = double;
+  static Vec load(const double* p) { return *p; }
+  static void store(double* p, Vec v) { *p = v; }
+  static Vec broadcast(double x) { return x; }
+  static Vec add(Vec a, Vec b) { return a + b; }
+  static Vec sub(Vec a, Vec b) { return a - b; }
+  static Vec mul(Vec a, Vec b) { return a * b; }
+  static Vec div(Vec a, Vec b) { return a / b; }
+  // Mask lanes are represented by their truth value; select() branches
+  // on it. The wider policies use bit masks + blends — same selected
+  // values, so results are bit-identical.
+  static bool less(Vec a, Vec b) { return a < b; }
+  static Vec select(bool m, Vec t, Vec f) { return m ? t : f; }
+  // Stored masks are all-ones or all-zeros doubles.
+  static Vec bitselect(Vec m, Vec t, Vec f) {
+    return std::bit_cast<std::uint64_t>(m) != 0 ? t : f;
+  }
+};
+
+// std::min / std::max tie semantics (first argument wins on equality),
+// expressed with the policy's compare+select so every backend agrees
+// bitwise — including on (+0.0, -0.0), where hardware MINPD/MAXPD would
+// return the second operand instead.
+template <class L>
+inline typename L::Vec lane_min(typename L::Vec a, typename L::Vec b) {
+  return L::select(L::less(b, a), b, a);
+}
+template <class L>
+inline typename L::Vec lane_max(typename L::Vec a, typename L::Vec b) {
+  return L::select(L::less(a, b), b, a);
+}
+// std::clamp(v, lo, hi) == lane_min(lane_max(v, lo), hi) bitwise for
+// lo <= hi (ties resolve identically because both pick the first
+// argument; v < lo and hi < v cannot hold simultaneously).
+template <class L>
+inline typename L::Vec lane_clamp(typename L::Vec v, typename L::Vec lo,
+                                  typename L::Vec hi) {
+  return lane_min<L>(lane_max<L>(v, lo), hi);
+}
+
+template <class L>
+void sort_network_impl(double* data, std::size_t stride,
+                       const ComparatorPair* pairs, std::size_t num_pairs,
+                       std::size_t count) {
+  for (std::size_t p = 0; p < num_pairs; ++p) {
+    double* __restrict a = data + pairs[p].first * stride;
+    double* __restrict b = data + pairs[p].second * stride;
+    std::size_t k = 0;
+    for (; k + L::kWidth <= count; k += L::kWidth) {
+      const typename L::Vec va = L::load(a + k);
+      const typename L::Vec vb = L::load(b + k);
+      const auto swap = L::less(vb, va);  // conditional swap: b < a
+      L::store(a + k, L::select(swap, vb, va));
+      L::store(b + k, L::select(swap, va, vb));
+    }
+    for (; k < count; ++k) {
+      const double va = a[k];
+      const double vb = b[k];
+      const bool swap = vb < va;
+      a[k] = swap ? vb : va;
+      b[k] = swap ? va : vb;
+    }
+  }
+}
+
+template <class L>
+void trim_midpoint_impl(const double* ys, const double* yl, double* out,
+                        std::size_t count) {
+  const typename L::Vec two = L::broadcast(2.0);
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec s = L::load(ys + k);
+    const typename L::Vec l = L::load(yl + k);
+    L::store(out + k, L::add(s, L::div(L::sub(l, s), two)));
+  }
+  for (; k < count; ++k) out[k] = ys[k] + (yl[k] - ys[k]) / 2.0;
+}
+
+template <class L>
+void accumulate_rows_impl(double* acc, const double* row, std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth)
+    L::store(acc + k, L::add(L::load(acc + k), L::load(row + k)));
+  for (; k < count; ++k) acc[k] += row[k];
+}
+
+template <class L>
+void divide_rows_impl(double* out, double divisor, std::size_t count) {
+  const typename L::Vec d = L::broadcast(divisor);
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth)
+    L::store(out + k, L::div(L::load(out + k), d));
+  for (; k < count; ++k) out[k] /= divisor;
+}
+
+template <class L>
+void gradient_clamp_impl(const double* x, const double* a, const double* b,
+                         const double* lo, const double* hi,
+                         const double* scale, double* g, std::size_t count) {
+  const typename L::Vec zero = L::broadcast(0.0);
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec xv = L::load(x + k);
+    const typename L::Vec below = lane_min<L>(L::sub(xv, L::load(a + k)), zero);
+    const typename L::Vec above = lane_max<L>(L::sub(xv, L::load(b + k)), zero);
+    const typename L::Vec r = lane_clamp<L>(L::add(below, above),
+                                            L::load(lo + k), L::load(hi + k));
+    L::store(g + k, L::mul(L::load(scale + k), r));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    const double below = lane_min<S>(x[k] - a[k], 0.0);
+    const double above = lane_max<S>(x[k] - b[k], 0.0);
+    g[k] = scale[k] * lane_clamp<S>(below + above, lo[k], hi[k]);
+  }
+}
+
+template <class L>
+void fused_step_impl(const double* tx, const double* tg, const double* lambda,
+                     const double* clo, const double* chi,
+                     const double* pe_mask, double* x, double* pe,
+                     std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec u =
+        L::sub(L::load(tx + k), L::mul(L::load(lambda + k), L::load(tg + k)));
+    const typename L::Vec next =
+        lane_clamp<L>(u, L::load(clo + k), L::load(chi + k));
+    L::store(x + k, next);
+    L::store(pe + k, L::bitselect(L::load(pe_mask + k), L::sub(next, u),
+                                  L::broadcast(0.0)));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    const double u = tx[k] - lambda[k] * tg[k];
+    const double next = lane_clamp<S>(u, clo[k], chi[k]);
+    x[k] = next;
+    pe[k] = S::bitselect(pe_mask[k], next - u, 0.0);
+  }
+}
+
+/// Builds the backend's kernel table. All pointers reference the TU-local
+/// instantiations for policy L.
+template <class L>
+SimdKernels make_kernels(SimdIsa isa, const char* name) {
+  SimdKernels k;
+  k.isa = isa;
+  k.name = name;
+  k.width = L::kWidth;
+  k.sort_network = &sort_network_impl<L>;
+  k.trim_midpoint = &trim_midpoint_impl<L>;
+  k.accumulate_rows = &accumulate_rows_impl<L>;
+  k.divide_rows = &divide_rows_impl<L>;
+  k.gradient_clamp = &gradient_clamp_impl<L>;
+  k.fused_step = &fused_step_impl<L>;
+  return k;
+}
+
+}  // namespace ftmao::simd_detail

@@ -1,0 +1,153 @@
+#pragma once
+
+// Explicit SIMD lane backend with runtime ISA dispatch.
+//
+// The batched SoA engine (sim/batch_runner + trim/trim_batch) turned the
+// round hot path into lanewise loops over contiguous replica rows. This
+// subsystem stops relying on the -O2 autovectorizer for those loops:
+// each kernel is written once against a width-agnostic `DoubleLanes`
+// concept (simd/lanes_impl.hpp) and instantiated in three separately
+// compiled translation units — scalar (width 1, portable), SSE2 (width
+// 2), and AVX2 (width 4, compiled with a per-TU -mavx2 so the rest of
+// the tree keeps the default architecture). The best backend the CPU
+// supports is selected once, lazily, via cpuid (runtime dispatch through
+// a function-pointer table — one indirect call per *kernel invocation*,
+// not per lane).
+//
+// Determinism contract (load-bearing — see docs/performance.md):
+// every backend produces bit-identical results to every other backend,
+// and to the scalar reference engine, for the same inputs. Three rules
+// enforce this:
+//   1. Identical per-lane operation sequences. A kernel performs the
+//      same IEEE-754 operations in the same order in every lane of
+//      every backend; vector tails fall through to the width-1 code
+//      path of the *same* primitive. No FMA contraction is permitted
+//      (the SIMD TUs are compiled with -ffp-contract=off and never
+//      enable -mfma), so a*b+c rounds twice everywhere.
+//   2. Compare-exchange is a conditional swap, not min/max. The
+//      hardware MINPD/MAXPD instructions return the *second* operand on
+//      equal inputs while std::min/std::max return the *first*; on the
+//      pair (+0.0, -0.0), which compares equal, min/max formulations
+//      therefore duplicate one bit pattern and destroy the other. The
+//      sorting-network comparator here is
+//          swap if b < a
+//      which is multiset-preserving bit-for-bit: the network output is
+//      a true permutation of the input doubles (signed zeros survive
+//      with their signs), so selected order statistics are the same
+//      doubles the scalar nth_element path selects, up to ordering of
+//      equal-comparing values — and every downstream reduction
+//      (midpoint, ascending-order mean) is insensitive to that ordering
+//      at the bit level.
+//   3. min/max primitives follow std::min/std::max tie semantics
+//      (return the first argument on ties), implemented as compare +
+//      blend, so clamp-style gradient kernels match std::clamp bitwise.
+//
+// NaNs: inputs are NaN-free by engine precondition (admissible costs
+// and finite payloads). The ordered-quiet compares used here make NaN
+// behavior *deterministic and backend-identical* anyway (a NaN never
+// swaps), but sortedness is only guaranteed for NaN-free input.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace ftmao {
+
+/// Comparator index pair (i, j), i < j: order rows i and j so the
+/// lanewise-smaller values land in row i. (Canonical home of the type
+/// used by trim/trim_batch's sorting networks.)
+using ComparatorPair = std::pair<std::uint16_t, std::uint16_t>;
+
+/// Instruction-set tiers, worst to best. kScalar is always compiled;
+/// kSse2/kAvx2 exist only on x86-64 builds with FTMAO_ENABLE_SIMD=ON.
+enum class SimdIsa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Devirtualized kernel entry points for one backend. All pointers are
+/// always non-null. Every kernel is strictly lanewise: lane k of every
+/// output depends only on lane k of every input, so callers may pad
+/// arrays to a lane multiple with arbitrary finite values.
+struct SimdKernels {
+  SimdIsa isa = SimdIsa::kScalar;
+  const char* name = "scalar";  ///< "scalar" | "sse2" | "avx2"
+  std::size_t width = 1;        ///< doubles per vector register
+
+  /// Applies a comparator network to an n x count matrix whose rows are
+  /// `stride` doubles apart: for each pair (i, j), conditionally swaps
+  /// data[i*stride + k] and data[j*stride + k] (k < count) so the
+  /// smaller lands in row i. Multiset-preserving per lane (rule 2).
+  void (*sort_network)(double* data, std::size_t stride,
+                       const ComparatorPair* pairs, std::size_t num_pairs,
+                       std::size_t count);
+
+  /// out[k] = ys[k] + (yl[k] - ys[k]) / 2  — the Trim midpoint.
+  void (*trim_midpoint)(const double* ys, const double* yl, double* out,
+                        std::size_t count);
+
+  /// acc[k] += row[k]  — one ascending-order accumulation step of the
+  /// batched trimmed mean.
+  void (*accumulate_rows)(double* acc, const double* row, std::size_t count);
+
+  /// out[k] = out[k] / divisor  — the trimmed-mean normalization.
+  void (*divide_rows)(double* out, double divisor, std::size_t count);
+
+  /// g[k] = scale[k] * clamp(min(x[k]-a[k], 0) + max(x[k]-b[k], 0),
+  ///                         lo[k], hi[k])
+  /// — the closed-form batch gradient of the piecewise-linear-saturated
+  /// quadratic families (func/scalar_function.hpp: BatchGradientKernel).
+  /// min/max/clamp follow std::min/std::max/std::clamp tie semantics
+  /// (rule 3), so this is bit-identical to the virtual derivative().
+  void (*gradient_clamp)(const double* x, const double* a, const double* b,
+                         const double* lo, const double* hi,
+                         const double* scale, double* g, std::size_t count);
+
+  /// Fused projected SBG step, x <- Pi(x - lambda[t] * g):
+  ///   u[k]    = tx[k] - lambda[k] * tg[k]
+  ///   next[k] = clamp(u[k], clo[k], chi[k])
+  ///   x[k]    = next[k]
+  ///   pe[k]   = pe_mask[k] ? next[k] - u[k] : 0.0
+  /// Unconstrained lanes pass clo = -inf, chi = +inf (clamp is then the
+  /// bitwise identity on finite u) with pe_mask all-zero, matching the
+  /// scalar engine's literal 0.0 projection error. pe_mask lanes are
+  /// all-ones / all-zeros bit masks.
+  void (*fused_step)(const double* tx, const double* tg, const double* lambda,
+                     const double* clo, const double* chi,
+                     const double* pe_mask, double* x, double* pe,
+                     std::size_t count);
+};
+
+/// Backends compiled into this binary (always contains kScalar).
+std::span<const SimdIsa> simd_compiled();
+
+/// True iff `isa` is compiled in AND the running CPU supports it.
+bool simd_supported(SimdIsa isa);
+
+/// The best supported backend per cpuid (ignores overrides).
+SimdIsa simd_detect();
+
+/// The kernel table for a specific backend. Requires simd_supported(isa).
+const SimdKernels& simd_kernels_for(SimdIsa isa);
+
+/// The active backend. Selected on first use: FTMAO_ISA environment
+/// override ("scalar" | "sse2" | "avx2"; unsupported values warn on
+/// stderr and fall back) else simd_detect(). Subsequent calls are a
+/// single atomic load.
+const SimdKernels& simd_kernels();
+
+/// The active backend's ISA tier.
+SimdIsa simd_active();
+
+/// Forces the active backend (the `--isa` flag, per-backend tests).
+/// Returns false (and changes nothing) if unsupported. Not thread-safe
+/// against concurrent kernel invocations: select before fanning out.
+bool simd_select(SimdIsa isa);
+
+/// "scalar" | "sse2" | "avx2".
+const char* simd_isa_name(SimdIsa isa);
+
+/// Parses an ISA name as accepted by --isa/FTMAO_ISA ("auto" returns
+/// simd_detect()). Throws ContractViolation on unknown names.
+SimdIsa parse_simd_isa(const std::string& name);
+
+}  // namespace ftmao

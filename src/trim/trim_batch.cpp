@@ -46,22 +46,15 @@ network_table() {
   return table;
 }
 
-// Elementwise compare-exchange of two slot rows across the replica lanes.
-// Branchless (min/max), contiguous, and independent per lane — the loop
-// the whole batched design exists to expose to the vectorizer.
-inline void compare_exchange_rows(double* __restrict a, double* __restrict b,
-                                  std::size_t batch) {
-  for (std::size_t r = 0; r < batch; ++r) {
-    const double lo = std::min(a[r], b[r]);
-    const double hi = std::max(a[r], b[r]);
-    a[r] = lo;
-    b[r] = hi;
-  }
-}
-
+// The network runs on the runtime-dispatched SIMD lane backend: one
+// indirect call applies the whole comparator sequence, each comparator a
+// branchless lanewise conditional swap of two contiguous slot rows. (The
+// conditional swap — not min/max — is what keeps signed-zero multisets
+// intact and all backends bit-identical; see simd/simd.hpp.)
 void sort_columns_network(double* data, std::size_t n, std::size_t batch) {
-  for (const auto& [i, j] : sorting_network(n))
-    compare_exchange_rows(data + i * batch, data + j * batch, batch);
+  const auto network = sorting_network(n);
+  simd_kernels().sort_network(data, batch, network.data(), network.size(),
+                              batch);
 }
 
 void sort_columns_fallback(double* data, std::size_t n, std::size_t batch) {
@@ -117,11 +110,7 @@ void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
   if (n >= 2) sort_columns_network(data, n, batch);
   const double* ys_row = data + f * batch;
   const double* yl_row = data + (n - 1 - f) * batch;
-  for (std::size_t r = 0; r < batch; ++r) {
-    const double y_s = ys_row[r];
-    const double y_l = yl_row[r];
-    out_value[r] = y_s + (y_l - y_s) / 2.0;
-  }
+  simd_kernels().trim_midpoint(ys_row, yl_row, out_value, batch);
   if (out_y_s) std::copy(ys_row, ys_row + batch, out_y_s);
   if (out_y_l) std::copy(yl_row, yl_row + batch, out_y_l);
 }
@@ -135,14 +124,15 @@ void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
   sort_columns(data, n, batch);
   const std::size_t surviving = n - 2 * f;
   const double inv = static_cast<double>(surviving);
+  const SimdKernels& kernels = simd_kernels();
   for (std::size_t r = 0; r < batch; ++r) out_mean[r] = 0.0;
   // Ascending-row accumulation = the scalar path's sorted-order sum, so
-  // the floating-point result matches trimmed_mean() bit for bit.
-  for (std::size_t s = f; s < n - f; ++s) {
-    const double* row = data + s * batch;
-    for (std::size_t r = 0; r < batch; ++r) out_mean[r] += row[r];
-  }
-  for (std::size_t r = 0; r < batch; ++r) out_mean[r] /= inv;
+  // the floating-point result matches trimmed_mean() bit for bit (the
+  // lane kernels keep the per-replica operation order; only the replica
+  // dimension is vectorized).
+  for (std::size_t s = f; s < n - f; ++s)
+    kernels.accumulate_rows(out_mean, data + s * batch, batch);
+  kernels.divide_rows(out_mean, inv, batch);
 }
 
 }  // namespace ftmao

@@ -13,21 +13,26 @@
 //
 // Kernel: for n <= kMaxSortingNetworkN the rows are run through a Batcher
 // odd-even mergesort network — a fixed, data-independent comparator
-// sequence (branchless: each comparator is a min/max pair). After the
-// network, row k holds every replica's k-th order statistic, so Trim reads
-// rows f and n-1-f and the trimmed mean sums rows f..n-1-f. Larger n falls
-// back to the scalar per-replica path (nth_element / sort), bit-identical
-// to trim()/trimmed_mean() by construction.
+// sequence (branchless: each comparator is a lanewise conditional swap)
+// executed by the runtime-dispatched SIMD lane backend (simd/simd.hpp:
+// scalar, SSE2, or AVX2, selected by cpuid). After the network, row k
+// holds every replica's k-th order statistic, so Trim reads rows f and
+// n-1-f and the trimmed mean sums rows f..n-1-f. Larger n falls back to
+// the scalar per-replica path (nth_element / sort), bit-identical to
+// trim()/trimmed_mean() by construction.
 //
-// Bit-identity with the scalar reducers holds for every n and batch: order
-// statistics are well-defined values of the multiset (sorting network and
-// nth_element select the same doubles), and the midpoint / mean arithmetic
-// matches the scalar implementations operation for operation.
+// Bit-identity with the scalar reducers holds for every n, batch, and
+// backend: the conditional-swap comparator is multiset-preserving even
+// across signed zeros (simd/simd.hpp, rule 2), so the network output is a
+// true permutation and order statistics are well-defined values of the
+// multiset; the midpoint / mean arithmetic matches the scalar
+// implementations operation for operation in every lane.
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <utility>
+
+#include "simd/simd.hpp"  // ComparatorPair, lane backends the kernels run on
 
 namespace ftmao {
 
@@ -35,10 +40,6 @@ namespace ftmao {
 /// complete graphs stay far below this (n <= ~32 in every experiment);
 /// beyond it the batched kernels fall back to the scalar path per replica.
 inline constexpr std::size_t kMaxSortingNetworkN = 32;
-
-/// Comparator index pair (i, j), i < j: order data[i], data[j] so the
-/// smaller lands at i.
-using ComparatorPair = std::pair<std::uint16_t, std::uint16_t>;
 
 /// The Batcher odd-even mergesort comparator sequence for n elements
 /// (2 <= n <= kMaxSortingNetworkN). Built once per process, cached;

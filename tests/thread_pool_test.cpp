@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -111,6 +112,25 @@ TEST(ParallelForEach, MoreTasksThanThreads) {
   parallel_for_each(/*threads=*/3, /*count=*/1000,
                     [&sum](std::size_t i) { sum += static_cast<long>(i); });
   EXPECT_EQ(sum.load(), 999L * 1000L / 2);
+}
+
+TEST(ThreadLadder, ClipsAndDeduplicates) {
+  // {1, 2, 4, max}, clipped to max and deduplicated — a single-core box
+  // gets one rung, not four copies of rung 1.
+  EXPECT_EQ(thread_ladder(1), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(thread_ladder(2), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(thread_ladder(3), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(thread_ladder(4), (std::vector<std::size_t>{1, 2, 4}));
+  EXPECT_EQ(thread_ladder(8), (std::vector<std::size_t>{1, 2, 4, 8}));
+  EXPECT_EQ(thread_ladder(5), (std::vector<std::size_t>{1, 2, 4, 5}));
+}
+
+TEST(ThreadLadder, ZeroResolvesToHardwareConcurrency) {
+  const auto ladder = thread_ladder(0);
+  ASSERT_FALSE(ladder.empty());
+  EXPECT_EQ(ladder.front(), 1u);
+  EXPECT_TRUE(std::is_sorted(ladder.begin(), ladder.end()));
+  EXPECT_EQ(ladder.back(), ThreadPool::resolve_threads(0));
 }
 
 }  // namespace

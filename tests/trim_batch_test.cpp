@@ -7,16 +7,37 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cfloat>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "simd/simd.hpp"
 #include "trim/trim.hpp"
 #include "trim/trim_batch.hpp"
 
 namespace ftmao {
 namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// Runs `body` once per compiled-and-supported SIMD backend, with that
+// backend forced active; restores the previously active backend after.
+void for_each_backend(const std::function<void(const char*)>& body) {
+  const SimdIsa prev = simd_active();
+  for (const SimdIsa isa : simd_compiled()) {
+    if (!simd_supported(isa)) continue;
+    ASSERT_TRUE(simd_select(isa));
+    body(simd_isa_name(isa));
+  }
+  ASSERT_TRUE(simd_select(prev));
+}
 
 // Column r of an n x batch SoA matrix.
 std::vector<double> column_of(const std::vector<double>& matrix, std::size_t n,
@@ -150,6 +171,113 @@ TEST(TrimBatch, ZeroBatchIsANoOp) {
   trim_batch(nullptr, 7, 0, 2, &out);
   trimmed_mean_batch(nullptr, 7, 0, 2, &out);
   EXPECT_EQ(out, 0.0);
+}
+
+TEST(SortColumns, PreservesSignedZeroMultisetOnEveryBackend) {
+  // The comparator is a conditional swap, so the network output must be a
+  // true permutation of the input *bit patterns*: a column mixing +0.0
+  // and -0.0 keeps exactly as many of each. (min/max-style comparators
+  // fail this — they duplicate one zero and destroy the other.)
+  for_each_backend([&](const char* isa) {
+    for (std::size_t n : {2u, 3u, 4u, 7u, 8u, 16u, 32u}) {
+      for (std::size_t batch : {1u, 3u, 4u, 5u}) {
+        std::vector<double> matrix(n * batch);
+        for (std::size_t s = 0; s < n; ++s)
+          for (std::size_t r = 0; r < batch; ++r)
+            matrix[s * batch + r] = ((s + r) % 2 == 0) ? 0.0 : -0.0;
+        std::map<std::uint64_t, std::size_t> before;
+        for (double v : matrix) ++before[bits(v)];
+        sort_columns(matrix.data(), n, batch);
+        std::map<std::uint64_t, std::size_t> after;
+        for (double v : matrix) ++after[bits(v)];
+        EXPECT_EQ(before, after) << isa << " n=" << n << " batch=" << batch;
+        // And each column is sorted.
+        for (std::size_t r = 0; r < batch; ++r) {
+          for (std::size_t s = 0; s + 1 < n; ++s) {
+            EXPECT_LE(matrix[s * batch + r], matrix[(s + 1) * batch + r]);
+          }
+        }
+      }
+    }
+  });
+}
+
+// Adversarial IEEE-754 values through the full trim/trimmed-mean paths.
+std::vector<double> special_matrix(std::size_t n, std::size_t batch,
+                                   Rng& rng) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<double> pool = {
+      0.0,     -0.0,     kInf,
+      -kInf,   DBL_MIN,  -DBL_MIN,
+      DBL_MAX, -DBL_MAX, std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min()};
+  std::vector<double> m(n * batch);
+  for (auto& x : m) {
+    x = rng.uniform(0.0, 1.0) < 0.5
+            ? pool[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(pool.size()) - 1))]
+            : rng.uniform(-10.0, 10.0);
+  }
+  return m;
+}
+
+TEST(TrimBatch, SpecialValuesBitIdenticalToScalarTrimOnEveryBackend) {
+  // Signed zeros, +/-inf, denormals and magnitude extremes: the batched
+  // midpoint must match the scalar trim() bit-for-bit on every backend.
+  // (y_s / y_l may legitimately differ in the *sign of zero* when a
+  // selection boundary falls inside a run of mixed-sign zeros — ordering
+  // among equal-comparing values is unspecified — so those compare by
+  // double equality; the midpoint value itself is bit-compared.)
+  Rng rng(23);
+  for (std::size_t n : {3u, 7u, 13u, 31u, 32u}) {
+    for (std::size_t f = 0; 2 * f + 1 <= n && f <= 4; ++f) {
+      for (std::size_t batch : {1u, 3u, 4u, 6u}) {
+        const auto original = special_matrix(n, batch, rng);
+        for_each_backend([&](const char* isa) {
+          auto matrix = original;
+          std::vector<double> value(batch), y_s(batch), y_l(batch);
+          trim_batch(matrix.data(), n, batch, f, value.data(), y_s.data(),
+                     y_l.data());
+          for (std::size_t r = 0; r < batch; ++r) {
+            const TrimResult expected =
+                trim(column_of(original, n, batch, r), f);
+            EXPECT_EQ(bits(expected.value), bits(value[r]))
+                << isa << " n=" << n << " f=" << f << " r=" << r;
+            EXPECT_EQ(expected.y_s, y_s[r]) << isa;
+            EXPECT_EQ(expected.y_l, y_l[r]) << isa;
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(TrimBatch, NetworkFallbackBoundaryParityOnEveryBackend) {
+  // n = 32 runs the sorting network, n = 33 the nth_element fallback; the
+  // two paths must agree bitwise with the scalar reference on either side
+  // of the boundary, on every backend, including with special values.
+  Rng rng(29);
+  for (std::size_t n : {kMaxSortingNetworkN, kMaxSortingNetworkN + 1}) {
+    for (std::size_t f : {0u, 2u, 10u}) {
+      const std::size_t batch = 5;
+      const auto original = special_matrix(n, batch, rng);
+      for_each_backend([&](const char* isa) {
+        auto matrix = original;
+        std::vector<double> value(batch);
+        trim_batch(matrix.data(), n, batch, f, value.data());
+        auto mean_matrix = original;
+        std::vector<double> mean(batch);
+        trimmed_mean_batch(mean_matrix.data(), n, batch, f, mean.data());
+        for (std::size_t r = 0; r < batch; ++r) {
+          const auto column = column_of(original, n, batch, r);
+          EXPECT_EQ(bits(trim(column, f).value), bits(value[r]))
+              << isa << " n=" << n << " f=" << f << " r=" << r;
+          EXPECT_EQ(bits(trimmed_mean(column, f)), bits(mean[r]))
+              << isa << " n=" << n << " f=" << f << " r=" << r;
+        }
+      });
+    }
+  }
 }
 
 }  // namespace
