@@ -4,15 +4,23 @@
 //
 //   ftmao_sweep --sizes 7:2,10:3,13:4 --attacks split-brain,sign-flip \
 //               --seeds 5 --rounds 4000 [--csv]
+//
+// Shard-worker mode: --shard-index i --shard-count K runs only the cells
+// the stable partition (sim/shard.hpp) assigns to shard i, and --out /
+// --manifest write the per-shard CSV and JSON manifest the merge stage
+// (ftmao_shardsweep) verifies and recombines. The merged K-shard CSV is
+// byte-identical to the single-process run.
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/args.hpp"
 #include "common/table.hpp"
 #include "sim/scenario_io.hpp"
+#include "sim/shard.hpp"
 #include "sim/sweep.hpp"
 #include "simd/simd.hpp"
 
@@ -20,25 +28,10 @@ namespace {
 
 using namespace ftmao;
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> out;
-  std::istringstream is(text);
-  std::string token;
-  while (std::getline(is, token, sep)) out.push_back(token);
-  return out;
-}
-
 SweepConfig config_from(const cli::ArgParser& parser) {
   SweepConfig config;
-  for (const std::string& pair : split(parser.get("sizes"), ',')) {
-    const auto colon = pair.find(':');
-    if (colon == std::string::npos)
-      throw ContractViolation("--sizes expects n:f pairs, got '" + pair + "'");
-    config.sizes.emplace_back(std::stoul(pair.substr(0, colon)),
-                              std::stoul(pair.substr(colon + 1)));
-  }
-  for (const std::string& name : split(parser.get("attacks"), ','))
-    config.attacks.push_back(parse_attack_kind(name));
+  config.sizes = parse_sizes(parser.get("sizes"));
+  config.attacks = parse_attacks(parser.get("attacks"));
   const auto seed_count = static_cast<std::uint64_t>(parser.get_int("seeds"));
   for (std::uint64_t s = 1; s <= seed_count; ++s) config.seeds.push_back(s);
   config.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
@@ -50,6 +43,13 @@ SweepConfig config_from(const cli::ArgParser& parser) {
   config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
   config.scalar_engine = parser.get_bool("scalar");
   return config;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ContractViolation("cannot open '" + path + "' for writing");
+  os << text;
+  if (!os.flush()) throw ContractViolation("write to '" + path + "' failed");
 }
 
 }  // namespace
@@ -74,6 +74,14 @@ int main(int argc, char** argv) {
        "false", true},
       {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2; output is "
               "identical for every value", "auto", false},
+      {"shard-index", "run only this shard of the grid (< --shard-count)",
+       "0", false},
+      {"shard-count", "number of disjoint shards the grid is split into",
+       "1", false},
+      {"out", "write the CSV to this file instead of stdout", "", false},
+      {"manifest", "write a shard manifest JSON to this file", "", false},
+      {"inject-fail", "exit 7 before running (orchestrator retry testing)",
+       "false", true},
       {"csv", "emit CSV instead of the table", "false", true},
       {"help", "show usage", "false", true},
   });
@@ -95,9 +103,32 @@ int main(int argc, char** argv) {
                 << "' is not supported on this machine/build\n";
       return 2;
     }
+    if (parser.get_bool("inject-fail")) {
+      std::cerr << "ftmao_sweep: --inject-fail — exiting before the run\n";
+      return 7;
+    }
     const SweepConfig config = config_from(parser);
-    const std::vector<SweepCell> cells = run_sweep(config);
-    if (parser.get_bool("csv")) {
+    const auto shard_index =
+        static_cast<std::size_t>(parser.get_int("shard-index"));
+    const auto shard_count =
+        static_cast<std::size_t>(parser.get_int("shard-count"));
+    if (shard_count < 1 || shard_index >= shard_count) {
+      std::cerr << "error: need 0 <= --shard-index < --shard-count\n";
+      return 2;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepCell> cells =
+        run_sweep_shard(config, shard_index, shard_count);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    const std::string out_path = parser.get("out");
+    if (!out_path.empty()) {
+      write_file(out_path, sweep_to_csv(cells));
+    } else if (parser.get_bool("csv")) {
       std::cout << sweep_to_csv(cells);
     } else {
       Table table({"n", "f", "attack", "disagr median", "disagr max",
@@ -113,6 +144,15 @@ int main(int argc, char** argv) {
             .add(c.dist_to_y.max, 4);
       }
       table.print(std::cout);
+    }
+
+    const std::string manifest_path = parser.get("manifest");
+    if (!manifest_path.empty()) {
+      ShardManifest manifest =
+          make_shard_manifest(config, shard_index, shard_count);
+      manifest.isa = simd_isa_name(simd_active());
+      manifest.wall_ms = wall_ms;
+      write_file(manifest_path, manifest_to_json(manifest));
     }
     return 0;
   } catch (const std::exception& e) {

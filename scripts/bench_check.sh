@@ -34,8 +34,15 @@ if [ ! -f "$BASELINE" ]; then
   echo "bench_check: baseline not found: $BASELINE" >&2
   exit 2
 fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_check: python3 not found (needed to compare the JSONs)" >&2
+  exit 2
+fi
 
-FRESH=$(mktemp /tmp/bench_sweep.XXXXXX.json)
+# Plain mktemp: the GNU suffix-template form (prefix.XXXXXX.json) is not
+# portable to BSD/busybox mktemp, and the bench binary does not care about
+# the extension.
+FRESH=$(mktemp)
 trap 'rm -f "$FRESH"' EXIT
 
 echo "bench_check: running $BENCH_BIN ..."

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Append a BENCH_sweep.json refresh to the dated throughput history.
+
+``docs/bench_history.csv`` is the self-maintaining backbone of the
+README's performance-trajectory table: every refresh of the committed
+baseline (or any fresh ``bench_sweep_json`` output) appends one dated
+row, so the trajectory is reconstructable without archaeology through
+git history. The informational perf CI lane runs this after the bench
+gate and uploads the result, so the history grows on every main build.
+
+Usage:
+    scripts/bench_history.py BENCH_sweep.json [--history docs/bench_history.csv]
+        [--label STAGE] [--date YYYY-MM-DD] [--rev REV] [--print-table]
+
+Idempotent: an append whose (git_rev, threads1_runs_per_sec) pair equals
+the last row's is skipped, so re-running on an unchanged build does not
+duplicate rows. ``--print-table`` additionally emits the history as a
+README-ready markdown table on stdout.
+"""
+
+import argparse
+import csv
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+FIELDS = [
+    "date",
+    "git_rev",
+    "label",
+    "engine",
+    "isa_active",
+    "threads1_runs_per_sec",
+    "cells_per_sec",
+    "agent_rounds_per_sec",
+    "hw_concurrency",
+    "compiler",
+]
+
+
+def git_rev(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def single_thread_entry(doc):
+    for entry in doc["results"]:
+        if entry["threads"] == 1:
+            return entry
+    raise SystemExit("bench_history: no threads=1 entry in results")
+
+
+def row_from_bench(doc, rev, label, date):
+    entry = single_thread_entry(doc)
+    machine = doc.get("machine", {})
+    return {
+        "date": date,
+        "git_rev": rev,
+        "label": label,
+        "engine": doc.get("engine", ""),
+        "isa_active": machine.get("simd_isa_active", ""),
+        "threads1_runs_per_sec": f"{float(entry['runs_per_sec']):.2f}",
+        "cells_per_sec": f"{float(entry['cells_per_sec']):.2f}",
+        "agent_rounds_per_sec": f"{float(entry['agent_rounds_per_sec']):.5g}",
+        "hw_concurrency": str(machine.get("hardware_concurrency", "")),
+        "compiler": machine.get("compiler", ""),
+    }
+
+
+def load_history(path):
+    if not path.exists():
+        return []
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def save_history(path, rows):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def print_table(rows):
+    print("| Date | Rev | Stage | Engine | ISA | runs/sec (1 thread) |")
+    print("|---|---|---|---|---|---|")
+    for row in rows:
+        print(
+            f"| {row['date']} | {row['git_rev']} | {row['label']} "
+            f"| {row['engine']} | {row['isa_active']} "
+            f"| {row['threads1_runs_per_sec']} |"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_sweep.json to record")
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="history CSV (default: docs/bench_history.csv next to scripts/)",
+    )
+    parser.add_argument("--label", default="", help="stage label for the row")
+    parser.add_argument("--date", default=None, help="override row date")
+    parser.add_argument("--rev", default=None, help="override git revision")
+    parser.add_argument(
+        "--print-table",
+        action="store_true",
+        help="emit the history as a markdown table on stdout",
+    )
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    history_path = (
+        pathlib.Path(args.history)
+        if args.history
+        else repo_root / "docs" / "bench_history.csv"
+    )
+
+    with open(args.bench_json) as handle:
+        doc = json.load(handle)
+
+    rev = args.rev or git_rev(repo_root)
+    date = args.date or datetime.date.today().isoformat()
+    row = row_from_bench(doc, rev, args.label, date)
+
+    rows = load_history(history_path)
+    last = rows[-1] if rows else None
+    if (
+        last
+        and last["git_rev"] == row["git_rev"]
+        and last["threads1_runs_per_sec"] == row["threads1_runs_per_sec"]
+    ):
+        print(
+            f"bench_history: last row already records {rev} at "
+            f"{row['threads1_runs_per_sec']} runs/sec — skipping append"
+        )
+    else:
+        rows.append(row)
+        save_history(history_path, rows)
+        print(
+            f"bench_history: appended {rev} "
+            f"({row['threads1_runs_per_sec']} runs/sec) to {history_path}"
+        )
+
+    if args.print_table:
+        print_table(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# check_format.sh — clang-format conformance gate for the lint CI lane.
+#
+# Dry-runs clang-format (with the committed .clang-format) over every
+# tracked C++ source and fails if any file would be rewritten. Skips with
+# success when clang-format is not installed, so the script is safe to run
+# in minimal local environments; CI installs the tool and gets the real
+# check.
+#
+#   scripts/check_format.sh [clang-format-binary]
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${1:-clang-format}
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not installed — skipping" >&2
+  exit 0
+fi
+
+echo "check_format: $("$CLANG_FORMAT" --version)"
+
+# Tracked sources only; build trees and related checkouts stay out.
+git ls-files '*.cpp' '*.hpp' | xargs "$CLANG_FORMAT" --dry-run -Werror
+echo "check_format: OK"

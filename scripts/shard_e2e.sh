@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# shard_e2e.sh — end-to-end check of the sharded sweep subsystem.
+#
+# Runs the default grid once in a single process and once through
+# ftmao_shardsweep across 4 worker subprocesses — with one injected
+# worker failure that must be retried — and asserts that
+#   1. the orchestrator actually exercised the retry path, and
+#   2. the merged CSV is byte-identical to the single-process CSV.
+#
+# Registered as the ctest `shard_e2e` (label `shard`); also runnable
+# directly:
+#
+#   scripts/shard_e2e.sh <ftmao_sweep> <ftmao_shardsweep> <workdir>
+
+set -eu
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 <ftmao_sweep-binary> <ftmao_shardsweep-binary> <workdir>" >&2
+  exit 2
+fi
+
+SWEEP=$1
+SHARDSWEEP=$2
+WORK=$3
+
+if [ ! -x "$SWEEP" ] || [ ! -x "$SHARDSWEEP" ]; then
+  echo "shard_e2e: worker or orchestrator binary missing/not executable" >&2
+  exit 2
+fi
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "shard_e2e: single-process reference sweep ..."
+"$SWEEP" --csv > "$WORK/single.csv"
+
+echo "shard_e2e: 4-shard sweep with one injected worker failure ..."
+# Shard 1 owns cells of the default grid; its first attempt exits 7 and
+# must be retried. Exit status must still be 0 (full recovery).
+"$SHARDSWEEP" --shards 4 --inject-fail-shard 1 --retries 2 --backoff-ms 50 \
+  --workdir "$WORK/shards" --out "$WORK/merged.csv" \
+  2> "$WORK/orchestrator.log"
+
+if ! grep -q "retrying" "$WORK/orchestrator.log"; then
+  echo "shard_e2e: FAIL — injected failure did not exercise the retry path" >&2
+  cat "$WORK/orchestrator.log" >&2
+  exit 1
+fi
+
+if ! cmp -s "$WORK/single.csv" "$WORK/merged.csv"; then
+  echo "shard_e2e: FAIL — merged CSV differs from single-process CSV" >&2
+  diff "$WORK/single.csv" "$WORK/merged.csv" >&2 || true
+  exit 1
+fi
+
+echo "shard_e2e: OK — retry exercised, merged CSV byte-identical"

@@ -1,0 +1,54 @@
+#pragma once
+
+// Order-free recombination of sharded sweep outputs, with the determinism
+// contract promoted to a runtime-checked property:
+//
+//   - all manifests must describe the same grid, shard count, schema, and
+//     build revision (mixing artifacts from different sweeps or binaries
+//     is refused);
+//   - every shard's CSV must cover exactly its assigned cells — a row for
+//     a cell the partition does not assign to that shard is an error, as
+//     is an assigned cell with no row;
+//   - cells covered by more than one artifact (a shard retried by two
+//     workers, say) must be byte-identical everywhere they appear — any
+//     divergence means a worker broke the bit-identity contract;
+//   - cells covered by no surviving artifact are reported as missing (the
+//     degraded-but-not-aborted case), and the merged CSV still carries
+//     every row that did arrive.
+//
+// The merged CSV lists rows in canonical grid order, so a complete merge
+// is byte-identical to the single-process `run_sweep` CSV (asserted in
+// tests/shard_test.cpp and the shard_e2e ctest).
+
+#include <string>
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace ftmao {
+
+/// One shard's artifacts as read back from disk.
+struct ShardArtifact {
+  ShardManifest manifest;
+  std::string csv;  ///< the worker's full CSV text (header + rows)
+};
+
+struct MergeReport {
+  std::string csv;  ///< header + every recovered row, canonical grid order
+
+  std::vector<std::string> missing_cells;  ///< expected, covered by no shard
+  std::vector<std::string> errors;         ///< contract violations, see above
+
+  std::size_t expected_cells = 0;
+  std::size_t merged_cells = 0;
+
+  /// Full coverage and no contract violations.
+  bool ok() const { return errors.empty() && missing_cells.empty(); }
+};
+
+/// Verifies and merges. Never throws on inconsistent *input data* — every
+/// problem is recorded in the report so a driver can degrade gracefully
+/// (merge what arrived, list what did not).
+MergeReport merge_shards(const std::vector<ShardArtifact>& shards);
+
+}  // namespace ftmao

@@ -21,17 +21,17 @@ void SweepConfig::validate() const {
   for (const auto& [n, f] : sizes) FTMAO_EXPECTS(n > 3 * f);
 }
 
-std::vector<SweepCell> run_sweep(const SweepConfig& config) {
-  config.validate();
-
-  struct CellSpec {
-    std::size_t n, f;
-    AttackKind attack;
-  };
+std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config) {
   std::vector<CellSpec> specs;
   specs.reserve(config.sizes.size() * config.attacks.size());
   for (const auto& [n, f] : config.sizes)
     for (AttackKind attack : config.attacks) specs.push_back({n, f, attack});
+  return specs;
+}
+
+std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
+                                       const std::vector<CellSpec>& specs) {
+  config.validate();
 
   // One task per (cell, seed-chunk): each chunk's replicas share a shape
   // (only the seed differs) and advance in lockstep through the batched
@@ -92,10 +92,18 @@ std::vector<SweepCell> run_sweep(const SweepConfig& config) {
   return cells;
 }
 
+std::vector<SweepCell> run_sweep(const SweepConfig& config) {
+  return run_sweep_cells(config, sweep_cell_specs(config));
+}
+
+std::string sweep_csv_header() {
+  return "n,f,attack,seeds,dist_count,disagr_median,disagr_max,dist_median,"
+         "dist_max";
+}
+
 std::string sweep_to_csv(const std::vector<SweepCell>& cells) {
   std::ostringstream os;
-  os << "n,f,attack,seeds,dist_count,disagr_median,disagr_max,dist_median,"
-        "dist_max\n";
+  os << sweep_csv_header() << '\n';
   os.precision(10);
   for (const SweepCell& c : cells) {
     // Hand-built cells may carry empty summaries; emit zeros rather than

@@ -40,6 +40,17 @@ struct SweepConfig {
   void validate() const;
 };
 
+/// Identity of one grid cell: a (n, f) size crossed with an attack. The
+/// canonical enumeration (sweep_cell_specs) is sizes-major, attacks-minor
+/// — the row order of the sweep CSV.
+struct CellSpec {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  AttackKind attack = AttackKind::None;
+
+  friend bool operator==(const CellSpec&, const CellSpec&) = default;
+};
+
 /// One grid cell's aggregate over the seeds.
 struct SweepCell {
   std::size_t n = 0;
@@ -49,8 +60,21 @@ struct SweepCell {
   Summary dist_to_y;     ///< final max Dist-to-Y across seeds
 };
 
+/// The grid's cells in canonical (sizes-major, attacks-minor) order.
+std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config);
+
+/// Runs exactly the given cells (each across all seeds), in the given
+/// order. Every (cell, seed) run derives its randomness solely from its
+/// own seed, so a cell's aggregate does not depend on which other cells
+/// run alongside it — the contract that makes sharded sweeps mergeable.
+std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
+                                       const std::vector<CellSpec>& specs);
+
 /// Runs every (size, attack) cell across all seeds. Deterministic.
 std::vector<SweepCell> run_sweep(const SweepConfig& config);
+
+/// The sweep CSV header row (no trailing newline).
+std::string sweep_csv_header();
 
 /// CSV with one row per cell (medians + worst case), suitable for
 /// spreadsheets/plotting.
