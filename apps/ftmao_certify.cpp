@@ -29,8 +29,17 @@ int main(int argc, char** argv) {
                 "is identical for every value", "0", false},
       {"scalar", "force the scalar reference engine (one run per attack)",
        "false", true},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2; report is "
-              "identical for every value", "auto", false},
+      {"async-n", "agents for the asynchronous section (n > 5f)", "11",
+       false},
+      {"async-f", "fault bound for the asynchronous section", "2", false},
+      {"async-rounds", "async iterations per run (0 = skip the section)",
+       "800", false},
+      {"async-consensus-eps", "async final-disagreement acceptance", "0.1",
+       false},
+      {"async-optimality-eps", "async final Dist-to-Y acceptance", "0.3",
+       false},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512; "
+              "report is identical for every value", "auto", false},
       {"help", "show usage", "false", true},
   });
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -62,6 +71,12 @@ int main(int argc, char** argv) {
     options.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
     options.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
     options.scalar_engine = parser.get_bool("scalar");
+    options.async_n = static_cast<std::size_t>(parser.get_int("async-n"));
+    options.async_f = static_cast<std::size_t>(parser.get_int("async-f"));
+    options.async_rounds =
+        static_cast<std::size_t>(parser.get_int("async-rounds"));
+    options.async_consensus_eps = parser.get_double("async-consensus-eps");
+    options.async_optimality_eps = parser.get_double("async-optimality-eps");
 
     std::cout << "certifying SBG at n=" << options.n << ", f=" << options.f
               << " over 10 attacks, " << options.rounds << " rounds...\n\n";

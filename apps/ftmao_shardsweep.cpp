@@ -115,8 +115,8 @@ int main(int argc, char** argv) {
        false},
       {"scalar", "force the scalar reference engine in workers", "false",
        true},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2", "auto",
-       false},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512",
+       "auto", false},
       {"shards", "number of worker processes to split the grid across", "4",
        false},
       {"parallel", "max concurrent workers (0 = all shards at once)", "0",

@@ -42,6 +42,16 @@ SweepConfig config_from(const cli::ArgParser& parser) {
   config.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
   config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
   config.scalar_engine = parser.get_bool("scalar");
+  const std::string engine = parser.get("engine");
+  if (engine == "async") {
+    config.async_engine = true;
+    config.delay_kind = parse_delay_kind(parser.get("delay"));
+    config.delay_lo = parser.get_double("delay-lo");
+    config.delay_hi = parser.get_double("delay-hi");
+  } else if (engine != "sync") {
+    throw ContractViolation("unknown engine '" + engine +
+                            "' (expected sync|async)");
+  }
   return config;
 }
 
@@ -72,8 +82,15 @@ int main(int argc, char** argv) {
                 "output is identical for every value", "0", false},
       {"scalar", "force the scalar reference engine (one run per seed)",
        "false", true},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2; output is "
-              "identical for every value", "auto", false},
+      {"engine", "sync | async (event-driven rounds, requires n > 5f)",
+       "sync", false},
+      {"delay", "async delay model: fixed | uniform | targeted-slow",
+       "uniform", false},
+      {"delay-lo", "async delay lower bound (fixed delay value)", "0.5",
+       false},
+      {"delay-hi", "async delay upper bound (uniform model)", "1.5", false},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512; "
+              "output is identical for every value", "auto", false},
       {"shard-index", "run only this shard of the grid (< --shard-count)",
        "0", false},
       {"shard-count", "number of disjoint shards the grid is split into",
@@ -114,6 +131,15 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(parser.get_int("shard-count"));
     if (shard_count < 1 || shard_index >= shard_count) {
       std::cerr << "error: need 0 <= --shard-index < --shard-count\n";
+      return 2;
+    }
+    // Shard manifests do not (yet) record the async-engine knobs, so a
+    // merge could silently combine shards run under different engines;
+    // refuse the combination instead.
+    if (config.async_engine &&
+        (shard_count > 1 || !parser.get("manifest").empty())) {
+      std::cerr << "error: --engine async does not support sharding "
+                   "(--shard-count > 1 / --manifest)\n";
       return 2;
     }
 

@@ -15,9 +15,17 @@
 // passes, so a transient noisy neighbour cannot masquerade as a
 // regression.
 //
+// The JSON also carries an `async` block: the async sweep grid (n > 5f
+// sizes, same attacks/seeds) timed single-threaded through the scalar
+// event-driven engine and the batched replay engine, with their ratio —
+// the tracked batched-async speedup. scripts/bench_check.sh and
+// scripts/bench_history.py read only the sync `results` array, so the
+// block rides along without touching their schema. --async-rounds 0
+// skips it (the JSON then has "async": null).
+//
 //   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
-//                    [--batch B] [--isa auto|scalar|sse2|avx2]
-//                    [--repeats N] [--out FILE]
+//                    [--batch B] [--isa auto|scalar|sse2|avx2|avx512]
+//                    [--repeats N] [--async-rounds R] [--out FILE]
 
 #include <algorithm>
 #include <chrono>
@@ -116,10 +124,12 @@ int main(int argc, char** argv) {
       {"engine", "sweep engine: batched | scalar", "batched", false},
       {"batch", "replicas per batched-engine call (0 = whole seed axis)",
        "0", false},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2", "auto",
-       false},
+      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512",
+       "auto", false},
       {"repeats", "grid passes per rung; best (min-time) pass is reported",
        "20", false},
+      {"async-rounds", "rounds per run for the async block (0 = skip)",
+       "1000", false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
   });
@@ -168,6 +178,29 @@ int main(int argc, char** argv) {
     for (std::size_t threads : thread_ladder())
       results.push_back(measure(config, threads, repeats));
 
+    // Async block: the n > 5f grid, single-threaded, scalar event loop vs
+    // batched replay engine. Their runs/sec ratio is the tracked speedup.
+    const auto async_rounds =
+        static_cast<std::size_t>(parser.get_int("async-rounds"));
+    Throughput async_scalar, async_batched;
+    if (async_rounds > 0) {
+      SweepConfig async_config;
+      async_config.async_engine = true;
+      async_config.sizes = {{6, 1}, {11, 2}};
+      async_config.attacks = config.attacks;
+      async_config.seeds = config.seeds;
+      async_config.rounds = async_rounds;
+      async_config.scalar_engine = true;
+      async_scalar = measure(async_config, 1, repeats);
+      async_config.scalar_engine = false;
+      async_config.batch_size = config.batch_size;
+      async_batched = measure(async_config, 1, repeats);
+    }
+    const double async_speedup =
+        async_scalar.runs_per_sec > 0.0
+            ? async_batched.runs_per_sec / async_scalar.runs_per_sec
+            : 1.0;
+
     const Throughput& serial = results.front();
     double best_runs_per_sec = serial.runs_per_sec;
     for (const Throughput& t : results)
@@ -200,7 +233,21 @@ int main(int argc, char** argv) {
       os << (i + 1 < results.size() ? ",\n" : "\n");
     }
     os << "  ],\n"
-       << "  \"speedup\": " << speedup << "\n}\n";
+       << "  \"speedup\": " << speedup << ",\n";
+    if (async_rounds > 0) {
+      os << "  \"async\": {\n"
+         << "    \"grid\": {\"sizes\": \"6:1,11:2\", "
+         << "\"attacks\": \"split-brain,sign-flip,pull\", "
+         << "\"seeds\": " << config.seeds.size()
+         << ", \"rounds\": " << async_rounds << "},\n"
+         << "    \"scalar_runs_per_sec\": " << async_scalar.runs_per_sec
+         << ",\n"
+         << "    \"batched_runs_per_sec\": " << async_batched.runs_per_sec
+         << ",\n"
+         << "    \"speedup\": " << async_speedup << "\n  }\n}\n";
+    } else {
+      os << "  \"async\": null\n}\n";
+    }
 
     const std::string path = parser.get("out");
     std::ofstream out(path);

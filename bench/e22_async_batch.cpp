@@ -1,0 +1,110 @@
+// E22 — batched asynchronous engine performance (google-benchmark).
+//
+// The asynchronous hot path splits into a value-free scheduling replay
+// (a per-replica event loop that only records sender bitmasks and trigger
+// order) and a lockstep SoA numeric pass over the recorded schedules.
+// These benchmarks compare the scalar event-driven reference
+// (run_async_sbg per seed — heap events carrying payloads, std::map
+// buffers, per-delivery virtual dispatch, per-round trim) against
+// run_async_sbg_batch over the same seed axis, per compiled-and-supported
+// SIMD backend (custom main, as in E21). Items processed = replica
+// rounds, so items/sec is directly comparable across engines and sizes.
+// No paper counterpart; this is the harness's own hot path.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/async_runner.hpp"
+#include "sim/batch_async_runner.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace ftmao;
+
+std::vector<AsyncScenario> seed_replicas(std::size_t n, std::size_t f,
+                                         AttackKind attack, DelayKind delays,
+                                         std::size_t rounds,
+                                         std::size_t batch) {
+  std::vector<AsyncScenario> replicas;
+  replicas.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    AsyncScenario s =
+        make_standard_async_scenario(n, f, 8.0, attack, rounds, 1 + r);
+    s.delay_kind = delays;
+    replicas.push_back(std::move(s));
+  }
+  return replicas;
+}
+
+// Scalar reference: one full event-driven run per seed.
+void BM_AsyncRounds_Scalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(n, (n - 1) / 5, kind,
+                                      DelayKind::Uniform, rounds, batch);
+  for (auto _ : state) {
+    for (const AsyncScenario& s : replicas) {
+      benchmark::DoNotOptimize(run_async_sbg(s).disagreement.back());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+// Batched engine: per-replica scheduling replay, then the whole seed axis
+// advances in lockstep through the SoA numeric pass.
+void BM_AsyncRounds_Batched(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(n, (n - 1) / 5, kind,
+                                      DelayKind::Uniform, rounds, batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_async_sbg_batch(replicas).front().disagreement.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+constexpr auto kNone = static_cast<int>(AttackKind::None);
+constexpr auto kSplitBrain = static_cast<int>(AttackKind::SplitBrain);
+constexpr auto kSignFlip = static_cast<int>(AttackKind::SignFlip);
+
+BENCHMARK(BM_AsyncRounds_Scalar)
+    ->Args({6, 8, kNone})->Args({6, 8, kSplitBrain})->Args({6, 8, kSignFlip})
+    ->Args({11, 8, kNone})->Args({11, 8, kSplitBrain});
+
+// One instance of every batched benchmark per compiled-and-supported
+// SIMD backend, name-tagged "<bench>/<isa>".
+void register_per_backend() {
+  for (const SimdIsa isa : simd_compiled()) {
+    if (!simd_supported(isa)) continue;
+    const std::string tag = std::string("/") + simd_isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_AsyncRounds_Batched" + tag).c_str(),
+                                 BM_AsyncRounds_Batched, isa)
+        ->Args({6, 8, kNone})
+        ->Args({6, 8, kSplitBrain})
+        ->Args({6, 8, kSignFlip})
+        ->Args({11, 8, kNone})
+        ->Args({11, 8, kSplitBrain});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_per_backend();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -53,4 +53,32 @@ if ! cmp -s "$WORK/single.csv" "$WORK/merged.csv"; then
   exit 1
 fi
 
-echo "shard_e2e: OK — retry exercised, merged CSV byte-identical"
+echo "shard_e2e: engine-flag forwarding (--isa scalar --batch 2 --threads 2) ..."
+# The orchestrator must hand its engine knobs through to the workers: run
+# a small grid with a forced backend and assert (a) every worker manifest
+# records that backend, and (b) the merged CSV still matches a
+# single-process run of the same grid with default engine knobs — the
+# engine flags select an implementation, never the output.
+GRID="--sizes 7:2,10:3 --seeds 2 --rounds 500"
+# shellcheck disable=SC2086  # word-splitting of $GRID is intended
+"$SWEEP" $GRID --csv > "$WORK/single_small.csv"
+# shellcheck disable=SC2086
+"$SHARDSWEEP" $GRID --shards 2 --isa scalar --batch 2 --threads 2 \
+  --workdir "$WORK/shards_fwd" --out "$WORK/merged_fwd.csv" \
+  2> "$WORK/orchestrator_fwd.log"
+
+for MANIFEST in "$WORK"/shards_fwd/shard_*.json; do
+  if ! grep -q '"isa": "scalar"' "$MANIFEST"; then
+    echo "shard_e2e: FAIL — $MANIFEST does not record the forwarded ISA" >&2
+    cat "$MANIFEST" >&2
+    exit 1
+  fi
+done
+
+if ! cmp -s "$WORK/single_small.csv" "$WORK/merged_fwd.csv"; then
+  echo "shard_e2e: FAIL — forwarded-flags merged CSV differs" >&2
+  diff "$WORK/single_small.csv" "$WORK/merged_fwd.csv" >&2 || true
+  exit 1
+fi
+
+echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded"

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "core/async_sbg.hpp"
+#include "func/library.hpp"
 #include "core/valid_set.hpp"
 #include "net/async.hpp"
 #include "net/delay.hpp"
@@ -31,8 +32,10 @@ bool contains(const std::vector<std::size_t>& v, std::size_t x) {
   return std::find(v.begin(), v.end(), x) != v.end();
 }
 
-std::unique_ptr<DelayModel> make_delay_model(const AsyncScenario& s,
-                                             const Rng& base) {
+}  // namespace
+
+std::unique_ptr<DelayModel> make_async_delay_model(const AsyncScenario& s,
+                                                   const Rng& base) {
   switch (s.delay_kind) {
     case DelayKind::Fixed:
       return std::make_unique<FixedDelay>(s.delay_lo);
@@ -52,8 +55,6 @@ std::unique_ptr<DelayModel> make_delay_model(const AsyncScenario& s,
   FTMAO_EXPECTS(false);
   return nullptr;
 }
-
-}  // namespace
 
 AsyncRunMetrics run_async_sbg(const AsyncScenario& scenario) {
   scenario.validate();
@@ -79,7 +80,8 @@ AsyncRunMetrics run_async_sbg(const AsyncScenario& scenario) {
   const ValidFamily family(honest_fns, scenario.f);
 
   Rng rng(scenario.seed);
-  const std::unique_ptr<DelayModel> delays = make_delay_model(scenario, rng);
+  const std::unique_ptr<DelayModel> delays =
+      make_async_delay_model(scenario, rng);
   AsyncEngine<SbgPayload> engine(*delays);
 
   std::vector<std::unique_ptr<AsyncSbgAgent>> agents;      // survivors
@@ -135,6 +137,50 @@ AsyncRunMetrics run_async_sbg(const AsyncScenario& scenario) {
     metrics.final_states.push_back(agent->state());
   metrics.messages_delivered = engine.messages_delivered();
   return metrics;
+}
+
+std::string delay_kind_name(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::Fixed:
+      return "fixed";
+    case DelayKind::Uniform:
+      return "uniform";
+    case DelayKind::TargetedSlow:
+      return "targeted-slow";
+  }
+  FTMAO_EXPECTS(false);
+  return {};
+}
+
+DelayKind parse_delay_kind(const std::string& name) {
+  if (name == "fixed") return DelayKind::Fixed;
+  if (name == "uniform") return DelayKind::Uniform;
+  if (name == "targeted-slow") return DelayKind::TargetedSlow;
+  throw ContractViolation("unknown delay kind '" + name +
+                          "' (expected fixed|uniform|targeted-slow)");
+}
+
+AsyncScenario make_standard_async_scenario(std::size_t n, std::size_t f,
+                                           double spread, AttackKind attack,
+                                           std::size_t rounds,
+                                           std::uint64_t seed) {
+  FTMAO_EXPECTS(n > 5 * f);
+  AsyncScenario s;
+  s.n = n;
+  s.f = f;
+  for (std::size_t i = n - f; i < n; ++i) s.faulty.push_back(i);
+  s.functions = make_mixed_family(n, spread);
+  s.initial_states.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.initial_states[i] =
+        n == 1 ? 0.0
+               : -spread / 2.0 + spread * static_cast<double>(i) /
+                                     static_cast<double>(n - 1);
+  }
+  s.attack.kind = attack;
+  s.rounds = rounds;
+  s.seed = seed;
+  return s;
 }
 
 }  // namespace ftmao

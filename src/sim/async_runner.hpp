@@ -5,11 +5,15 @@
 // attack menu as the synchronous runner.
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/interval.hpp"
+#include "common/rng.hpp"
 #include "common/series.hpp"
 #include "func/scalar_function.hpp"
+#include "net/delay.hpp"
 #include "sim/scenario.hpp"
 
 namespace ftmao {
@@ -55,5 +59,26 @@ struct AsyncRunMetrics {
 };
 
 AsyncRunMetrics run_async_sbg(const AsyncScenario& scenario);
+
+/// "fixed" | "uniform" | "targeted-slow" (CLI names).
+std::string delay_kind_name(DelayKind kind);
+
+/// Inverse of delay_kind_name. Throws ContractViolation on unknown names.
+DelayKind parse_delay_kind(const std::string& name);
+
+/// The delay model run_async_sbg installs for `s` (exposed so the batched
+/// runner's scheduling replay constructs the identical model and consumes
+/// the identical RNG substream).
+std::unique_ptr<DelayModel> make_async_delay_model(const AsyncScenario& s,
+                                                   const Rng& base);
+
+/// Standard asynchronous scenario factory mirroring make_standard_scenario:
+/// the last f agents are Byzantine, the mixed admissible cost family with
+/// optima spread over [-spread/2, spread/2], initial states evenly spaced
+/// across the same interval. Requires n > 5f (the async quorum bound).
+AsyncScenario make_standard_async_scenario(std::size_t n, std::size_t f,
+                                           double spread, AttackKind attack,
+                                           std::size_t rounds = 500,
+                                           std::uint64_t seed = 1);
 
 }  // namespace ftmao

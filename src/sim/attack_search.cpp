@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 
@@ -105,6 +106,64 @@ AttackSearchResult find_strongest_attack(
       outcome.bias = std::abs(outcome.final_state - reference_state);
       outcome.dist_to_y = m.final_max_dist();
       outcome.disagreement = m.final_disagreement();
+    }
+  });
+  std::sort(result.outcomes.begin(), result.outcomes.end(),
+            [](const AttackOutcome& a, const AttackOutcome& b) {
+              return a.bias > b.bias;
+            });
+  return result;
+}
+
+AttackSearchResult find_strongest_attack_async(
+    const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
+    std::size_t num_threads, std::size_t batch_size, bool scalar_engine) {
+  FTMAO_EXPECTS(!candidates.empty());
+
+  AsyncScenario clean = base;
+  clean.attack = AttackConfig{};
+  clean.attack.kind = AttackKind::None;
+  const AsyncRunMetrics reference = run_async_sbg(clean);
+
+  AttackSearchResult result;
+  result.reference_state = reference.final_states.front();
+  result.optima = reference.optima;
+
+  // Same index-addressed contract as the synchronous search: outcome i
+  // always describes candidate i, whatever the thread count, chunking, or
+  // engine.
+  const std::size_t count = candidates.size();
+  result.outcomes.resize(count);
+  const double reference_state = result.reference_state;
+  const std::size_t chunk =
+      scalar_engine ? 1
+                    : std::min(batch_size == 0 ? count : batch_size, count);
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
+    const std::size_t first = task * chunk;
+    const std::size_t batch = std::min(chunk, count - first);
+    std::vector<AsyncScenario> replicas;
+    replicas.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      AsyncScenario attacked = base;
+      attacked.attack = candidates[first + i].config;
+      replicas.push_back(std::move(attacked));
+    }
+    std::vector<AsyncRunMetrics> metrics;
+    if (scalar_engine) {
+      for (const AsyncScenario& s : replicas)
+        metrics.push_back(run_async_sbg(s));
+    } else {
+      metrics = run_async_sbg_batch(replicas);
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      const AsyncRunMetrics& m = metrics[i];
+      AttackOutcome& outcome = result.outcomes[first + i];
+      outcome.name = candidates[first + i].name;
+      outcome.final_state = m.final_states.front();
+      outcome.bias = std::abs(outcome.final_state - reference_state);
+      outcome.dist_to_y = m.max_dist_to_y.back();
+      outcome.disagreement = m.disagreement.back();
     }
   });
   std::sort(result.outcomes.begin(), result.outcomes.end(),

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/async_runner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 
@@ -49,6 +50,14 @@ std::vector<AttackCandidate> standard_attack_grid();
 /// every thread count, batch size, and engine.
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
+    std::size_t num_threads = 1, std::size_t batch_size = 0,
+    bool scalar_engine = false);
+
+/// The asynchronous-engine counterpart: same contract, candidates
+/// evaluated through run_async_sbg_batch (run_async_sbg when
+/// scalar_engine). `base`'s n must satisfy n > 5f.
+AttackSearchResult find_strongest_attack_async(
+    const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads = 1, std::size_t batch_size = 0,
     bool scalar_engine = false);
 

@@ -194,9 +194,21 @@ class BatchedSbgRunner {
     pe_.assign(H_ * Bpad_, 0.0);
     trimmed_state_.resize(S_ * Bpad_);
     trimmed_gradient_.resize(S_ * Bpad_);
-    bpx_.resize(H_ * F_ * B_);
-    bpg_.resize(H_ * F_ * B_);
-    bpresent_.resize(H_ * F_ * B_);
+    // Byzantine payload matrices, lane-padded to stride Bpad so each
+    // (recipient, sender) row is a whole vector row for the masked
+    // blend; presence is a stored all-ones/all-zeros double mask.
+    // Padding lanes keep mask 0 and blend to the (benign) default row.
+    bpx_.assign(H_ * F_ * Bpad_, 0.0);
+    bpg_.assign(H_ * F_ * Bpad_, 0.0);
+    bpresent_.assign(H_ * F_ * Bpad_, 0.0);
+    // Per-replica default payloads as SoA rows for the blend kernels.
+    defx_.assign(Bpad_, 0.0);
+    defg_.assign(Bpad_, 0.0);
+    for (std::size_t r = 0; r < B_; ++r) {
+      defx_[r] = defaults_[r].state;
+      defg_[r] = defaults_[r].gradient;
+    }
+    dmask_.assign(Bpad_, 0.0);
   }
 
   std::vector<RunMetrics> run() {
@@ -287,13 +299,14 @@ class BatchedSbgRunner {
   // recipient.
   void collect_byzantine(Round t) {
     uniform_ = true;
-    const std::size_t stride = F_ * B_;
+    const double kAllBits = std::bit_cast<double>(~std::uint64_t{0});
+    const std::size_t stride = F_ * Bpad_;
     for (std::size_t j = 0; j < H_; ++j) {
       const AgentId rid = honest_ids_[j];
       for (std::size_t b = 0; b < F_; ++b) {
         const AgentId bid = faulty_ids_[b];
         for (std::size_t r = 0; r < B_; ++r) {
-          std::uint8_t present = 0;
+          bool present = false;
           double px = 0.0;
           double pg = 0.0;
           if (deliverable(bid.value, rid.value, t.value, r)) {
@@ -301,17 +314,18 @@ class BatchedSbgRunner {
                     byz_nodes_[r][b]->send_to(bid, rid, views_.view(r))) {
               px = payload->state;
               pg = payload->gradient;
-              present = 1;
+              present = true;
             }
           }
-          const std::size_t o = j * stride + b * B_ + r;
+          const std::size_t o = j * stride + b * Bpad_ + r;
           bpx_[o] = px;
           bpg_[o] = pg;
-          bpresent_[o] = present;
+          bpresent_[o] = present ? kAllBits : 0.0;
           if (j > 0) {
-            const std::size_t o0 = b * B_ + r;
-            if (present != bpresent_[o0] ||
-                (present != 0 &&
+            const std::size_t o0 = b * Bpad_ + r;
+            if (std::bit_cast<std::uint64_t>(bpresent_[o]) !=
+                    std::bit_cast<std::uint64_t>(bpresent_[o0]) ||
+                (present &&
                  (std::bit_cast<std::uint64_t>(px) !=
                       std::bit_cast<std::uint64_t>(bpx_[o0]) ||
                   std::bit_cast<std::uint64_t>(pg) !=
@@ -329,7 +343,7 @@ class BatchedSbgRunner {
   // the gradient step.
   void step_recipient(std::size_t j, Round t, bool audit) {
     const AgentId rid = honest_ids_[j];
-    const std::size_t byz_base = j * F_ * B_;
+    const std::size_t byz_base = j * F_ * Bpad_;
 
     // Uniform-view fast path: with no delivery filter and
     // recipient-independent Byzantine payloads, every recipient's multiset
@@ -357,32 +371,31 @@ class BatchedSbgRunner {
           std::memcpy(dxr, sx, Bpad_ * sizeof(double));
           std::memcpy(dgr, sg, Bpad_ * sizeof(double));
         } else {
+          // The per-lane drop decision is an integer hash (inherently
+          // scalar); the payload-vs-default substitution it gates is a
+          // full-row masked lane blend. Padding lanes of dmask_ stay 0
+          // and blend to the benign default row.
           const std::uint32_t sid = honest_ids_[s].value;
-          for (std::size_t r = 0; r < B_; ++r) {
-            if (deliverable(sid, rid.value, t.value, r)) {
-              dxr[r] = sx[r];
-              dgr[r] = sg[r];
-            } else {
-              dxr[r] = defaults_[r].state;
-              dgr[r] = defaults_[r].gradient;
-            }
-          }
+          const double kAllBits = std::bit_cast<double>(~std::uint64_t{0});
+          for (std::size_t r = 0; r < B_; ++r)
+            dmask_[r] =
+                deliverable(sid, rid.value, t.value, r) ? kAllBits : 0.0;
+          kernels_->masked_blend(dmask_.data(), sx, sg, defx_.data(),
+                                 defg_.data(), dxr, dgr, Bpad_);
         }
         ++slot;
       }
+      // Byzantine rows: absent payloads (silent adversary, dropped or
+      // crash-silenced delivery) blend to the default payload through the
+      // same lane kernel — the stride-Bpad mask row was filled by
+      // collect_byzantine.
       for (std::size_t b = 0; b < F_; ++b) {
         double* dxr = dx + slot * Bpad_;
         double* dgr = dg + slot * Bpad_;
-        for (std::size_t r = 0; r < B_; ++r) {
-          const std::size_t o = byz_base + b * B_ + r;
-          if (bpresent_[o]) {
-            dxr[r] = bpx_[o];
-            dgr[r] = bpg_[o];
-          } else {
-            dxr[r] = defaults_[r].state;
-            dgr[r] = defaults_[r].gradient;
-          }
-        }
+        const std::size_t o = byz_base + b * Bpad_;
+        kernels_->masked_blend(bpresent_.data() + o, bpx_.data() + o,
+                               bpg_.data() + o, defx_.data(), defg_.data(),
+                               dxr, dgr, Bpad_);
         ++slot;
       }
       FTMAO_ENSURES(slot == n_);
@@ -525,8 +538,10 @@ class BatchedSbgRunner {
   std::vector<double> pe_;             ///< projection errors, H x Bpad
   std::vector<double> trimmed_state_;  ///< audit diagnostics, S x Bpad
   std::vector<double> trimmed_gradient_;
-  std::vector<double> bpx_, bpg_;      ///< Byzantine payloads, H x F x B
-  std::vector<std::uint8_t> bpresent_;
+  std::vector<double> bpx_, bpg_;    ///< Byzantine payloads, H x F x Bpad
+  std::vector<double> bpresent_;     ///< all-ones/all-zeros lane masks
+  std::vector<double> defx_, defg_;  ///< default payload rows, length Bpad
+  std::vector<double> dmask_;        ///< per-row delivery mask scratch
   bool uniform_ = false;  ///< this round's byz payloads recipient-independent
 };
 

@@ -33,6 +33,19 @@ struct CertifyOptions {
 
   /// Force the scalar reference engine (one run_sbg per attack).
   bool scalar_engine = false;
+
+  /// Asynchronous-engine section (Section 7, n > 5f variant): the attack
+  /// grid is re-run through the batched asynchronous engine at this size
+  /// under uniform delays, and the worst final disagreement / Dist-to-Y
+  /// must clear the acceptance thresholds below. async_rounds = 0 skips
+  /// the section (the report then has no async checks). The same
+  /// num_threads / batch_size / scalar_engine knobs apply, with the same
+  /// bit-identical-report guarantee.
+  std::size_t async_n = 11;
+  std::size_t async_f = 2;
+  std::size_t async_rounds = 800;
+  double async_consensus_eps = 0.1;   ///< final-disagreement acceptance
+  double async_optimality_eps = 0.3;  ///< final Dist-to-Y acceptance
 };
 
 struct CertifyCheck {

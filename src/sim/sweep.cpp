@@ -7,6 +7,7 @@
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
@@ -18,7 +19,8 @@ void SweepConfig::validate() const {
   FTMAO_EXPECTS(!attacks.empty());
   FTMAO_EXPECTS(!seeds.empty());
   FTMAO_EXPECTS(rounds >= 1);
-  for (const auto& [n, f] : sizes) FTMAO_EXPECTS(n > 3 * f);
+  for (const auto& [n, f] : sizes)
+    FTMAO_EXPECTS(async_engine ? n > 5 * f : n > 3 * f);
 }
 
 std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config) {
@@ -54,6 +56,36 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
         const CellSpec& spec = specs[task / chunks_per_cell];
         const std::size_t first = (task % chunks_per_cell) * chunk;
         const std::size_t count = std::min(chunk, num_seeds - first);
+        const std::size_t base = (task / chunks_per_cell) * num_seeds + first;
+        if (config.async_engine) {
+          std::vector<AsyncScenario> replicas;
+          replicas.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            AsyncScenario s = make_standard_async_scenario(
+                spec.n, spec.f, config.spread, spec.attack, config.rounds,
+                config.seeds[first + i]);
+            s.step = config.step;
+            s.delay_kind = config.delay_kind;
+            s.delay_lo = config.delay_lo;
+            s.delay_hi = config.delay_hi;
+            replicas.push_back(std::move(s));
+          }
+          if (config.scalar_engine) {
+            for (std::size_t i = 0; i < count; ++i) {
+              const AsyncRunMetrics m = run_async_sbg(replicas[i]);
+              disagreements[base + i] = m.disagreement.back();
+              dists[base + i] = m.max_dist_to_y.back();
+            }
+          } else {
+            const std::vector<AsyncRunMetrics> ms =
+                run_async_sbg_batch(replicas);
+            for (std::size_t i = 0; i < count; ++i) {
+              disagreements[base + i] = ms[i].disagreement.back();
+              dists[base + i] = ms[i].max_dist_to_y.back();
+            }
+          }
+          return;
+        }
         std::vector<Scenario> replicas;
         replicas.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
@@ -63,7 +95,6 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
           s.step = config.step;
           replicas.push_back(std::move(s));
         }
-        const std::size_t base = (task / chunks_per_cell) * num_seeds + first;
         if (config.scalar_engine) {
           for (std::size_t i = 0; i < count; ++i) {
             const RunMetrics m = run_sbg(replicas[i]);

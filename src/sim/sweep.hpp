@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "sim/async_runner.hpp"
 #include "sim/scenario.hpp"
 
 namespace ftmao {
@@ -36,6 +37,18 @@ struct SweepConfig {
   /// Force the scalar reference engine (one run_sbg per seed). For
   /// benchmarking the batched path against its baseline.
   bool scalar_engine = false;
+
+  /// Run the asynchronous engine (Section 7, n > 5f variant) over the
+  /// grid instead of the synchronous one: each (cell, seed) run is the
+  /// standard async scenario under the delay model below, advanced by
+  /// run_async_sbg_batch per seed chunk (run_async_sbg when
+  /// scalar_engine). Sizes must then satisfy n > 5f. batch_size /
+  /// num_threads / scalar_engine keep their meanings, and results stay
+  /// bit-identical across all of them.
+  bool async_engine = false;
+  DelayKind delay_kind = DelayKind::Uniform;  ///< async mode only
+  double delay_lo = 0.5;
+  double delay_hi = 1.5;
 
   void validate() const;
 };

@@ -1,0 +1,64 @@
+// AVX-512F (width-8) backend. Compiled with per-TU -mavx512f
+// -ffp-contract=off — and, like the AVX2 TU, deliberately WITHOUT FMA:
+// a fused multiply-add rounds once where the scalar engine rounds
+// twice, which would break bit-identity in fused_step's tx - lambda*tg.
+// Only this TU carries the flag; the dispatcher hands these kernels out
+// only after cpuid confirms avx512f, so no illegal instruction can
+// execute on narrower hardware.
+//
+// AVX-512 compares produce a mask *register* (__mmask8), not a vector.
+// The DoubleLanes policy contract represents masks as stored
+// all-ones/all-zeros double lanes (so precomputed delivery masks blend
+// through the same path as fresh compares), so this policy materializes
+// compare masks into vectors with _mm512_mask_blend_pd and rehydrates
+// stored masks with an integer nonzero test (_mm512_cmpneq_epi64_mask —
+// plain AVX-512F, and exactly ScalarLanes::bitselect's `bits != 0`
+// criterion). Both directions are pure bit selection, so the selected
+// values — the only thing that reaches memory — are bit-identical to
+// every other backend.
+
+#include <immintrin.h>
+
+#include "simd/lanes_impl.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+namespace {
+
+struct Avx512Lanes {
+  static constexpr std::size_t kWidth = 8;
+  using Vec = __m512d;
+  static Vec load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, Vec v) { _mm512_storeu_pd(p, v); }
+  static Vec broadcast(double x) { return _mm512_set1_pd(x); }
+  static Vec add(Vec a, Vec b) { return _mm512_add_pd(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm512_sub_pd(a, b); }
+  static Vec mul(Vec a, Vec b) { return _mm512_mul_pd(a, b); }
+  static Vec div(Vec a, Vec b) { return _mm512_div_pd(a, b); }
+  static Vec mask_to_vec(__mmask8 m) {
+    return _mm512_mask_blend_pd(m, _mm512_setzero_pd(),
+                                _mm512_castsi512_pd(_mm512_set1_epi64(-1)));
+  }
+  static __mmask8 vec_to_mask(Vec m) {
+    return _mm512_cmpneq_epi64_mask(_mm512_castpd_si512(m),
+                                    _mm512_setzero_si512());
+  }
+  static Vec less(Vec a, Vec b) {
+    return mask_to_vec(_mm512_cmp_pd_mask(a, b, _CMP_LT_OQ));
+  }
+  static Vec select(Vec m, Vec t, Vec f) {
+    return _mm512_mask_blend_pd(vec_to_mask(m), f, t);
+  }
+  static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+};
+
+}  // namespace
+
+const SimdKernels& simd_backend_avx512() {
+  static const SimdKernels kernels =
+      simd_detail::make_kernels<Avx512Lanes>(SimdIsa::kAvx512, "avx512");
+  return kernels;
+}
+
+}  // namespace ftmao

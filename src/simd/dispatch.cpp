@@ -2,9 +2,10 @@
 // and hand out its kernel table through a single atomic pointer.
 //
 // Backend availability has two layers:
-//   - compile time: FTMAO_SIMD_HAS_SSE2 / FTMAO_SIMD_HAS_AVX2 are defined
-//     by src/simd/CMakeLists.txt only when FTMAO_ENABLE_SIMD is ON, the
-//     target is x86-64, and the compiler accepts the per-TU flag;
+//   - compile time: FTMAO_SIMD_HAS_SSE2 / FTMAO_SIMD_HAS_AVX2 /
+//     FTMAO_SIMD_HAS_AVX512 are defined by src/simd/CMakeLists.txt only
+//     when FTMAO_ENABLE_SIMD is ON, the target is x86-64, and the
+//     compiler accepts the per-TU flag;
 //   - run time: __builtin_cpu_supports() (cpuid) must confirm the feature
 //     before a table whose code uses it is ever returned. An AVX2 binary
 //     on an SSE2-only machine therefore degrades instead of trapping.
@@ -34,11 +35,14 @@ const SimdKernels& simd_backend_sse2();
 #ifdef FTMAO_SIMD_HAS_AVX2
 const SimdKernels& simd_backend_avx2();
 #endif
+#ifdef FTMAO_SIMD_HAS_AVX512
+const SimdKernels& simd_backend_avx512();
+#endif
 
 namespace {
 
-constexpr std::array<SimdIsa, 3> kAllIsas = {SimdIsa::kScalar, SimdIsa::kSse2,
-                                             SimdIsa::kAvx2};
+constexpr std::array<SimdIsa, 4> kAllIsas = {SimdIsa::kScalar, SimdIsa::kSse2,
+                                             SimdIsa::kAvx2, SimdIsa::kAvx512};
 
 const SimdKernels* backend_or_null(SimdIsa isa) {
   switch (isa) {
@@ -56,6 +60,12 @@ const SimdKernels* backend_or_null(SimdIsa isa) {
 #else
       return nullptr;
 #endif
+    case SimdIsa::kAvx512:
+#ifdef FTMAO_SIMD_HAS_AVX512
+      return &simd_backend_avx512();
+#else
+      return nullptr;
+#endif
   }
   return nullptr;
 }
@@ -69,6 +79,8 @@ bool cpu_supports(SimdIsa isa) {
       return __builtin_cpu_supports("sse2") != 0;
     case SimdIsa::kAvx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case SimdIsa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
   }
   return false;
 #else
@@ -105,7 +117,7 @@ std::atomic<const SimdKernels*>& active_slot() {
 
 std::span<const SimdIsa> simd_compiled() {
   static const auto compiled = [] {
-    static std::array<SimdIsa, 3> storage;
+    static std::array<SimdIsa, 4> storage;
     std::size_t n = 0;
     for (SimdIsa isa : kAllIsas) {
       if (backend_or_null(isa) != nullptr) storage[n++] = isa;
@@ -162,6 +174,8 @@ const char* simd_isa_name(SimdIsa isa) {
       return "sse2";
     case SimdIsa::kAvx2:
       return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -172,7 +186,7 @@ SimdIsa parse_simd_isa(const std::string& name) {
     if (name == simd_isa_name(isa)) return isa;
   }
   throw ContractViolation("unknown ISA '" + name +
-                          "' (expected auto|scalar|sse2|avx2)");
+                          "' (expected auto|scalar|sse2|avx2|avx512)");
 }
 
 }  // namespace ftmao

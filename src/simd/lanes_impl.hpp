@@ -181,6 +181,23 @@ void fused_step_impl(const double* tx, const double* tg, const double* lambda,
   }
 }
 
+template <class L>
+void masked_blend_impl(const double* mask, const double* px, const double* pg,
+                       const double* dx, const double* dg, double* outx,
+                       double* outg, std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec m = L::load(mask + k);
+    L::store(outx + k, L::bitselect(m, L::load(px + k), L::load(dx + k)));
+    L::store(outg + k, L::bitselect(m, L::load(pg + k), L::load(dg + k)));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    outx[k] = S::bitselect(mask[k], px[k], dx[k]);
+    outg[k] = S::bitselect(mask[k], pg[k], dg[k]);
+  }
+}
+
 /// Builds the backend's kernel table. All pointers reference the TU-local
 /// instantiations for policy L.
 template <class L>
@@ -195,6 +212,7 @@ SimdKernels make_kernels(SimdIsa isa, const char* name) {
   k.divide_rows = &divide_rows_impl<L>;
   k.gradient_clamp = &gradient_clamp_impl<L>;
   k.fused_step = &fused_step_impl<L>;
+  k.masked_blend = &masked_blend_impl<L>;
   return k;
 }
 

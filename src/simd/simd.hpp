@@ -6,13 +6,13 @@
 // round hot path into lanewise loops over contiguous replica rows. This
 // subsystem stops relying on the -O2 autovectorizer for those loops:
 // each kernel is written once against a width-agnostic `DoubleLanes`
-// concept (simd/lanes_impl.hpp) and instantiated in three separately
+// concept (simd/lanes_impl.hpp) and instantiated in four separately
 // compiled translation units — scalar (width 1, portable), SSE2 (width
-// 2), and AVX2 (width 4, compiled with a per-TU -mavx2 so the rest of
-// the tree keeps the default architecture). The best backend the CPU
-// supports is selected once, lazily, via cpuid (runtime dispatch through
-// a function-pointer table — one indirect call per *kernel invocation*,
-// not per lane).
+// 2), AVX2 (width 4), and AVX-512F (width 8), the wider three compiled
+// with a per-TU -m<isa> so the rest of the tree keeps the default
+// architecture. The best backend the CPU supports is selected once,
+// lazily, via cpuid (runtime dispatch through a function-pointer table —
+// one indirect call per *kernel invocation*, not per lane).
 //
 // Determinism contract (load-bearing — see docs/performance.md):
 // every backend produces bit-identical results to every other backend,
@@ -61,8 +61,14 @@ namespace ftmao {
 using ComparatorPair = std::pair<std::uint16_t, std::uint16_t>;
 
 /// Instruction-set tiers, worst to best. kScalar is always compiled;
-/// kSse2/kAvx2 exist only on x86-64 builds with FTMAO_ENABLE_SIMD=ON.
-enum class SimdIsa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+/// kSse2/kAvx2/kAvx512 exist only on x86-64 builds with
+/// FTMAO_ENABLE_SIMD=ON and a compiler that accepts the per-TU flag.
+enum class SimdIsa : std::uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3
+};
 
 /// Devirtualized kernel entry points for one backend. All pointers are
 /// always non-null. Every kernel is strictly lanewise: lane k of every
@@ -70,7 +76,7 @@ enum class SimdIsa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
 /// arrays to a lane multiple with arbitrary finite values.
 struct SimdKernels {
   SimdIsa isa = SimdIsa::kScalar;
-  const char* name = "scalar";  ///< "scalar" | "sse2" | "avx2"
+  const char* name = "scalar";  ///< "scalar" | "sse2" | "avx2" | "avx512"
   std::size_t width = 1;        ///< doubles per vector register
 
   /// Applies a comparator network to an n x count matrix whose rows are
@@ -115,6 +121,19 @@ struct SimdKernels {
                      const double* clo, const double* chi,
                      const double* pe_mask, double* x, double* pe,
                      std::size_t count);
+
+  /// Masked payload blend, the delivery-filter substitution:
+  ///   outx[k] = mask[k] ? px[k] : dx[k]
+  ///   outg[k] = mask[k] ? pg[k] : dg[k]
+  /// mask lanes are *stored* all-ones / all-zeros doubles (a lane is
+  /// taken iff any mask bit is set, matching ScalarLanes::bitselect).
+  /// Used by the batch engines to substitute per-replica default
+  /// payloads where a Byzantine payload is absent or a delivery filter
+  /// dropped the message — pure lane selection, so backend-independent
+  /// at the bit level by construction.
+  void (*masked_blend)(const double* mask, const double* px, const double* pg,
+                       const double* dx, const double* dg, double* outx,
+                       double* outg, std::size_t count);
 };
 
 /// Backends compiled into this binary (always contains kScalar).
@@ -130,9 +149,9 @@ SimdIsa simd_detect();
 const SimdKernels& simd_kernels_for(SimdIsa isa);
 
 /// The active backend. Selected on first use: FTMAO_ISA environment
-/// override ("scalar" | "sse2" | "avx2"; unsupported values warn on
-/// stderr and fall back) else simd_detect(). Subsequent calls are a
-/// single atomic load.
+/// override ("scalar" | "sse2" | "avx2" | "avx512"; unsupported values
+/// warn on stderr and fall back) else simd_detect(). Subsequent calls
+/// are a single atomic load.
 const SimdKernels& simd_kernels();
 
 /// The active backend's ISA tier.
@@ -143,7 +162,7 @@ SimdIsa simd_active();
 /// against concurrent kernel invocations: select before fanning out.
 bool simd_select(SimdIsa isa);
 
-/// "scalar" | "sse2" | "avx2".
+/// "scalar" | "sse2" | "avx2" | "avx512".
 const char* simd_isa_name(SimdIsa isa);
 
 /// Parses an ISA name as accepted by --isa/FTMAO_ISA ("auto" returns

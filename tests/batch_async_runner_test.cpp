@@ -1,0 +1,240 @@
+// Bit-identity of the batched asynchronous engine against the scalar
+// event-loop reference: run_async_sbg_batch must reproduce run_async_sbg
+// per replica, field for field, at the bit level — for every delay model,
+// crash schedule, attack in the menu, and batch size (including B = 1 and
+// B > the active backend's lane width). Run under each backend via the
+// `ctest -L simd` matrix.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "func/library.hpp"
+#include "sim/async_runner.hpp"
+#include "sim/attack_search.hpp"
+#include "sim/batch_async_runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace ftmao {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_series_identical(const Series& a, const Series& b,
+                             const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t t = 0; t < a.size(); ++t)
+    ASSERT_EQ(bits(a[t]), bits(b[t])) << what << " t=" << t;
+}
+
+// Every field, bitwise. EXPECT_DOUBLE_EQ would hide signed-zero and ULP
+// differences; the batched engine claims exact replay.
+void expect_identical(const AsyncRunMetrics& a, const AsyncRunMetrics& b) {
+  expect_series_identical(a.disagreement, b.disagreement, "disagreement");
+  expect_series_identical(a.max_dist_to_y, b.max_dist_to_y, "max_dist_to_y");
+  ASSERT_EQ(a.final_states.size(), b.final_states.size());
+  for (std::size_t i = 0; i < a.final_states.size(); ++i)
+    ASSERT_EQ(bits(a.final_states[i]), bits(b.final_states[i])) << i;
+  ASSERT_EQ(bits(a.optima.lo()), bits(b.optima.lo()));
+  ASSERT_EQ(bits(a.optima.hi()), bits(b.optima.hi()));
+  ASSERT_EQ(bits(a.virtual_time), bits(b.virtual_time));
+  ASSERT_EQ(a.messages_delivered, b.messages_delivered);
+}
+
+void expect_batch_matches_scalar(const std::vector<AsyncScenario>& batch) {
+  const std::vector<AsyncRunMetrics> got = run_async_sbg_batch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    SCOPED_TRACE("replica " + std::to_string(r));
+    expect_identical(got[r], run_async_sbg(batch[r]));
+  }
+}
+
+AsyncScenario base_scenario(std::uint64_t seed, AttackKind kind,
+                            std::size_t rounds = 120) {
+  AsyncScenario s = make_standard_async_scenario(6, 1, 6.0, kind, rounds,
+                                                 seed);
+  return s;
+}
+
+TEST(BatchAsyncRunner, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(run_async_sbg_batch({}).empty());
+}
+
+TEST(BatchAsyncRunner, SingleReplicaUniformDelays) {
+  expect_batch_matches_scalar({base_scenario(7, AttackKind::SplitBrain)});
+}
+
+TEST(BatchAsyncRunner, WideBatchBeyondLaneWidth) {
+  // 9 replicas exceeds every backend's lane width (scalar 1 .. avx512 8),
+  // exercising full vectors plus a tail in one batch.
+  std::vector<AsyncScenario> batch;
+  for (std::uint64_t seed = 1; seed <= 9; ++seed)
+    batch.push_back(base_scenario(seed, AttackKind::SplitBrain));
+  expect_batch_matches_scalar(batch);
+}
+
+TEST(BatchAsyncRunner, EveryDelayKind) {
+  for (const DelayKind kind :
+       {DelayKind::Fixed, DelayKind::Uniform, DelayKind::TargetedSlow}) {
+    std::vector<AsyncScenario> batch;
+    for (std::uint64_t seed = 11; seed <= 15; ++seed) {
+      AsyncScenario s = base_scenario(seed, AttackKind::HullEdgeUp);
+      s.delay_kind = kind;
+      s.slow_delay = 8.0;
+      s.slow_count = 2;
+      batch.push_back(s);
+    }
+    SCOPED_TRACE(static_cast<int>(kind));
+    expect_batch_matches_scalar(batch);
+  }
+}
+
+TEST(BatchAsyncRunner, EveryAttackKind) {
+  for (const AttackKind kind :
+       {AttackKind::None, AttackKind::Silent, AttackKind::FixedValue,
+        AttackKind::SplitBrain, AttackKind::HullEdgeUp,
+        AttackKind::HullEdgeDown, AttackKind::RandomNoise,
+        AttackKind::SignFlip, AttackKind::PullToTarget, AttackKind::FlipFlop,
+        AttackKind::DelayedStrike}) {
+    std::vector<AsyncScenario> batch;
+    for (std::uint64_t seed = 3; seed <= 6; ++seed)
+      batch.push_back(base_scenario(seed, kind, 80));
+    SCOPED_TRACE(static_cast<int>(kind));
+    expect_batch_matches_scalar(batch);
+  }
+}
+
+TEST(BatchAsyncRunner, MixedPresencePerLane) {
+  // Lanes whose adversaries omit payloads (Silent), always send
+  // (SplitBrain), send randomly-valued payloads (RandomNoise), and go
+  // dormant-then-active (DelayedStrike) advance side by side: the
+  // per-lane sender masks must select exactly the payloads the scalar
+  // engine's per-replica buffers held.
+  std::vector<AsyncScenario> batch;
+  const AttackKind kinds[] = {AttackKind::Silent, AttackKind::SplitBrain,
+                              AttackKind::RandomNoise,
+                              AttackKind::DelayedStrike,
+                              AttackKind::Silent};
+  std::uint64_t seed = 21;
+  for (const AttackKind kind : kinds)
+    batch.push_back(base_scenario(seed++, kind));
+  expect_batch_matches_scalar(batch);
+}
+
+TEST(BatchAsyncRunner, CrashSchedules) {
+  // Mid-run send-crash: the crashed agent keeps advancing locally but its
+  // tuples vanish from everyone's multisets after the crash time.
+  std::vector<AsyncScenario> batch;
+  for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+    AsyncScenario s = make_standard_async_scenario(11, 2, 8.0,
+                                                   AttackKind::SplitBrain,
+                                                   100, seed);
+    s.faulty = {10};  // one Byzantine + one crash inside the f = 2 budget
+    s.crashes = {{4, 25.0}};
+    batch.push_back(s);
+  }
+  expect_batch_matches_scalar(batch);
+}
+
+TEST(BatchAsyncRunner, CrashAtTimeZeroSuppressesInitialBroadcast) {
+  std::vector<AsyncScenario> batch;
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    AsyncScenario s = make_standard_async_scenario(11, 2, 8.0,
+                                                   AttackKind::HullEdgeDown,
+                                                   90, seed);
+    s.faulty.clear();  // both f slots spent on crashes
+    s.crashes = {{0, 0.0}, {7, 10.0}};
+    batch.push_back(s);
+  }
+  expect_batch_matches_scalar(batch);
+}
+
+TEST(BatchAsyncRunner, HeterogeneousStepAndDelayParameters) {
+  // Shape (n, f, faulty, crashes, rounds) is shared; everything else —
+  // seed, delay window, step schedule, attack knobs — varies per lane.
+  std::vector<AsyncScenario> batch;
+  for (std::uint64_t seed = 51; seed <= 57; ++seed) {
+    AsyncScenario s = base_scenario(seed, AttackKind::PullToTarget);
+    s.delay_lo = 0.2 + 0.1 * static_cast<double>(seed - 51);
+    s.delay_hi = s.delay_lo + 1.0;
+    s.attack.target = static_cast<double>(seed % 3) - 1.0;
+    s.step.scale = 0.4 + 0.05 * static_cast<double>(seed % 4);
+    batch.push_back(s);
+  }
+  expect_batch_matches_scalar(batch);
+}
+
+TEST(BatchAsyncRunner, RejectsMismatchedShapes) {
+  std::vector<AsyncScenario> batch = {base_scenario(1, AttackKind::None),
+                                      base_scenario(2, AttackKind::None)};
+  batch[1].rounds += 1;
+  EXPECT_THROW(run_async_sbg_batch(batch), ContractViolation);
+  batch = {base_scenario(1, AttackKind::None),
+           make_standard_async_scenario(11, 2, 6.0, AttackKind::None, 120, 2)};
+  EXPECT_THROW(run_async_sbg_batch(batch), ContractViolation);
+}
+
+TEST(BatchAsyncRunner, SweepEngineIdentity) {
+  // The async sweep path must produce byte-identical CSV whichever engine
+  // (scalar event loop vs batched replay), batch size, or thread count
+  // runs the cells.
+  SweepConfig config;
+  config.async_engine = true;
+  config.sizes = {{6, 1}, {11, 2}};
+  config.attacks = {AttackKind::SplitBrain, AttackKind::SignFlip};
+  config.seeds = {1, 2, 3, 4, 5};
+  config.rounds = 60;
+  const std::string batched = sweep_to_csv(run_sweep(config));
+  SweepConfig scalar = config;
+  scalar.scalar_engine = true;
+  EXPECT_EQ(batched, sweep_to_csv(run_sweep(scalar)));
+  SweepConfig chunked = config;
+  chunked.batch_size = 2;
+  chunked.num_threads = 4;
+  EXPECT_EQ(batched, sweep_to_csv(run_sweep(chunked)));
+}
+
+TEST(BatchAsyncRunner, SweepValidationRequiresNGreaterThan5F) {
+  SweepConfig config;
+  config.async_engine = true;
+  config.sizes = {{7, 2}};  // fine for sync (n > 3f), too tight for async
+  config.attacks = {AttackKind::None};
+  config.seeds = {1};
+  EXPECT_THROW(run_sweep(config), ContractViolation);
+}
+
+TEST(BatchAsyncRunner, AttackSearchEngineIdentity) {
+  const AsyncScenario base =
+      base_scenario(5, AttackKind::None, 80);
+  const std::vector<AttackCandidate> grid = standard_attack_grid();
+  const AttackSearchResult batched = find_strongest_attack_async(base, grid);
+  const AttackSearchResult scalar =
+      find_strongest_attack_async(base, grid, 1, 0, true);
+  ASSERT_EQ(batched.outcomes.size(), scalar.outcomes.size());
+  EXPECT_EQ(bits(batched.reference_state), bits(scalar.reference_state));
+  for (std::size_t i = 0; i < batched.outcomes.size(); ++i) {
+    EXPECT_EQ(batched.outcomes[i].name, scalar.outcomes[i].name);
+    EXPECT_EQ(bits(batched.outcomes[i].bias), bits(scalar.outcomes[i].bias));
+    EXPECT_EQ(bits(batched.outcomes[i].dist_to_y),
+              bits(scalar.outcomes[i].dist_to_y));
+  }
+}
+
+TEST(BatchAsyncRunner, StandardFactoryMirrorsSyncConventions) {
+  const AsyncScenario s =
+      make_standard_async_scenario(6, 1, 6.0, AttackKind::SplitBrain, 200, 9);
+  EXPECT_EQ(s.faulty, (std::vector<std::size_t>{5}));
+  EXPECT_EQ(s.functions.size(), 6u);
+  EXPECT_EQ(bits(s.initial_states.front()), bits(-3.0));
+  EXPECT_EQ(bits(s.initial_states.back()), bits(3.0));
+  EXPECT_EQ(s.rounds, 200u);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -1,6 +1,6 @@
 // Equivalence tests for the SIMD lane backends (src/simd). The dispatch
 // contract is that every compiled-and-supported backend — scalar, SSE2,
-// AVX2 — produces bit-identical output to the scalar backend for every
+// AVX2, AVX-512 — produces bit-identical output to the scalar backend for every
 // kernel, including on signed zeros, infinities, and denormals; and that
 // the batched engine under any forced backend reproduces the scalar
 // reference engine exactly. Comparisons are on bit patterns
@@ -100,8 +100,9 @@ TEST(SimdDispatch, ParseIsaNames) {
   EXPECT_EQ(parse_simd_isa("scalar"), SimdIsa::kScalar);
   EXPECT_EQ(parse_simd_isa("sse2"), SimdIsa::kSse2);
   EXPECT_EQ(parse_simd_isa("avx2"), SimdIsa::kAvx2);
+  EXPECT_EQ(parse_simd_isa("avx512"), SimdIsa::kAvx512);
   EXPECT_EQ(parse_simd_isa("auto"), simd_detect());
-  EXPECT_THROW(parse_simd_isa("avx512"), ContractViolation);
+  EXPECT_THROW(parse_simd_isa("avx1024"), ContractViolation);
   EXPECT_THROW(parse_simd_isa(""), ContractViolation);
   for (const SimdIsa isa : simd_compiled())
     EXPECT_EQ(parse_simd_isa(simd_isa_name(isa)), isa);
@@ -253,6 +254,37 @@ TEST(SimdKernels, FusedStepMatchesScalarUpdateBitwise) {
       ASSERT_EQ(bits(pe_expected[i]), bits(pe[i])) << k.name << " i=" << i;
     }
   });
+}
+
+TEST(SimdKernels, MaskedBlendSelectsExactBitPatterns) {
+  // The delivery-filter substitution: mask lanes are stored
+  // all-ones/all-zeros doubles; taken lanes must reproduce the payload's
+  // exact bit pattern (signed zeros, infinities, denormals included) and
+  // dropped lanes the default's.
+  Rng rng(113);
+  const double all_bits = std::bit_cast<double>(~std::uint64_t{0});
+  for (std::size_t count : {1u, 2u, 3u, 4u, 7u, 8u, 9u, 16u, 33u}) {
+    const auto px = mixed_matrix(1, count, rng);
+    const auto pg = mixed_matrix(1, count, rng);
+    const auto dx = mixed_matrix(1, count, rng);
+    const auto dg = mixed_matrix(1, count, rng);
+    std::vector<double> mask(count);
+    for (std::size_t i = 0; i < count; ++i)
+      mask[i] = (i % 3 == 0) ? all_bits : 0.0;
+
+    for_each_backend([&](const SimdKernels& k) {
+      std::vector<double> outx(count), outg(count);
+      k.masked_blend(mask.data(), px.data(), pg.data(), dx.data(), dg.data(),
+                     outx.data(), outg.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool take = (i % 3 == 0);
+        ASSERT_EQ(bits(take ? px[i] : dx[i]), bits(outx[i]))
+            << k.name << " count=" << count << " i=" << i;
+        ASSERT_EQ(bits(take ? pg[i] : dg[i]), bits(outg[i]))
+            << k.name << " count=" << count << " i=" << i;
+      }
+    });
+  }
 }
 
 TEST(SimdEngine, BatchedEngineMatchesScalarEngineUnderEveryBackend) {
