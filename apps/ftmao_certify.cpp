@@ -38,6 +38,15 @@ int main(int argc, char** argv) {
        false},
       {"async-optimality-eps", "async final Dist-to-Y acceptance", "0.3",
        false},
+      {"vector-dim", "state dimension for the coordinate-wise vector "
+                     "section", "8", false},
+      {"vector-rounds", "vector iterations per run (0 = skip the section)",
+       "800", false},
+      {"vector-consensus-eps", "vector final-disagreement acceptance", "0.1",
+       false},
+      {"vector-optimality-eps", "vector bounded-drift acceptance (loose on "
+                                "purpose: consensus is guaranteed, optimality "
+                                "is not)", "10.0", false},
       {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512; "
               "report is identical for every value", "auto", false},
       {"help", "show usage", "false", true},
@@ -54,11 +63,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-    if (!simd_select(isa)) {
-      std::cerr << "error: ISA '" << simd_isa_name(isa)
-                << "' is not supported on this machine/build\n";
-      return 2;
+    // "auto" keeps width-aware auto-dispatch live (the engines pick the
+    // widest backend whose register the lane count can mostly fill); any
+    // explicit name forces that backend everywhere.
+    if (parser.get("isa") != "auto") {
+      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+      if (!simd_select(isa)) {
+        std::cerr << "error: ISA '" << simd_isa_name(isa)
+                  << "' is not supported on this machine/build\n";
+        return 2;
+      }
     }
     CertifyOptions options;
     options.n = static_cast<std::size_t>(parser.get_int("n"));
@@ -77,6 +91,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(parser.get_int("async-rounds"));
     options.async_consensus_eps = parser.get_double("async-consensus-eps");
     options.async_optimality_eps = parser.get_double("async-optimality-eps");
+    options.vector_dim = static_cast<std::size_t>(parser.get_int("vector-dim"));
+    options.vector_rounds =
+        static_cast<std::size_t>(parser.get_int("vector-rounds"));
+    options.vector_consensus_eps = parser.get_double("vector-consensus-eps");
+    options.vector_optimality_eps = parser.get_double("vector-optimality-eps");
 
     std::cout << "certifying SBG at n=" << options.n << ", f=" << options.f
               << " over 10 attacks, " << options.rounds << " rounds...\n\n";

@@ -102,6 +102,8 @@ int main(int argc, char** argv) {
   using namespace ftmao;
   cli::ArgParser parser({
       {"sizes", "comma list of n:f pairs", "7:2,10:3,13:4", false},
+      {"dim", "comma list of state dimensions (1 = scalar SBG; d >= 2 runs "
+              "the coordinate-wise vector engine)", "1", false},
       {"attacks", "comma list of attack names", "split-brain,sign-flip,pull",
        false},
       {"seeds", "number of seeds per cell (1..k)", "3", false},
@@ -177,7 +179,7 @@ int main(int argc, char** argv) {
       // Flags forwarded verbatim: every worker must see the same grid so
       // every worker computes the same partition.
       const std::vector<std::string> pass_through = {
-          "sizes", "attacks",    "seeds", "rounds",   "spread", "step",
+          "sizes", "dim", "attacks",    "seeds", "rounds",   "spread", "step",
           "step-scale", "step-exp", "threads", "batch", "isa"};
 
       auto worker_args = [&](const ShardJob& job) {

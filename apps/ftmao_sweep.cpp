@@ -31,6 +31,7 @@ using namespace ftmao;
 SweepConfig config_from(const cli::ArgParser& parser) {
   SweepConfig config;
   config.sizes = parse_sizes(parser.get("sizes"));
+  config.dims = parse_dims(parser.get("dim"));
   config.attacks = parse_attacks(parser.get("attacks"));
   const auto seed_count = static_cast<std::uint64_t>(parser.get_int("seeds"));
   for (std::uint64_t s = 1; s <= seed_count; ++s) config.seeds.push_back(s);
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
   using namespace ftmao;
   cli::ArgParser parser({
       {"sizes", "comma list of n:f pairs", "7:2,10:3,13:4", false},
+      {"dim", "comma list of state dimensions (1 = scalar SBG; d >= 2 runs "
+              "the coordinate-wise vector engine)", "1", false},
       {"attacks", "comma list of attack names", "split-brain,sign-flip,pull",
        false},
       {"seeds", "number of seeds per cell (1..k)", "3", false},
@@ -114,11 +117,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-    if (!simd_select(isa)) {
-      std::cerr << "error: ISA '" << simd_isa_name(isa)
-                << "' is not supported on this machine/build\n";
-      return 2;
+    // "auto" keeps width-aware auto-dispatch live (the engines pick the
+    // widest backend whose register the lane count can mostly fill); any
+    // explicit name forces that backend everywhere.
+    if (parser.get("isa") != "auto") {
+      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+      if (!simd_select(isa)) {
+        std::cerr << "error: ISA '" << simd_isa_name(isa)
+                  << "' is not supported on this machine/build\n";
+        return 2;
+      }
     }
     if (parser.get_bool("inject-fail")) {
       std::cerr << "ftmao_sweep: --inject-fail — exiting before the run\n";
@@ -157,12 +165,13 @@ int main(int argc, char** argv) {
     } else if (parser.get_bool("csv")) {
       std::cout << sweep_to_csv(cells);
     } else {
-      Table table({"n", "f", "attack", "disagr median", "disagr max",
+      Table table({"n", "f", "dim", "attack", "disagr median", "disagr max",
                    "dist median", "dist max"});
       for (const SweepCell& c : cells) {
         table.row()
             .add(c.n)
             .add(c.f)
+            .add(c.dim)
             .add(attack_kind_name(c.attack))
             .add(c.disagreement.median, 4)
             .add(c.disagreement.max, 4)

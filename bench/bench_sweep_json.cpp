@@ -23,9 +23,17 @@
 // block rides along without touching their schema. --async-rounds 0
 // skips it (the JSON then has "async": null).
 //
+// A `vector` block does the same for the d-dimensional coordinate-wise
+// engine: the sync sweep grid at --vector-dim (default 8), timed
+// single-threaded through the scalar per-run path and the lane-packed
+// batched engine (sim/batch_vector_runner.hpp), with their runs/sec
+// ratio — the tracked vector-batch speedup. --vector-rounds 0 skips it
+// ("vector": null).
+//
 //   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
 //                    [--batch B] [--isa auto|scalar|sse2|avx2|avx512]
-//                    [--repeats N] [--async-rounds R] [--out FILE]
+//                    [--repeats N] [--async-rounds R] [--vector-rounds R]
+//                    [--vector-dim D] [--out FILE]
 
 #include <algorithm>
 #include <chrono>
@@ -130,6 +138,9 @@ int main(int argc, char** argv) {
        "20", false},
       {"async-rounds", "rounds per run for the async block (0 = skip)",
        "1000", false},
+      {"vector-rounds", "rounds per run for the vector block (0 = skip)",
+       "1000", false},
+      {"vector-dim", "state dimension for the vector block", "8", false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
   });
@@ -163,11 +174,16 @@ int main(int argc, char** argv) {
     config.scalar_engine = engine == "scalar";
     config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
 
-    const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-    if (!simd_select(isa)) {
-      std::cerr << "error: ISA '" << simd_isa_name(isa)
-                << "' is not supported on this machine/build\n";
-      return 2;
+    // "auto" keeps width-aware auto-dispatch live (the engines pick the
+    // widest backend whose register the lane count can mostly fill); any
+    // explicit name forces that backend everywhere.
+    if (parser.get("isa") != "auto") {
+      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
+      if (!simd_select(isa)) {
+        std::cerr << "error: ISA '" << simd_isa_name(isa)
+                  << "' is not supported on this machine/build\n";
+        return 2;
+      }
     }
 
     const auto repeats =
@@ -199,6 +215,35 @@ int main(int argc, char** argv) {
     const double async_speedup =
         async_scalar.runs_per_sec > 0.0
             ? async_batched.runs_per_sec / async_scalar.runs_per_sec
+            : 1.0;
+
+    // Vector block: the sync grid at --vector-dim, single-threaded,
+    // scalar per-run path vs the lane-packed batched engine. The seed
+    // axis is widened to 8 so the pack (dim * seeds lanes per agent row)
+    // fills whole SIMD registers at the default dim — the engine's
+    // intended operating point — independent of the sync grid's --seeds.
+    const auto vector_rounds =
+        static_cast<std::size_t>(parser.get_int("vector-rounds"));
+    const auto vector_dim =
+        static_cast<std::size_t>(parser.get_int("vector-dim"));
+    Throughput vector_scalar, vector_batched;
+    if (vector_rounds > 0) {
+      SweepConfig vector_config;
+      vector_config.sizes = config.sizes;
+      vector_config.dims = {vector_dim};
+      vector_config.attacks = config.attacks;
+      vector_config.seeds.clear();
+      for (std::uint64_t s = 1; s <= 8; ++s) vector_config.seeds.push_back(s);
+      vector_config.rounds = vector_rounds;
+      vector_config.scalar_engine = true;
+      vector_scalar = measure(vector_config, 1, repeats);
+      vector_config.scalar_engine = false;
+      vector_config.batch_size = config.batch_size;
+      vector_batched = measure(vector_config, 1, repeats);
+    }
+    const double vector_speedup =
+        vector_scalar.runs_per_sec > 0.0
+            ? vector_batched.runs_per_sec / vector_scalar.runs_per_sec
             : 1.0;
 
     const Throughput& serial = results.front();
@@ -244,9 +289,24 @@ int main(int argc, char** argv) {
          << ",\n"
          << "    \"batched_runs_per_sec\": " << async_batched.runs_per_sec
          << ",\n"
-         << "    \"speedup\": " << async_speedup << "\n  }\n}\n";
+         << "    \"speedup\": " << async_speedup << "\n  },\n";
     } else {
-      os << "  \"async\": null\n}\n";
+      os << "  \"async\": null,\n";
+    }
+    if (vector_rounds > 0) {
+      os << "  \"vector\": {\n"
+         << "    \"grid\": {\"sizes\": \"7:2,10:3,13:4\", "
+         << "\"dim\": " << vector_dim
+         << ", \"attacks\": \"split-brain,sign-flip,pull\", "
+         << "\"seeds\": 8"
+         << ", \"rounds\": " << vector_rounds << "},\n"
+         << "    \"scalar_runs_per_sec\": " << vector_scalar.runs_per_sec
+         << ",\n"
+         << "    \"batched_runs_per_sec\": " << vector_batched.runs_per_sec
+         << ",\n"
+         << "    \"speedup\": " << vector_speedup << "\n  }\n}\n";
+    } else {
+      os << "  \"vector\": null\n}\n";
     }
 
     const std::string path = parser.get("out");

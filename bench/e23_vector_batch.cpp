@@ -1,0 +1,112 @@
+// E23 — lane-packed batched vector-SBG performance (google-benchmark).
+//
+// The d-dimensional coordinate-wise engine packs replicas x coordinates
+// into contiguous SoA lanes (lane(k, r) = k*B + r per agent row), so one
+// trim/step kernel pass advances every seed and every coordinate at
+// once, and the adversary's recipient-independent payloads are computed
+// once per round instead of once per recipient. These benchmarks compare
+// the scalar reference (run_vector_scenario per seed — per-agent Vec
+// payloads, per-coordinate trims, virtual cost dispatch) against
+// run_vector_sbg_batch over the same seed axis, per compiled-and-
+// supported SIMD backend (custom main, as in E21/E22), across the
+// dimension ladder d in {1, 2, 4, 8, 16}. Items processed = replica
+// rounds, so items/sec is directly comparable across engines and dims.
+// No paper counterpart; this is the harness's own hot path for the
+// Section 7 vector experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/batch_vector_runner.hpp"
+#include "sim/vector_scenario.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace ftmao;
+
+std::vector<VectorScenario> seed_replicas(std::size_t n, std::size_t f,
+                                          std::size_t dim, AttackKind attack,
+                                          std::size_t rounds,
+                                          std::size_t batch) {
+  std::vector<VectorScenario> replicas;
+  replicas.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r)
+    replicas.push_back(make_standard_vector_scenario(n, f, 8.0, attack, rounds,
+                                                     1 + r, dim));
+  return replicas;
+}
+
+// Scalar reference: one full run_vector_sbg per seed.
+void BM_VectorRounds_Scalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(7, 2, dim, kind, rounds, batch);
+  for (auto _ : state) {
+    for (const VectorScenario& s : replicas) {
+      benchmark::DoNotOptimize(run_vector_scenario(s).disagreement.back());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+// Batched engine: replicas x coordinates packed into SoA lanes, one
+// kernel pass per round for the whole batch.
+void BM_VectorRounds_Batched(benchmark::State& state, SimdIsa isa) {
+  simd_select(isa);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto kind = static_cast<AttackKind>(state.range(2));
+  const std::size_t rounds = 200;
+  const auto replicas = seed_replicas(7, 2, dim, kind, rounds, batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_vector_sbg_batch(replicas).front().disagreement.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * rounds));
+}
+
+constexpr auto kSplitBrain = static_cast<int>(AttackKind::SplitBrain);
+constexpr auto kSignFlip = static_cast<int>(AttackKind::SignFlip);
+
+BENCHMARK(BM_VectorRounds_Scalar)
+    ->Args({1, 8, kSplitBrain})
+    ->Args({2, 8, kSplitBrain})
+    ->Args({4, 8, kSplitBrain})
+    ->Args({8, 8, kSplitBrain})
+    ->Args({16, 8, kSplitBrain})
+    ->Args({8, 8, kSignFlip});
+
+// One instance of every batched benchmark per compiled-and-supported
+// SIMD backend, name-tagged "<bench>/<isa>".
+void register_per_backend() {
+  for (const SimdIsa isa : simd_compiled()) {
+    if (!simd_supported(isa)) continue;
+    const std::string tag = std::string("/") + simd_isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_VectorRounds_Batched" + tag).c_str(),
+                                 BM_VectorRounds_Batched, isa)
+        ->Args({1, 8, kSplitBrain})
+        ->Args({2, 8, kSplitBrain})
+        ->Args({4, 8, kSplitBrain})
+        ->Args({8, 8, kSplitBrain})
+        ->Args({16, 8, kSplitBrain})
+        ->Args({8, 8, kSignFlip});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_per_backend();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -81,4 +81,30 @@ if ! cmp -s "$WORK/single_small.csv" "$WORK/merged_fwd.csv"; then
   exit 1
 fi
 
-echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded"
+echo "shard_e2e: vector dim axis (--dim 1,4) through the shard pipeline ..."
+# The --dim grid axis must survive the orchestrator -> worker -> manifest
+# -> merge round trip: worker manifests record the full dims axis, and the
+# merged CSV is byte-identical to a single-process run of the same grid.
+VGRID="--sizes 7:2 --dim 1,4 --seeds 2 --rounds 300"
+# shellcheck disable=SC2086  # word-splitting of $VGRID is intended
+"$SWEEP" $VGRID --csv > "$WORK/single_vec.csv"
+# shellcheck disable=SC2086
+"$SHARDSWEEP" $VGRID --shards 2 \
+  --workdir "$WORK/shards_vec" --out "$WORK/merged_vec.csv" \
+  2> "$WORK/orchestrator_vec.log"
+
+for MANIFEST in "$WORK"/shards_vec/shard_*.json; do
+  if ! grep -q '"dims": "1,4"' "$MANIFEST"; then
+    echo "shard_e2e: FAIL — $MANIFEST does not record the dims axis" >&2
+    cat "$MANIFEST" >&2
+    exit 1
+  fi
+done
+
+if ! cmp -s "$WORK/single_vec.csv" "$WORK/merged_vec.csv"; then
+  echo "shard_e2e: FAIL — vector-dim merged CSV differs" >&2
+  diff "$WORK/single_vec.csv" "$WORK/merged_vec.csv" >&2 || true
+  exit 1
+fi
+
+echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips"

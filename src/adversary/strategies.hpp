@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "core/payload.hpp"
@@ -44,26 +45,31 @@ class SbgAdversary : public ByzantineNode<SbgPayload>,
 /// the view for the duration of a round and call send_to once per
 /// recipient, so the derivation runs once per round and is replayed for
 /// the remaining n-1 recipients — same payload bits, O(view) work per
-/// round instead of per message.
-class RoundPayloadCache {
+/// round instead of per message. Generic over the payload type so the
+/// vector strategies (vector/vector_attacks.hpp) memoize whole
+/// d-dimensional payloads the same way.
+template <typename Payload>
+class BasicRoundPayloadCache {
  public:
   bool fresh(Round round) const {
     return !valid_ || round.value != round_;
   }
-  const std::optional<SbgPayload>& store(Round round,
-                                         std::optional<SbgPayload> payload) {
+  const std::optional<Payload>& store(Round round,
+                                      std::optional<Payload> payload) {
     round_ = round.value;
     valid_ = true;
-    payload_ = payload;
+    payload_ = std::move(payload);
     return payload_;
   }
-  const std::optional<SbgPayload>& get() const { return payload_; }
+  const std::optional<Payload>& get() const { return payload_; }
 
  private:
   std::uint32_t round_ = 0;
   bool valid_ = false;
-  std::optional<SbgPayload> payload_;
+  std::optional<Payload> payload_;
 };
+
+using RoundPayloadCache = BasicRoundPayloadCache<SbgPayload>;
 
 /// Sends nothing; honest agents fall back to the default tuple (Step 2).
 class SilentAdversary final : public SbgAdversary {

@@ -188,7 +188,7 @@ LaneSchedule replay_schedule(const AsyncScenario& s) {
 class BatchedAsyncRunner {
  public:
   explicit BatchedAsyncRunner(std::span<const AsyncScenario> replicas)
-      : replicas_(replicas), kernels_(&simd_kernels()) {
+      : replicas_(replicas), kernels_(&simd_kernels_for_lanes(replicas.size())) {
     const AsyncScenario& first = replicas.front();
     B_ = replicas.size();
     const std::size_t w = kernels_->width;
@@ -409,8 +409,8 @@ class BatchedAsyncRunner {
           ++row;
         }
       }
-      trim_batch(mx_.data(), m, count, f_, txc_.data());
-      trim_batch(mg_.data(), m, count, f_, tgc_.data());
+      trim_batch(mx_.data(), m, count, f_, *kernels_, txc_.data());
+      trim_batch(mg_.data(), m, count, f_, *kernels_, tgc_.data());
       for (std::size_t i = 0; i < count; ++i)
         lamc_[i] = lambda_[bucket_lanes_[bi][i]];
       kernels_->fused_step(txc_.data(), tgc_.data(), lamc_.data(), clo_.data(),

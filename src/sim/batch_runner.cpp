@@ -37,7 +37,9 @@ class BatchedSbgRunner {
  public:
   BatchedSbgRunner(std::span<const Scenario> replicas,
                    const RunOptions& options)
-      : scenarios_(replicas), options_(options), kernels_(&simd_kernels()) {
+      : scenarios_(replicas),
+        options_(options),
+        kernels_(&simd_kernels_for_lanes(replicas.size())) {
     FTMAO_EXPECTS(!replicas.empty());
     const Scenario& first = replicas.front();
     for (const Scenario& s : replicas) {
@@ -400,8 +402,8 @@ class BatchedSbgRunner {
       }
       FTMAO_ENSURES(slot == n_);
 
-      trim_batch(dx, n_, Bpad_, f_, tx_.data());
-      trim_batch(dg, n_, Bpad_, f_, tg_.data());
+      trim_batch(dx, n_, Bpad_, f_, *kernels_, tx_.data());
+      trim_batch(dg, n_, Bpad_, f_, *kernels_, tg_.data());
     }
 
     // Fused projected step across the whole lane row:

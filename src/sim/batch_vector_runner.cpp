@@ -1,0 +1,329 @@
+#include "sim/batch_vector_runner.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "simd/simd.hpp"
+#include "trim/trim_batch.hpp"
+
+namespace ftmao {
+
+namespace {
+
+// All-ones mask double for masked_blend (a lane is "taken" iff any bit
+// is set; stored masks are all-ones / all-zeros).
+const double kAllBits = std::bit_cast<double>(~std::uint64_t{0});
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+class BatchedVectorSbgRunner {
+ public:
+  explicit BatchedVectorSbgRunner(std::span<const VectorScenario> replicas)
+      : replicas_(replicas) {
+    FTMAO_EXPECTS(!replicas.empty());
+    const VectorScenario& first = replicas.front();
+    for (const VectorScenario& s : replicas) {
+      s.validate();
+      FTMAO_EXPECTS(s.n == first.n);
+      FTMAO_EXPECTS(s.f == first.f);
+      FTMAO_EXPECTS(s.dim == first.dim);
+      FTMAO_EXPECTS(s.rounds == first.rounds);
+      FTMAO_EXPECTS(s.byzantine_count == first.byzantine_count);
+    }
+    n_ = first.n;
+    f_ = first.f;
+    d_ = first.dim;
+    F_ = first.byzantine_count;
+    H_ = n_ - F_;
+    rounds_ = first.rounds;
+    B_ = replicas.size();
+    L_ = d_ * B_;
+    kernels_ = &simd_kernels_for_lanes(L_);
+    const std::size_t w = kernels_->width;
+    Lpad_ = (L_ + w - 1) / w * w;
+
+    x_.assign(H_ * Lpad_, 0.0);
+    bx_.assign(H_ * Lpad_, 0.0);
+    bg_.assign(H_ * Lpad_, 0.0);
+    dx_.assign(n_ * Lpad_, 0.0);
+    dg_.assign(n_ * Lpad_, 0.0);
+    tx_.assign(Lpad_, 0.0);
+    tg_.assign(Lpad_, 0.0);
+    lam_.assign(Lpad_, 0.0);
+    pe_.assign(Lpad_, 0.0);
+    pemask_.assign(Lpad_, 0.0);
+    clo_.assign(Lpad_, 0.0);
+    chi_.assign(Lpad_, 0.0);
+    defx_.assign(Lpad_, 0.0);
+    defg_.assign(Lpad_, 0.0);
+    xv_ = Vec(d_);
+    gv_ = Vec(d_);
+
+    const double inf = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < B_; ++r) {
+      const VectorScenario& s = replicas_[r];
+      for (std::size_t k = 0; k < d_; ++k) {
+        const std::size_t l = k * B_ + r;
+        if (s.constraint.empty()) {
+          clo_[l] = -inf;
+          chi_[l] = inf;
+        } else {
+          clo_[l] = s.constraint[k].lo();
+          chi_[l] = s.constraint[k].hi();
+        }
+        // Unset default payloads mean zero vectors (the agent-ctor rule).
+        defx_[l] = s.default_payload.state.dim() == 0
+                       ? 0.0
+                       : s.default_payload.state[k];
+        defg_[l] = s.default_payload.gradient.dim() == 0
+                       ? 0.0
+                       : s.default_payload.gradient[k];
+      }
+      // Initial states, projected per coordinate exactly like the agent
+      // constructor.
+      for (std::size_t j = 0; j < H_; ++j) {
+        for (std::size_t k = 0; k < d_; ++k) {
+          double v = s.honest_initial[j][k];
+          if (!s.constraint.empty()) v = s.constraint[k].project(v);
+          x_[j * Lpad_ + k * B_ + r] = v;
+        }
+      }
+      schedules_.push_back(make_schedule(s.step));
+      if (F_ > 0) {
+        Rng rng(s.seed);
+        adversaries_.push_back(make_vector_adversary(
+            s.attack, d_, rng.substream("vector-adversary", 0)));
+      }
+    }
+
+    if (F_ > 0) {
+      views_.resize(B_);
+      for (std::size_t r = 0; r < B_; ++r) {
+        views_[r].reserve(H_);
+        for (std::size_t j = 0; j < H_; ++j)
+          views_[r].push_back({AgentId{static_cast<std::uint32_t>(j)},
+                               VecPayload{Vec(d_), Vec(d_)}});
+      }
+      bpx_.assign(H_ * F_ * Lpad_, 0.0);
+      bpg_.assign(H_ * F_ * Lpad_, 0.0);
+      bpresent_.assign(H_ * F_ * Lpad_, 0.0);
+    }
+
+    // Failure-free optima: identical cost sets (by object identity, the
+    // common case for a seed batch sharing one family) compute the
+    // reference minimizer once and reuse the result bits.
+    results_.resize(B_);
+    for (std::size_t r = 0; r < B_; ++r) {
+      if (r > 0 && replicas_[r].honest_costs == replicas_[r - 1].honest_costs) {
+        results_[r].failure_free_optimum =
+            results_[r - 1].failure_free_optimum;
+        continue;
+      }
+      std::vector<VectorWeightedSum::Term> terms;
+      const double weight = 1.0 / static_cast<double>(H_);
+      for (const auto& fn : replicas_[r].honest_costs)
+        terms.push_back({weight, fn});
+      results_[r].failure_free_optimum =
+          VectorWeightedSum(std::move(terms)).a_minimizer();
+    }
+  }
+
+  std::vector<VectorRunResult> run() {
+    for (std::size_t r = 0; r < B_; ++r) record(r);
+    for (std::size_t t = 1; t <= rounds_; ++t) {
+      broadcast_phase();
+      uniform_ = true;
+      if (F_ > 0) collect_byzantine(t);
+      fill_lambda(t);
+      step_phase();
+      for (std::size_t r = 0; r < B_; ++r) record(r);
+    }
+    for (std::size_t r = 0; r < B_; ++r) {
+      for (std::size_t j = 0; j < H_; ++j) {
+        Vec state(d_);
+        for (std::size_t k = 0; k < d_; ++k)
+          state[k] = x_[j * Lpad_ + k * B_ + r];
+        results_[r].final_states.push_back(std::move(state));
+      }
+    }
+    return std::move(results_);
+  }
+
+ private:
+  double& x(std::size_t j, std::size_t k, std::size_t r) {
+    return x_[j * Lpad_ + k * B_ + r];
+  }
+
+  // Step 1: snapshot states and compute every honest gradient once (the
+  // scalar path evaluates the same pure gradient in both broadcast() and
+  // step(); one evaluation produces the same bits).
+  void broadcast_phase() {
+    std::memcpy(bx_.data(), x_.data(), H_ * Lpad_ * sizeof(double));
+    for (std::size_t j = 0; j < H_; ++j) {
+      for (std::size_t r = 0; r < B_; ++r) {
+        for (std::size_t k = 0; k < d_; ++k) xv_[k] = x(j, k, r);
+        replicas_[r].honest_costs[j]->gradient_into(xv_, gv_);
+        for (std::size_t k = 0; k < d_; ++k)
+          bg_[j * Lpad_ + k * B_ + r] = gv_[k];
+      }
+    }
+  }
+
+  // Step 2a: per-recipient Byzantine payloads, in the engine's exact
+  // call order (recipient-major, sender-minor; one adversary object per
+  // replica), with bitwise uniformity detection across recipients.
+  void collect_byzantine(std::size_t t) {
+    const Round round{static_cast<std::uint32_t>(t)};
+    for (std::size_t r = 0; r < B_; ++r) {
+      for (std::size_t j = 0; j < H_; ++j) {
+        VecPayload& p = views_[r][j].payload;
+        for (std::size_t k = 0; k < d_; ++k) {
+          p.state[k] = bx_[j * Lpad_ + k * B_ + r];
+          p.gradient[k] = bg_[j * Lpad_ + k * B_ + r];
+        }
+      }
+    }
+    for (std::size_t j = 0; j < H_; ++j) {
+      for (std::size_t b = 0; b < F_; ++b) {
+        const std::size_t o = (j * F_ + b) * Lpad_;
+        const std::size_t o0 = b * Lpad_;
+        for (std::size_t r = 0; r < B_; ++r) {
+          const RoundView<VecPayload> view{round, views_[r]};
+          const auto payload = adversaries_[r]->send_to(
+              AgentId{static_cast<std::uint32_t>(H_ + b)},
+              AgentId{static_cast<std::uint32_t>(j)}, view);
+          if (payload.has_value()) {
+            FTMAO_EXPECTS(payload->state.dim() == d_);
+            FTMAO_EXPECTS(payload->gradient.dim() == d_);
+          }
+          for (std::size_t k = 0; k < d_; ++k) {
+            const std::size_t l = k * B_ + r;
+            if (payload.has_value()) {
+              bpx_[o + l] = payload->state[k];
+              bpg_[o + l] = payload->gradient[k];
+              bpresent_[o + l] = kAllBits;
+            } else {
+              bpx_[o + l] = 0.0;
+              bpg_[o + l] = 0.0;
+              bpresent_[o + l] = 0.0;
+            }
+            if (j > 0 && uniform_ &&
+                (bits(bpresent_[o + l]) != bits(bpresent_[o0 + l]) ||
+                 bits(bpx_[o + l]) != bits(bpx_[o0 + l]) ||
+                 bits(bpg_[o + l]) != bits(bpg_[o0 + l]))) {
+              uniform_ = false;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void fill_lambda(std::size_t t) {
+    for (std::size_t r = 0; r < B_; ++r) {
+      const double lambda = schedules_[r]->at(t - 1);
+      for (std::size_t k = 0; k < d_; ++k) lam_[k * B_ + r] = lambda;
+    }
+  }
+
+  // Builds recipient j's n x Lpad multiset matrices. The honest part is
+  // the broadcast snapshot verbatim (every recipient's multiset contains
+  // all honest broadcasts — own value plus the other n-1 senders — and
+  // Trim is order-insensitive); only the Byzantine rows vary per
+  // recipient, absent payloads blending to the per-replica default.
+  void assemble(std::size_t j) {
+    std::memcpy(dx_.data(), bx_.data(), H_ * Lpad_ * sizeof(double));
+    std::memcpy(dg_.data(), bg_.data(), H_ * Lpad_ * sizeof(double));
+    for (std::size_t b = 0; b < F_; ++b) {
+      const std::size_t o = (j * F_ + b) * Lpad_;
+      kernels_->masked_blend(bpresent_.data() + o, bpx_.data() + o,
+                             bpg_.data() + o, defx_.data(), defg_.data(),
+                             dx_.data() + (H_ + b) * Lpad_,
+                             dg_.data() + (H_ + b) * Lpad_, Lpad_);
+    }
+  }
+
+  void trim_current() {
+    trim_batch(dx_.data(), n_, Lpad_, f_, *kernels_, tx_.data());
+    trim_batch(dg_.data(), n_, Lpad_, f_, *kernels_, tg_.data());
+  }
+
+  // Steps 2b-3: trim per (coordinate, replica) lane and apply the fused
+  // projected step to each recipient row. Recipient-independent payload
+  // rounds compute the trims once and replay them for every recipient —
+  // the batched analogue of the scalar RoundPayloadCache memoization.
+  void step_phase() {
+    if (uniform_) {
+      assemble(0);
+      trim_current();
+      for (std::size_t j = 0; j < H_; ++j)
+        kernels_->fused_step(tx_.data(), tg_.data(), lam_.data(), clo_.data(),
+                             chi_.data(), pemask_.data(), x_.data() + j * Lpad_,
+                             pe_.data(), Lpad_);
+      return;
+    }
+    for (std::size_t j = 0; j < H_; ++j) {
+      assemble(j);
+      trim_current();
+      kernels_->fused_step(tx_.data(), tg_.data(), lam_.data(), clo_.data(),
+                           chi_.data(), pemask_.data(), x_.data() + j * Lpad_,
+                           pe_.data(), Lpad_);
+    }
+  }
+
+  // The reference recorder's exact fold order: per agent, the distance
+  // to the failure-free optimum, then the pairwise L-inf diameters.
+  void record(std::size_t r) {
+    double diam = 0.0;
+    double dist = 0.0;
+    const Vec& opt = results_[r].failure_free_optimum;
+    for (std::size_t a = 0; a < H_; ++a) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < d_; ++k) {
+        const double dk = x(a, k, r) - opt[k];
+        acc += dk * dk;
+      }
+      dist = std::max(dist, std::sqrt(acc));
+      for (std::size_t b = a + 1; b < H_; ++b) {
+        double best = 0.0;
+        for (std::size_t k = 0; k < d_; ++k)
+          best = std::max(best, std::abs(x(a, k, r) - x(b, k, r)));
+        diam = std::max(diam, best);
+      }
+    }
+    results_[r].disagreement.push(diam);
+    results_[r].dist_to_average_optimum.push(dist);
+  }
+
+  std::span<const VectorScenario> replicas_;
+  const SimdKernels* kernels_ = nullptr;
+  std::size_t n_ = 0, f_ = 0, d_ = 0, H_ = 0, F_ = 0;
+  std::size_t rounds_ = 0, B_ = 0, L_ = 0, Lpad_ = 0;
+  bool uniform_ = true;
+
+  std::vector<double> x_, bx_, bg_, dx_, dg_, tx_, tg_;
+  std::vector<double> lam_, pe_, pemask_, clo_, chi_, defx_, defg_;
+  std::vector<double> bpx_, bpg_, bpresent_;
+  std::vector<std::unique_ptr<StepSchedule>> schedules_;
+  std::vector<std::unique_ptr<VectorAdversary>> adversaries_;
+  std::vector<std::vector<Received<VecPayload>>> views_;
+  std::vector<VectorRunResult> results_;
+  Vec xv_, gv_;
+};
+
+}  // namespace
+
+std::vector<VectorRunResult> run_vector_sbg_batch(
+    std::span<const VectorScenario> replicas) {
+  if (replicas.empty()) return {};
+  BatchedVectorSbgRunner runner(replicas);
+  return runner.run();
+}
+
+}  // namespace ftmao

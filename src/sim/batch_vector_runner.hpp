@@ -1,0 +1,48 @@
+#pragma once
+
+// Batched (structure-of-arrays) coordinate-wise vector-SBG engine.
+//
+// run_vector_sbg advances one d-dimensional replica through virtual
+// per-coordinate trims; this engine advances B replicas of one scenario
+// shape in lockstep by packing replicas x coordinates into contiguous
+// lanes. Each honest agent owns one row of L = dim * B doubles laid out
+// coordinate-major, replica-minor —
+//
+//   lane(k, r) = k * B + r        (k < dim, r < B)
+//
+// — padded at the row tail (only) to Lpad, a multiple of the SIMD
+// backend width. Every kernel of the round loop (sorting-network trim,
+// fused projected step, masked payload blend) then runs over Lpad-lane
+// rows of the width-aware backend (simd_kernels_for_lanes(L)): the d=8,
+// B=3 cell that starves an 8-wide register at scalar batching (3 of 8
+// lanes useful) fills three full AVX-512 registers here.
+//
+// Bit-identity contract: every per-field output (disagreement series,
+// dist-to-optimum series, final states, failure-free optimum) equals
+// run_vector_scenario's for each replica, for every backend. The same
+// three rules as the scalar batch engine apply (docs/performance.md):
+// identical per-lane operation sequences, conditional-swap comparators,
+// std tie semantics — plus: gradients are computed once per agent per
+// round (the scalar path computes the same pure gradient twice, in
+// broadcast() and step(); both calls see the same state, so collapsing
+// them is unobservable), and recipient-independent adversary payloads
+// are detected bitwise per round and their trims computed once and
+// replayed for all recipients (the batch analogue of the scalar
+// strategies' RoundPayloadCache).
+
+#include <span>
+#include <vector>
+
+#include "sim/vector_scenario.hpp"
+
+namespace ftmao {
+
+/// Runs every replica in lockstep. All replicas must share one shape
+/// (n, f, dim, rounds, byzantine_count); costs, initial states, attack,
+/// step schedule, seed, constraint, and default payload may vary per
+/// replica. Returns one VectorRunResult per replica, bit-identical
+/// per-field to run_vector_scenario(replicas[i]).
+std::vector<VectorRunResult> run_vector_sbg_batch(
+    std::span<const VectorScenario> replicas);
+
+}  // namespace ftmao

@@ -10,7 +10,9 @@
 #include "func/library.hpp"
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/batch_vector_runner.hpp"
 #include "sim/runner.hpp"
+#include "sim/vector_scenario.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/trace.hpp"
 
@@ -231,6 +233,71 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
     add("async-optimality", async_worst_dist <= options.async_optimality_eps,
         "worst " + format_double(async_worst_dist, 4) + " (" +
             async_worst_dist_attack + ")");
+  }
+
+  // Vector section: the attack grid once more, through the coordinate-wise
+  // d-dimensional engine (lane-packed batch across attacks). Consensus must
+  // clear its threshold; dist to the failure-free optimum is only held to
+  // the loose vector_optimality_eps (the valid set may be non-convex, see
+  // certify.hpp). Fixed slots + grid-order fold, like the other sections.
+  if (options.vector_rounds > 0) {
+    std::vector<std::pair<double, double>> vector_results(grid.size());
+    const std::size_t vector_chunk =
+        options.scalar_engine
+            ? 1
+            : std::min(
+                  options.batch_size == 0 ? grid.size() : options.batch_size,
+                  grid.size());
+    const std::size_t vector_chunks =
+        (grid.size() + vector_chunk - 1) / vector_chunk;
+    parallel_for_each(
+        options.num_threads, vector_chunks, [&](std::size_t task) {
+          const std::size_t first = task * vector_chunk;
+          const std::size_t batch = std::min(vector_chunk, grid.size() - first);
+          std::vector<VectorScenario> replicas;
+          replicas.reserve(batch);
+          for (std::size_t i = 0; i < batch; ++i) {
+            VectorScenario s = make_standard_vector_scenario(
+                options.n, options.f, options.spread, grid[first + i],
+                options.vector_rounds, options.seed, options.vector_dim);
+            s.attack.target = -6.0 * options.spread;
+            s.attack.gradient_magnitude = 10.0;
+            replicas.push_back(std::move(s));
+          }
+          std::vector<VectorRunResult> metrics;
+          if (options.scalar_engine) {
+            for (const VectorScenario& s : replicas)
+              metrics.push_back(run_vector_scenario(s));
+          } else {
+            metrics = run_vector_sbg_batch(replicas);
+          }
+          for (std::size_t i = 0; i < batch; ++i)
+            vector_results[first + i] = {
+                metrics[i].disagreement.back(),
+                metrics[i].dist_to_average_optimum.back()};
+        });
+
+    double vector_worst_disagreement = 0.0;
+    std::string vector_worst_disagreement_attack = "none";
+    double vector_worst_dist = 0.0;
+    std::string vector_worst_dist_attack = "none";
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (vector_results[i].first > vector_worst_disagreement) {
+        vector_worst_disagreement = vector_results[i].first;
+        vector_worst_disagreement_attack = attack_kind_name(grid[i]);
+      }
+      if (vector_results[i].second > vector_worst_dist) {
+        vector_worst_dist = vector_results[i].second;
+        vector_worst_dist_attack = attack_kind_name(grid[i]);
+      }
+    }
+    add("vector-consensus",
+        vector_worst_disagreement <= options.vector_consensus_eps,
+        "worst " + format_double(vector_worst_disagreement, 4) + " (" +
+            vector_worst_disagreement_attack + ")");
+    add("vector-optimality", vector_worst_dist <= options.vector_optimality_eps,
+        "worst " + format_double(vector_worst_dist, 4) + " (" +
+            vector_worst_dist_attack + ")");
   }
 
   // Liveness contrast: the attack grid must actually bite — the untrimmed

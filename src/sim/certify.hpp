@@ -46,6 +46,25 @@ struct CertifyOptions {
   std::size_t async_rounds = 800;
   double async_consensus_eps = 0.1;   ///< final-disagreement acceptance
   double async_optimality_eps = 0.3;  ///< final Dist-to-Y acceptance
+
+  /// Vector-engine section (Section 7's open problem, coordinate-wise
+  /// trimming in d dimensions): the attack grid is re-run through the
+  /// lane-packed batched vector engine at (n, f) and dimension vector_dim,
+  /// and the worst final disagreement must clear vector_consensus_eps.
+  /// Optimality is deliberately only a *bounded-drift* check: coordinate-
+  /// wise trimming provably keeps consensus but not optimality — its valid
+  /// set can be non-convex (tests/vector_valid_test.cpp certifies this for
+  /// the standard cell's radial members), and hull-edge attacks legally
+  /// park the consensus at the honest hull's boundary (~spread/2 per
+  /// coordinate, so ~ spread/2 * sqrt(dim) in norm). The check asserts the
+  /// adversary cannot drag the system *beyond* that hull scale toward its
+  /// target (which sits 6 * spread per coordinate away). vector_rounds = 0
+  /// skips the section. The same num_threads / batch_size / scalar_engine
+  /// knobs apply, with the same bit-identical-report guarantee.
+  std::size_t vector_dim = 8;
+  std::size_t vector_rounds = 800;
+  double vector_consensus_eps = 0.1;    ///< final-disagreement acceptance
+  double vector_optimality_eps = 10.0;  ///< bounded-drift acceptance (norm)
 };
 
 struct CertifyCheck {

@@ -132,6 +132,9 @@ std::size_t shard_of_cell(const CellSpec& cell, std::size_t shard_count) {
   std::uint64_t h = kFnvOffset;
   fnv_mix_u64(h, static_cast<std::uint64_t>(cell.n));
   fnv_mix_u64(h, static_cast<std::uint64_t>(cell.f));
+  // Scalar cells (dim 1, the historical grid) keep their pre-dim-axis
+  // assignment: only vector cells mix the dimension in.
+  if (cell.dim != 1) fnv_mix_u64(h, static_cast<std::uint64_t>(cell.dim));
   fnv_mix_str(h, attack_kind_name(cell.attack));
   // FNV-1a avalanches poorly on short inputs (adjacent cells land in the
   // same residue class for small moduli), so finalize with the splitmix64
@@ -164,7 +167,8 @@ std::vector<SweepCell> run_sweep_shard(const SweepConfig& config,
 
 std::string cell_key(const CellSpec& cell) {
   std::ostringstream os;
-  os << cell.n << ':' << cell.f << ':' << attack_kind_name(cell.attack);
+  os << cell.n << ':' << cell.f << ':' << cell.dim << ':'
+     << attack_kind_name(cell.attack);
   return os.str();
 }
 
@@ -206,6 +210,22 @@ std::vector<AttackKind> parse_attacks(const std::string& text) {
   for (const std::string& name : split(text, ','))
     attacks.push_back(parse_attack_kind(name));
   return attacks;
+}
+
+std::string format_dims(const std::vector<std::size_t>& dims) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << ',';
+    os << dims[i];
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> parse_dims(const std::string& text) {
+  std::vector<std::size_t> dims;
+  for (const std::string& token : split(text, ','))
+    dims.push_back(std::stoul(token));
+  return dims;
 }
 
 std::string format_seeds(const std::vector<std::uint64_t>& seeds) {
@@ -250,6 +270,7 @@ ShardManifest make_shard_manifest(const SweepConfig& config,
   m.shard_index = shard_index;
   m.shard_count = shard_count;
   m.sizes = format_sizes(config.sizes);
+  m.dims = format_dims(config.dims);
   m.attacks = format_attacks(config.attacks);
   m.seeds = format_seeds(config.seeds);
   m.rounds = config.rounds;
@@ -265,6 +286,7 @@ ShardManifest make_shard_manifest(const SweepConfig& config,
 SweepConfig config_from_manifest(const ShardManifest& manifest) {
   SweepConfig config;
   config.sizes = parse_sizes(manifest.sizes);
+  config.dims = parse_dims(manifest.dims);
   config.attacks = parse_attacks(manifest.attacks);
   config.seeds = parse_seeds(manifest.seeds);
   config.rounds = manifest.rounds;
@@ -281,6 +303,7 @@ std::string manifest_to_json(const ShardManifest& m) {
      << "  \"shard_count\": " << m.shard_count << ",\n"
      << "  \"grid\": {\n"
      << "    \"sizes\": \"" << m.sizes << "\",\n"
+     << "    \"dims\": \"" << m.dims << "\",\n"
      << "    \"attacks\": \"" << m.attacks << "\",\n"
      << "    \"seeds\": \"" << m.seeds << "\",\n"
      << "    \"rounds\": " << m.rounds << ",\n"
@@ -310,6 +333,7 @@ ShardManifest manifest_from_json(const std::string& json) {
   m.shard_index = static_cast<std::size_t>(number_field(json, "shard_index"));
   m.shard_count = static_cast<std::size_t>(number_field(json, "shard_count"));
   m.sizes = string_field(json, "sizes");
+  m.dims = string_field(json, "dims");
   m.attacks = string_field(json, "attacks");
   m.seeds = string_field(json, "seeds");
   m.rounds = static_cast<std::size_t>(number_field(json, "rounds"));

@@ -26,10 +26,12 @@
 
 namespace ftmao {
 
-/// Stable shard assignment: FNV-1a over (n, f, attack name) mod
+/// Stable shard assignment: FNV-1a over (n, f, dim, attack name) mod
 /// shard_count. Depends only on the cell identity and shard_count — not
 /// on enumeration order, grid composition, or the AttackKind enum's
-/// numeric values (names are the stable surface).
+/// numeric values (names are the stable surface). Scalar cells (dim 1)
+/// hash exactly as they did before the dim axis existed, so historical
+/// assignments are preserved.
 std::size_t shard_of_cell(const CellSpec& cell, std::size_t shard_count);
 
 /// The cells of shard `shard_index` (< shard_count), in canonical grid
@@ -46,7 +48,7 @@ std::vector<SweepCell> run_sweep_shard(const SweepConfig& config,
                                        std::size_t shard_index,
                                        std::size_t shard_count);
 
-/// "n:f:attack-name" — the cell's stable textual identity (manifest
+/// "n:f:dim:attack-name" — the cell's stable textual identity (manifest
 /// entries, merge diagnostics).
 std::string cell_key(const CellSpec& cell);
 
@@ -58,6 +60,8 @@ std::string format_sizes(
     const std::vector<std::pair<std::size_t, std::size_t>>& sizes);
 std::vector<std::pair<std::size_t, std::size_t>> parse_sizes(
     const std::string& text);
+std::string format_dims(const std::vector<std::size_t>& dims);
+std::vector<std::size_t> parse_dims(const std::string& text);
 std::string format_attacks(const std::vector<AttackKind>& attacks);
 std::vector<AttackKind> parse_attacks(const std::string& text);
 std::string format_seeds(const std::vector<std::uint64_t>& seeds);
@@ -77,6 +81,7 @@ struct ShardManifest {
   // The full grid (not just this shard's slice) in canonical spec syntax;
   // all manifests of one sweep must agree on these.
   std::string sizes;
+  std::string dims = "1";
   std::string attacks;
   std::string seeds;
   std::size_t rounds = 0;

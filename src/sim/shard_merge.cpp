@@ -16,15 +16,16 @@ std::vector<std::string> csv_lines(const std::string& text) {
   return lines;
 }
 
-/// "7,2,split-brain,..." -> "7:2:split-brain" (empty on malformed rows).
+/// "7,2,1,split-brain,..." -> "7:2:1:split-brain" (empty on malformed
+/// rows) — the first four CSV fields, matching cell_key().
 std::string row_key(const std::string& line) {
-  const std::size_t c1 = line.find(',');
-  if (c1 == std::string::npos) return {};
-  const std::size_t c2 = line.find(',', c1 + 1);
-  if (c2 == std::string::npos) return {};
-  const std::size_t c3 = line.find(',', c2 + 1);
-  if (c3 == std::string::npos) return {};
-  std::string key = line.substr(0, c3);
+  std::size_t pos = 0;
+  for (int field = 0; field < 4; ++field) {
+    pos = line.find(',', pos);
+    if (pos == std::string::npos) return {};
+    ++pos;
+  }
+  std::string key = line.substr(0, pos - 1);
   for (char& c : key)
     if (c == ',') c = ':';
   return key;
@@ -37,8 +38,9 @@ std::string shard_tag(const ShardManifest& m) {
 
 bool same_grid(const ShardManifest& a, const ShardManifest& b) {
   return a.schema == b.schema && a.shard_count == b.shard_count &&
-         a.sizes == b.sizes && a.attacks == b.attacks && a.seeds == b.seeds &&
-         a.rounds == b.rounds && a.spread == b.spread && a.step == b.step;
+         a.sizes == b.sizes && a.dims == b.dims && a.attacks == b.attacks &&
+         a.seeds == b.seeds && a.rounds == b.rounds && a.spread == b.spread &&
+         a.step == b.step;
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 #include "common/thread_pool.hpp"
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/batch_vector_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
+#include "sim/vector_scenario.hpp"
 
 namespace ftmao {
 
@@ -18,16 +20,25 @@ void SweepConfig::validate() const {
   FTMAO_EXPECTS(!sizes.empty());
   FTMAO_EXPECTS(!attacks.empty());
   FTMAO_EXPECTS(!seeds.empty());
+  FTMAO_EXPECTS(!dims.empty());
   FTMAO_EXPECTS(rounds >= 1);
+  for (std::size_t d : dims) FTMAO_EXPECTS(d >= 1);
+  // The async engine is scalar-only; a vector async heuristic would need
+  // its own per-coordinate delay semantics first.
+  if (async_engine)
+    for (std::size_t d : dims) FTMAO_EXPECTS(d == 1);
   for (const auto& [n, f] : sizes)
     FTMAO_EXPECTS(async_engine ? n > 5 * f : n > 3 * f);
 }
 
 std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config) {
   std::vector<CellSpec> specs;
-  specs.reserve(config.sizes.size() * config.attacks.size());
+  specs.reserve(config.sizes.size() * config.dims.size() *
+                config.attacks.size());
   for (const auto& [n, f] : config.sizes)
-    for (AttackKind attack : config.attacks) specs.push_back({n, f, attack});
+    for (std::size_t dim : config.dims)
+      for (AttackKind attack : config.attacks)
+        specs.push_back({n, f, dim, attack});
   return specs;
 }
 
@@ -86,6 +97,35 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
           }
           return;
         }
+        if (spec.dim >= 2) {
+          // Vector cell: one standard vector scenario per seed. The costs
+          // depend only on (n, f, spread, dim), so the seed replicas share
+          // the base scenario's cost vector — the batched engine's optimum
+          // memoization then computes the reference minimizer once.
+          const VectorScenario proto = make_standard_vector_scenario(
+              spec.n, spec.f, config.spread, spec.attack, config.rounds,
+              config.seeds[first], spec.dim);
+          std::vector<VectorScenario> replicas(count, proto);
+          for (std::size_t i = 0; i < count; ++i) {
+            replicas[i].seed = config.seeds[first + i];
+            replicas[i].step = config.step;
+          }
+          if (config.scalar_engine) {
+            for (std::size_t i = 0; i < count; ++i) {
+              const VectorRunResult m = run_vector_scenario(replicas[i]);
+              disagreements[base + i] = m.disagreement.back();
+              dists[base + i] = m.dist_to_average_optimum.back();
+            }
+          } else {
+            const std::vector<VectorRunResult> ms =
+                run_vector_sbg_batch(replicas);
+            for (std::size_t i = 0; i < count; ++i) {
+              disagreements[base + i] = ms[i].disagreement.back();
+              dists[base + i] = ms[i].dist_to_average_optimum.back();
+            }
+          }
+          return;
+        }
         std::vector<Scenario> replicas;
         replicas.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
@@ -114,6 +154,7 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
   for (std::size_t c = 0; c < specs.size(); ++c) {
     cells[c].n = specs[c].n;
     cells[c].f = specs[c].f;
+    cells[c].dim = specs[c].dim;
     cells[c].attack = specs[c].attack;
     cells[c].disagreement =
         summarize(std::span(disagreements).subspan(c * num_seeds, num_seeds));
@@ -128,8 +169,8 @@ std::vector<SweepCell> run_sweep(const SweepConfig& config) {
 }
 
 std::string sweep_csv_header() {
-  return "n,f,attack,seeds,dist_count,disagr_median,disagr_max,dist_median,"
-         "dist_max";
+  return "n,f,dim,attack,seeds,dist_count,disagr_median,disagr_max,"
+         "dist_median,dist_max";
 }
 
 std::string sweep_to_csv(const std::vector<SweepCell>& cells) {
@@ -141,7 +182,8 @@ std::string sweep_to_csv(const std::vector<SweepCell>& cells) {
     // whatever summarize-of-nothing would have divided into.
     const Summary disagr = c.disagreement.count > 0 ? c.disagreement : Summary{};
     const Summary dist = c.dist_to_y.count > 0 ? c.dist_to_y : Summary{};
-    os << c.n << ',' << c.f << ',' << attack_kind_name(c.attack) << ','
+    os << c.n << ',' << c.f << ',' << c.dim << ','
+       << attack_kind_name(c.attack) << ','
        << disagr.count << ',' << dist.count << ',' << disagr.median << ','
        << disagr.max << ',' << dist.median << ',' << dist.max << '\n';
   }

@@ -22,6 +22,13 @@ struct SweepConfig {
   std::size_t rounds = 4000;
   StepConfig step;
 
+  /// State dimensions to sweep. 1 = the paper's scalar algorithm (the
+  /// default grid, run through the scalar engines); d >= 2 runs the
+  /// coordinate-wise vector-SBG heuristic cell (standard vector scenario)
+  /// through run_vector_sbg_batch (run_vector_scenario when
+  /// scalar_engine). Incompatible with async_engine.
+  std::vector<std::size_t> dims = {1};
+
   /// Worker threads for the grid. 1 = serial (the reference path); 0 =
   /// hardware concurrency. Results are bit-identical for every value:
   /// each (cell, seed) run is independently seeded and written to its own
@@ -53,12 +60,13 @@ struct SweepConfig {
   void validate() const;
 };
 
-/// Identity of one grid cell: a (n, f) size crossed with an attack. The
-/// canonical enumeration (sweep_cell_specs) is sizes-major, attacks-minor
-/// — the row order of the sweep CSV.
+/// Identity of one grid cell: a (n, f) size crossed with a dimension and
+/// an attack. The canonical enumeration (sweep_cell_specs) is sizes-major,
+/// dims-middle, attacks-minor — the row order of the sweep CSV.
 struct CellSpec {
   std::size_t n = 0;
   std::size_t f = 0;
+  std::size_t dim = 1;
   AttackKind attack = AttackKind::None;
 
   friend bool operator==(const CellSpec&, const CellSpec&) = default;
@@ -68,12 +76,14 @@ struct CellSpec {
 struct SweepCell {
   std::size_t n = 0;
   std::size_t f = 0;
+  std::size_t dim = 1;
   AttackKind attack = AttackKind::None;
   Summary disagreement;  ///< final disagreement across seeds
   Summary dist_to_y;     ///< final max Dist-to-Y across seeds
 };
 
-/// The grid's cells in canonical (sizes-major, attacks-minor) order.
+/// The grid's cells in canonical (sizes-major, dims-middle, attacks-minor)
+/// order.
 std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config);
 
 /// Runs exactly the given cells (each across all seeds), in the given

@@ -88,6 +88,14 @@ bool cpu_supports(SimdIsa isa) {
 #endif
 }
 
+/// True once the backend has been pinned explicitly — by simd_select()
+/// or a successful FTMAO_ISA override. Width-aware auto-dispatch
+/// (simd_kernels_for_lanes) defers to the pinned table when set.
+std::atomic<bool>& explicit_override_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
 /// First selection: FTMAO_ISA override (with fallback warning) or cpuid.
 const SimdKernels* initial_backend() {
   if (const char* env = std::getenv("FTMAO_ISA");
@@ -96,7 +104,10 @@ const SimdKernels* initial_backend() {
     for (SimdIsa isa : kAllIsas) {
       if (std::strcmp(env, simd_isa_name(isa)) == 0) {
         known = true;
-        if (simd_supported(isa)) return backend_or_null(isa);
+        if (simd_supported(isa)) {
+          explicit_override_flag().store(true, std::memory_order_release);
+          return backend_or_null(isa);
+        }
       }
     }
     std::fprintf(stderr,
@@ -158,10 +169,31 @@ const SimdKernels& simd_kernels() {
   return *table;
 }
 
+SimdIsa simd_detect_for_lanes(std::size_t lanes) {
+  if (lanes == 0) return simd_detect();
+  SimdIsa best = SimdIsa::kScalar;
+  for (SimdIsa isa : kAllIsas) {
+    if (!simd_supported(isa)) continue;
+    const std::size_t w = backend_or_null(isa)->width;
+    const std::size_t waste = (lanes + w - 1) / w * w - lanes;
+    if (2 * waste < w) best = isa;
+  }
+  return best;
+}
+
+const SimdKernels& simd_kernels_for_lanes(std::size_t lanes) {
+  // Resolve the active table first: the first call runs initial_backend(),
+  // which is what latches a successful FTMAO_ISA override.
+  const SimdKernels& active = simd_kernels();
+  if (explicit_override_flag().load(std::memory_order_acquire)) return active;
+  return simd_kernels_for(simd_detect_for_lanes(lanes));
+}
+
 SimdIsa simd_active() { return simd_kernels().isa; }
 
 bool simd_select(SimdIsa isa) {
   if (!simd_supported(isa)) return false;
+  explicit_override_flag().store(true, std::memory_order_release);
   active_slot().store(&simd_kernels_for(isa), std::memory_order_release);
   return true;
 }

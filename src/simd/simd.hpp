@@ -145,6 +145,20 @@ bool simd_supported(SimdIsa isa);
 /// The best supported backend per cpuid (ignores overrides).
 SimdIsa simd_detect();
 
+/// Width-aware detection for a batched workload with `lanes` useful
+/// lanes per row: the widest supported backend whose register width
+/// does not waste half or more of its lanes on row-tail padding, i.e.
+/// the widest width w with
+///
+///   2 * (roundup(lanes, w) - lanes) < w.
+///
+/// A backend that pads a 3-lane row to 8 spends most of each register
+/// on dead lanes and loses to a narrower tier on real batches (the
+/// measured "avx512-auto slower at seeds=3" regression); this rule
+/// keeps auto-dispatch on the widest backend that stays mostly busy.
+/// lanes == 0 means "width unknown" and degrades to simd_detect().
+SimdIsa simd_detect_for_lanes(std::size_t lanes);
+
 /// The kernel table for a specific backend. Requires simd_supported(isa).
 const SimdKernels& simd_kernels_for(SimdIsa isa);
 
@@ -153,6 +167,14 @@ const SimdKernels& simd_kernels_for(SimdIsa isa);
 /// warn on stderr and fall back) else simd_detect(). Subsequent calls
 /// are a single atomic load.
 const SimdKernels& simd_kernels();
+
+/// The kernel table a batched engine should use for rows of `lanes`
+/// useful lanes. An explicit override — a prior simd_select() call or a
+/// successful FTMAO_ISA environment override — always wins (forced-ISA
+/// tests and --isa depend on that); otherwise this is
+/// simd_kernels_for(simd_detect_for_lanes(lanes)). Engines capture the
+/// table once per run, so a later simd_select affects only new runs.
+const SimdKernels& simd_kernels_for_lanes(std::size_t lanes);
 
 /// The active backend's ISA tier.
 SimdIsa simd_active();

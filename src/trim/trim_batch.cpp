@@ -51,10 +51,10 @@ network_table() {
 // branchless lanewise conditional swap of two contiguous slot rows. (The
 // conditional swap — not min/max — is what keeps signed-zero multisets
 // intact and all backends bit-identical; see simd/simd.hpp.)
-void sort_columns_network(double* data, std::size_t n, std::size_t batch) {
+void sort_columns_network(double* data, std::size_t n, std::size_t batch,
+                          const SimdKernels& kernels) {
   const auto network = sorting_network(n);
-  simd_kernels().sort_network(data, batch, network.data(), network.size(),
-                              batch);
+  kernels.sort_network(data, batch, network.data(), network.size(), batch);
 }
 
 void sort_columns_fallback(double* data, std::size_t n, std::size_t batch) {
@@ -74,10 +74,15 @@ std::span<const ComparatorPair> sorting_network(std::size_t n) {
 }
 
 void sort_columns(double* data, std::size_t n, std::size_t batch) {
+  sort_columns(data, n, batch, simd_kernels());
+}
+
+void sort_columns(double* data, std::size_t n, std::size_t batch,
+                  const SimdKernels& kernels) {
   FTMAO_EXPECTS(data != nullptr || n * batch == 0);
   if (n < 2 || batch == 0) return;
   if (n <= kMaxSortingNetworkN) {
-    sort_columns_network(data, n, batch);
+    sort_columns_network(data, n, batch, kernels);
   } else {
     sort_columns_fallback(data, n, batch);
   }
@@ -85,6 +90,12 @@ void sort_columns(double* data, std::size_t n, std::size_t batch) {
 
 void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
                 double* out_value, double* out_y_s, double* out_y_l) {
+  trim_batch(data, n, batch, f, simd_kernels(), out_value, out_y_s, out_y_l);
+}
+
+void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
+                const SimdKernels& kernels, double* out_value, double* out_y_s,
+                double* out_y_l) {
   FTMAO_EXPECTS(n >= 2 * f + 1);
   FTMAO_EXPECTS(out_value != nullptr);
   if (batch == 0) return;
@@ -107,24 +118,29 @@ void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
     return;
   }
 
-  if (n >= 2) sort_columns_network(data, n, batch);
+  if (n >= 2) sort_columns_network(data, n, batch, kernels);
   const double* ys_row = data + f * batch;
   const double* yl_row = data + (n - 1 - f) * batch;
-  simd_kernels().trim_midpoint(ys_row, yl_row, out_value, batch);
+  kernels.trim_midpoint(ys_row, yl_row, out_value, batch);
   if (out_y_s) std::copy(ys_row, ys_row + batch, out_y_s);
   if (out_y_l) std::copy(yl_row, yl_row + batch, out_y_l);
 }
 
 void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
                         std::size_t f, double* out_mean) {
+  trimmed_mean_batch(data, n, batch, f, simd_kernels(), out_mean);
+}
+
+void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
+                        std::size_t f, const SimdKernels& kernels,
+                        double* out_mean) {
   FTMAO_EXPECTS(n >= 2 * f + 1);
   FTMAO_EXPECTS(out_mean != nullptr);
   if (batch == 0) return;
 
-  sort_columns(data, n, batch);
+  sort_columns(data, n, batch, kernels);
   const std::size_t surviving = n - 2 * f;
   const double inv = static_cast<double>(surviving);
-  const SimdKernels& kernels = simd_kernels();
   for (std::size_t r = 0; r < batch; ++r) out_mean[r] = 0.0;
   // Ascending-row accumulation = the scalar path's sorted-order sum, so
   // the floating-point result matches trimmed_mean() bit for bit (the

@@ -54,6 +54,15 @@ std::span<const ComparatorPair> sorting_network(std::size_t n);
 /// statistics.
 void sort_columns(double* data, std::size_t n, std::size_t batch);
 
+/// As above, but executed on a caller-chosen kernel table. The batched
+/// engines pass the width-aware table they captured at construction
+/// (simd_kernels_for_lanes) so the trim kernels run on the same backend
+/// as the rest of the run; the table-less overloads use the process-wide
+/// simd_kernels(). Results are bit-identical for every table (the SIMD
+/// determinism contract), so the choice is purely a throughput knob.
+void sort_columns(double* data, std::size_t n, std::size_t batch,
+                  const SimdKernels& kernels);
+
 /// Batched Trim (paper Section 4): for each replica r, drop the f smallest
 /// and f largest of its n entries and write the midpoint of the surviving
 /// extremes to out_value[r]. Optionally reports the surviving extremes
@@ -64,6 +73,11 @@ void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
                 double* out_value, double* out_y_s = nullptr,
                 double* out_y_l = nullptr);
 
+/// Kernel-table overload (see sort_columns above).
+void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
+                const SimdKernels& kernels, double* out_value,
+                double* out_y_s = nullptr, double* out_y_l = nullptr);
+
 /// Batched trimmed mean: mean of the surviving values after dropping the f
 /// smallest and f largest, per replica. Destroys `data`. Requires
 /// n >= 2f + 1. Bit-identical to trimmed_mean() applied per replica (the
@@ -71,5 +85,10 @@ void trim_batch(double* data, std::size_t n, std::size_t batch, std::size_t f,
 /// path).
 void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
                         std::size_t f, double* out_mean);
+
+/// Kernel-table overload (see sort_columns above).
+void trimmed_mean_batch(double* data, std::size_t n, std::size_t batch,
+                        std::size_t f, const SimdKernels& kernels,
+                        double* out_mean);
 
 }  // namespace ftmao

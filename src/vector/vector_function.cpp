@@ -40,11 +40,16 @@ double SeparableHuber::value(const Vec& x) const {
 }
 
 Vec SeparableHuber::gradient(const Vec& x) const {
-  FTMAO_EXPECTS(x.dim() == dim());
   Vec g(dim());
-  for (std::size_t k = 0; k < dim(); ++k)
-    g[k] = scale_ * huber_slope(x[k] - center_[k], delta_);
+  gradient_into(x, g);
   return g;
+}
+
+void SeparableHuber::gradient_into(const Vec& x, Vec& out) const {
+  FTMAO_EXPECTS(x.dim() == dim());
+  FTMAO_EXPECTS(out.dim() == dim());
+  for (std::size_t k = 0; k < dim(); ++k)
+    out[k] = scale_ * huber_slope(x[k] - center_[k], delta_);
 }
 
 double SeparableHuber::gradient_bound() const {
@@ -102,6 +107,33 @@ Vec DirectionalHuber::gradient(const Vec& x) const {
 }
 
 Vec DirectionalHuber::a_minimizer() const { return offset_ * direction_; }
+
+// --------------------------------------------------------- ScalarAsVector
+
+ScalarAsVector::ScalarAsVector(ScalarFunctionPtr f) : scalar_(std::move(f)) {
+  FTMAO_EXPECTS(scalar_ != nullptr);
+}
+
+double ScalarAsVector::value(const Vec& x) const {
+  FTMAO_EXPECTS(x.dim() == 1);
+  return scalar_->value(x[0]);
+}
+
+Vec ScalarAsVector::gradient(const Vec& x) const {
+  Vec g(1);
+  gradient_into(x, g);
+  return g;
+}
+
+void ScalarAsVector::gradient_into(const Vec& x, Vec& out) const {
+  FTMAO_EXPECTS(x.dim() == 1);
+  FTMAO_EXPECTS(out.dim() == 1);
+  out[0] = scalar_->derivative(x[0]);
+}
+
+Vec ScalarAsVector::a_minimizer() const {
+  return Vec(1, scalar_->argmin().midpoint());
+}
 
 // ------------------------------------------------------ VectorWeightedSum
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "func/scalar_function.hpp"
 #include "vector/vec.hpp"
 
 namespace ftmao {
@@ -17,6 +18,13 @@ class VectorFunction {
   virtual std::size_t dim() const = 0;
   virtual double value(const Vec& x) const = 0;
   virtual Vec gradient(const Vec& x) const = 0;
+
+  /// Writes gradient(x) into `out` (dim() coordinates) without
+  /// allocating. Bit-identical to gradient() — the batched vector engine
+  /// calls this once per agent per round in its hot loop. The default
+  /// delegates to gradient(); allocation-free overrides must perform the
+  /// exact same arithmetic per coordinate.
+  virtual void gradient_into(const Vec& x, Vec& out) const { out = gradient(x); }
 
   /// L with ||grad||_2 <= L everywhere.
   virtual double gradient_bound() const = 0;
@@ -37,6 +45,7 @@ class SeparableHuber final : public VectorFunction {
   std::size_t dim() const override { return center_.dim(); }
   double value(const Vec& x) const override;
   Vec gradient(const Vec& x) const override;
+  void gradient_into(const Vec& x, Vec& out) const override;
   double gradient_bound() const override;
   Vec a_minimizer() const override { return center_; }
 
@@ -85,6 +94,28 @@ class DirectionalHuber final : public VectorFunction {
   double offset_;
   double delta_;
   double scale_;
+};
+
+/// A scalar admissible cost viewed as a 1-dimensional vector cost — the
+/// bridge for the d=1 collapse: a vector-SBG run over ScalarAsVector
+/// wrappers performs coordinate arithmetic identical to the scalar
+/// engine over the wrapped functions.
+class ScalarAsVector final : public VectorFunction {
+ public:
+  explicit ScalarAsVector(ScalarFunctionPtr f);
+
+  std::size_t dim() const override { return 1; }
+  double value(const Vec& x) const override;
+  Vec gradient(const Vec& x) const override;
+  void gradient_into(const Vec& x, Vec& out) const override;
+  double gradient_bound() const override { return scalar_->gradient_bound(); }
+  /// Midpoint of the scalar argmin interval.
+  Vec a_minimizer() const override;
+
+  const ScalarFunctionPtr& scalar() const { return scalar_; }
+
+ private:
+  ScalarFunctionPtr scalar_;
 };
 
 /// Non-negative weighted sum.

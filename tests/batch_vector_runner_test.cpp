@@ -1,0 +1,297 @@
+// Bit-identity tests for the batched vector engine (sim/batch_vector
+// _runner): run_vector_sbg_batch must produce exactly the VectorRunResult
+// run_vector_scenario produces per replica — every series entry, final
+// state coordinate, and the failure-free optimum — compared bitwise, for
+// whichever SIMD backend the FTMAO_ISA matrix selects. Also pins the
+// dim == 1 collapse onto the scalar batched engine via ScalarAsVector.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "func/functions.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/batch_vector_runner.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "sim/vector_scenario.hpp"
+#include "vector/vector_function.hpp"
+
+namespace ftmao {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+void expect_series_bits(const Series& a, const Series& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(bits(a[i]), bits(b[i]))
+        << what << " diverges at index " << i << ": " << a[i] << " vs "
+        << b[i];
+}
+
+void expect_vec_bits(const Vec& a, const Vec& b, const char* what) {
+  ASSERT_EQ(a.dim(), b.dim()) << what;
+  for (std::size_t k = 0; k < a.dim(); ++k)
+    ASSERT_EQ(bits(a[k]), bits(b[k]))
+        << what << " diverges at coordinate " << k << ": " << a[k] << " vs "
+        << b[k];
+}
+
+void expect_result_identical(const VectorRunResult& scalar,
+                             const VectorRunResult& batched) {
+  expect_series_bits(scalar.disagreement, batched.disagreement,
+                     "disagreement");
+  expect_series_bits(scalar.dist_to_average_optimum,
+                     batched.dist_to_average_optimum,
+                     "dist_to_average_optimum");
+  expect_vec_bits(scalar.failure_free_optimum, batched.failure_free_optimum,
+                  "failure_free_optimum");
+  ASSERT_EQ(scalar.final_states.size(), batched.final_states.size());
+  for (std::size_t j = 0; j < scalar.final_states.size(); ++j)
+    expect_vec_bits(scalar.final_states[j], batched.final_states[j],
+                    "final_states");
+}
+
+void expect_batch_matches_scalar(const std::vector<VectorScenario>& replicas) {
+  const std::vector<VectorRunResult> batched = run_vector_sbg_batch(replicas);
+  ASSERT_EQ(batched.size(), replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    SCOPED_TRACE("replica " + std::to_string(i));
+    expect_result_identical(run_vector_scenario(replicas[i]), batched[i]);
+  }
+}
+
+std::vector<VectorScenario> seed_axis(std::size_t n, std::size_t f,
+                                      std::size_t dim, AttackKind kind,
+                                      std::size_t rounds, std::size_t seeds) {
+  std::vector<VectorScenario> replicas;
+  for (std::size_t s = 0; s < seeds; ++s)
+    replicas.push_back(make_standard_vector_scenario(n, f, 8.0, kind, rounds,
+                                                     1 + s, dim));
+  return replicas;
+}
+
+TEST(BatchVectorRunner, EveryAttackKindMatchesScalar) {
+  // Covers the shared-trims fast path (recipient-independent strategies),
+  // the per-recipient slow path (SplitBrain), per-replica RNG streams
+  // (RandomNoise), and the round-dependent strategies.
+  for (AttackKind kind :
+       {AttackKind::None, AttackKind::Silent, AttackKind::FixedValue,
+        AttackKind::SplitBrain, AttackKind::HullEdgeUp,
+        AttackKind::HullEdgeDown, AttackKind::RandomNoise,
+        AttackKind::SignFlip, AttackKind::PullToTarget, AttackKind::FlipFlop,
+        AttackKind::DelayedStrike}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    expect_batch_matches_scalar(seed_axis(7, 2, 2, kind, 40, 3));
+  }
+}
+
+TEST(BatchVectorRunner, LaneBoundaryDimsMatchScalar) {
+  // d = 7 / 8 / 9 straddle the widest register width; d = 1 with B = 1 is
+  // the minimal single-lane batch. SplitBrain keeps the per-recipient
+  // (non-uniform) path exercised at every width.
+  for (std::size_t dim : {1u, 2u, 7u, 8u, 9u}) {
+    for (std::size_t seeds : {1u, 3u}) {
+      SCOPED_TRACE("dim=" + std::to_string(dim) +
+                   " seeds=" + std::to_string(seeds));
+      expect_batch_matches_scalar(
+          seed_axis(7, 2, dim, AttackKind::SplitBrain, 30, seeds));
+      expect_batch_matches_scalar(
+          seed_axis(7, 2, dim, AttackKind::SignFlip, 30, seeds));
+    }
+  }
+}
+
+TEST(BatchVectorRunner, ConstraintDefaultsAndPartialByzMatchScalar) {
+  auto replicas = seed_axis(7, 2, 3, AttackKind::Silent, 40, 3);
+  for (VectorScenario& s : replicas) {
+    s.constraint = {Interval{-3.0, 3.0}, Interval{-1.5, 2.5},
+                    Interval{0.0, 4.0}};
+    s.default_payload = VecPayload{Vec{1.5, -0.5, 2.0}, Vec{-0.25, 0.5, 0.0}};
+    // Fewer actual faults than the f budget: one Byzantine slot becomes a
+    // sixth honest agent.
+    s.byzantine_count = 1;
+    s.honest_costs.push_back(
+        std::make_shared<SeparableHuber>(Vec{1.0, -1.0, 0.5}, 1.0, 1.0));
+    s.honest_initial.push_back(Vec{1.0, -1.0, 0.5});
+  }
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchVectorRunner, HeterogeneousReplicasMatchScalar) {
+  // Same shape (n, f, dim, rounds, byzantine_count), everything else
+  // different per replica: attack, step schedule, seed, constraint,
+  // default payload. Forces the non-uniform payload path in mixed rounds.
+  auto replicas = seed_axis(7, 2, 4, AttackKind::None, 30, 4);
+  replicas[1].attack.kind = AttackKind::PullToTarget;
+  replicas[1].attack.target = -11.0;
+  replicas[1].step.kind = StepKind::Power;
+  replicas[2].attack.kind = AttackKind::RandomNoise;
+  replicas[2].default_payload =
+      VecPayload{Vec{1.5, -0.5, 0.25, -0.125}, Vec{0.5, -0.5, 0.5, -0.5}};
+  replicas[3].attack.kind = AttackKind::SplitBrain;
+  replicas[3].constraint = {Interval{-6.0, 6.0}, Interval{-6.0, 6.0},
+                            Interval{-6.0, 6.0}, Interval{-6.0, 6.0}};
+  replicas[3].seed = 99;
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchVectorRunner, SpecialValuesMatchScalar) {
+  // Signed zeros, denormals, and huge coordinates flow through the trim
+  // networks and fused step with the same bits on every backend.
+  std::vector<VectorScenario> replicas;
+  for (std::uint64_t seed : {1u, 2u}) {
+    VectorScenario s;
+    s.n = 7;
+    s.f = 2;
+    s.dim = 3;
+    s.byzantine_count = 2;
+    s.attack.kind = AttackKind::FixedValue;
+    s.attack.state_magnitude = 1e300;
+    s.attack.gradient_magnitude = 5e-324;  // denormal payload gradient
+    s.rounds = 25;
+    s.seed = seed;
+    s.default_payload = VecPayload{Vec{-0.0, 0.0, -0.0}, Vec{0.0, -0.0, 0.0}};
+    const double denormal = std::numeric_limits<double>::denorm_min();
+    const std::vector<Vec> centers = {Vec{-0.0, 1.0, -1.0},
+                                      Vec{denormal, -denormal, 0.0},
+                                      Vec{4.0, -4.0, 1e8},
+                                      Vec{-2.0, 2.0, -1e8},
+                                      Vec{0.5, -0.5, 0.25}};
+    for (const Vec& c : centers) {
+      s.honest_costs.push_back(std::make_shared<SeparableHuber>(c, 0.5, 1.0));
+      s.honest_initial.push_back(c);
+    }
+    replicas.push_back(std::move(s));
+  }
+  expect_batch_matches_scalar(replicas);
+}
+
+TEST(BatchVectorRunner, DimOneCollapsesOntoScalarBatchEngine) {
+  // The same population expressed as dim-1 vector scenarios (scalar costs
+  // wrapped in ScalarAsVector) and as scalar Scenarios must land on
+  // bitwise-identical final states through their respective batched
+  // engines. Restricted to attacks whose payloads do not depend on the
+  // adversary RNG stream or per-sender instancing (the two engines seed
+  // their adversaries differently).
+  constexpr std::size_t kN = 7, kF = 2, kRounds = 50;
+  for (AttackKind kind :
+       {AttackKind::Silent, AttackKind::FixedValue, AttackKind::SplitBrain,
+        AttackKind::SignFlip, AttackKind::PullToTarget}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    std::vector<Scenario> scalar_replicas;
+    std::vector<VectorScenario> vector_replicas;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      Scenario s;
+      s.n = kN;
+      s.f = kF;
+      for (std::size_t b = 0; b < kF; ++b) s.faulty.push_back(kN - 1 - b);
+      VectorScenario v;
+      v.n = kN;
+      v.f = kF;
+      v.dim = 1;
+      v.byzantine_count = kF;
+      for (std::size_t i = 0; i < kN; ++i) {
+        const double center =
+            -4.0 + 8.0 * static_cast<double>(i) / static_cast<double>(kN - 1);
+        auto cost = std::make_shared<Huber>(center, 2.0, 1.0);
+        s.functions.push_back(cost);
+        s.initial_states.push_back(center);
+        if (i < kN - kF) {
+          v.honest_costs.push_back(std::make_shared<ScalarAsVector>(cost));
+          v.honest_initial.push_back(Vec(1, center));
+        }
+      }
+      s.attack.kind = kind;
+      s.rounds = kRounds;
+      s.seed = seed;
+      v.attack.kind = kind;
+      v.rounds = kRounds;
+      v.seed = seed;
+      scalar_replicas.push_back(std::move(s));
+      vector_replicas.push_back(std::move(v));
+    }
+    const std::vector<RunMetrics> scalar = run_sbg_batch(scalar_replicas);
+    const std::vector<VectorRunResult> vector =
+        run_vector_sbg_batch(vector_replicas);
+    ASSERT_EQ(scalar.size(), vector.size());
+    for (std::size_t r = 0; r < scalar.size(); ++r) {
+      SCOPED_TRACE("replica " + std::to_string(r));
+      ASSERT_EQ(scalar[r].final_states.size(), vector[r].final_states.size());
+      for (std::size_t j = 0; j < scalar[r].final_states.size(); ++j) {
+        ASSERT_EQ(vector[r].final_states[j].dim(), 1u);
+        ASSERT_EQ(bits(scalar[r].final_states[j]),
+                  bits(vector[r].final_states[j][0]))
+            << "agent " << j;
+      }
+    }
+  }
+}
+
+TEST(BatchVectorRunner, MismatchedShapeThrows) {
+  std::vector<VectorScenario> replicas =
+      seed_axis(7, 2, 2, AttackKind::None, 10, 1);
+  replicas.push_back(
+      make_standard_vector_scenario(7, 2, 8.0, AttackKind::None, 10, 2, 3));
+  EXPECT_THROW(run_vector_sbg_batch(replicas), ContractViolation);
+}
+
+TEST(BatchVectorRunner, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(run_vector_sbg_batch({}).empty());
+}
+
+TEST(SweepVector, DimAxisEnumeratesDimsMiddle) {
+  SweepConfig config;
+  config.sizes = {{7, 2}, {10, 3}};
+  config.dims = {1, 4};
+  config.attacks = {AttackKind::Silent, AttackKind::SignFlip};
+  config.seeds = {1};
+  const auto specs = sweep_cell_specs(config);
+  ASSERT_EQ(specs.size(), 8u);
+  // sizes-major, dims-middle, attacks-minor.
+  EXPECT_EQ(specs[0], (CellSpec{7, 2, 1, AttackKind::Silent}));
+  EXPECT_EQ(specs[1], (CellSpec{7, 2, 1, AttackKind::SignFlip}));
+  EXPECT_EQ(specs[2], (CellSpec{7, 2, 4, AttackKind::Silent}));
+  EXPECT_EQ(specs[3], (CellSpec{7, 2, 4, AttackKind::SignFlip}));
+  EXPECT_EQ(specs[4], (CellSpec{10, 3, 1, AttackKind::Silent}));
+}
+
+TEST(SweepVector, CsvIdenticalAcrossEnginesAndBatchSizes) {
+  // The --dim grid axis routes d >= 2 cells through the vector engines;
+  // the CSV must be bit-identical between the scalar reference path and
+  // the batched path at every batch size, with dim = 1 rows untouched.
+  SweepConfig config;
+  config.sizes = {{7, 2}};
+  config.dims = {1, 2, 8};
+  config.attacks = {AttackKind::SplitBrain, AttackKind::SignFlip};
+  config.seeds = {1, 2, 3};
+  config.rounds = 60;
+
+  config.scalar_engine = true;
+  const std::string reference = sweep_to_csv(run_sweep(config));
+  config.scalar_engine = false;
+  for (std::size_t batch_size : {0u, 1u, 2u}) {
+    config.batch_size = batch_size;
+    EXPECT_EQ(reference, sweep_to_csv(run_sweep(config)))
+        << "batch_size=" << batch_size;
+  }
+}
+
+TEST(SweepVector, AsyncEngineRejectsVectorDims) {
+  SweepConfig config;
+  config.sizes = {{11, 2}};
+  config.dims = {2};
+  config.attacks = {AttackKind::Silent};
+  config.seeds = {1};
+  config.async_engine = true;
+  EXPECT_THROW(config.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftmao

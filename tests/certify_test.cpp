@@ -13,21 +13,26 @@ TEST(Certify, StandardSystemPasses) {
   options.rounds = 1500;
   const CertificationReport report = certify_sbg(options);
   EXPECT_TRUE(report.passed);
-  ASSERT_EQ(report.checks.size(), 8u);
+  ASSERT_EQ(report.checks.size(), 10u);
   for (const auto& check : report.checks)
     EXPECT_TRUE(check.passed) << check.name << ": " << check.detail;
   EXPECT_EQ(report.checks[5].name, "async-consensus");
   EXPECT_EQ(report.checks[6].name, "async-optimality");
+  EXPECT_EQ(report.checks[7].name, "vector-consensus");
+  EXPECT_EQ(report.checks[8].name, "vector-optimality");
 }
 
-TEST(Certify, AsyncSectionCanBeDisabled) {
+TEST(Certify, AsyncAndVectorSectionsCanBeDisabled) {
   CertifyOptions options;
   options.rounds = 300;
   options.async_rounds = 0;
+  options.vector_rounds = 0;
   const CertificationReport report = certify_sbg(options);
   ASSERT_EQ(report.checks.size(), 6u);
-  for (const auto& check : report.checks)
+  for (const auto& check : report.checks) {
     EXPECT_TRUE(check.name.find("async") == std::string::npos) << check.name;
+    EXPECT_TRUE(check.name.find("vector") == std::string::npos) << check.name;
+  }
 }
 
 TEST(Certify, TightResilienceBoundPasses) {
@@ -35,7 +40,8 @@ TEST(Certify, TightResilienceBoundPasses) {
   options.n = 4;
   options.f = 1;
   options.rounds = 2000;
-  options.async_rounds = 0;  // the sync resilience edge is the subject here
+  options.async_rounds = 0;   // the sync resilience edge is the subject here
+  options.vector_rounds = 0;  // (vector/async sections have their own tests)
   const CertificationReport report = certify_sbg(options);
   EXPECT_TRUE(report.passed);
 }
@@ -45,6 +51,7 @@ TEST(Certify, UnreasonableEpsilonFails) {
   options.rounds = 50;            // far too short...
   options.consensus_eps = 1e-12;  // ...for an absurd acceptance threshold
   options.async_rounds = 0;
+  options.vector_rounds = 0;
   const CertificationReport report = certify_sbg(options);
   EXPECT_FALSE(report.passed);
   // Specifically the consensus check must be the failure.
@@ -62,6 +69,7 @@ TEST(Certify, Deterministic) {
   CertifyOptions options;
   options.rounds = 500;
   options.async_rounds = 200;
+  options.vector_rounds = 200;
   const auto a = certify_sbg(options);
   const auto b = certify_sbg(options);
   ASSERT_EQ(a.checks.size(), b.checks.size());

@@ -96,6 +96,64 @@ TEST(SimdDispatch, DetectedBackendIsSupported) {
   EXPECT_EQ(simd_kernels().isa, simd_active());
 }
 
+TEST(SimdDispatch, WidthAwareDetectObeysWasteRule) {
+  // simd_detect_for_lanes picks the widest supported backend whose padded
+  // waste stays under half a register: 2 * (roundup(L, w) - L) < w. Zero
+  // lanes means "unknown", which falls back to plain detection.
+  EXPECT_EQ(simd_detect_for_lanes(0), simd_detect());
+  for (std::size_t lanes = 1; lanes <= 40; ++lanes) {
+    const SimdIsa picked = simd_detect_for_lanes(lanes);
+    EXPECT_TRUE(simd_supported(picked)) << "lanes=" << lanes;
+    const std::size_t w = simd_kernels_for(picked).width;
+    const std::size_t waste = (lanes + w - 1) / w * w - lanes;
+    EXPECT_TRUE(picked == SimdIsa::kScalar || 2 * waste < w)
+        << "lanes=" << lanes;
+    // No wider supported backend also satisfies the rule.
+    for (const SimdIsa isa : simd_compiled()) {
+      if (!simd_supported(isa)) continue;
+      const std::size_t w2 = simd_kernels_for(isa).width;
+      if (w2 <= w) continue;
+      const std::size_t waste2 = (lanes + w2 - 1) / w2 * w2 - lanes;
+      EXPECT_FALSE(2 * waste2 < w2) << "lanes=" << lanes << " skipped wider "
+                                    << simd_isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdDispatch, WidthAwareDetectKnownLaneCounts) {
+  // One lane can never fill more than half of any vector register.
+  EXPECT_EQ(simd_detect_for_lanes(1), SimdIsa::kScalar);
+  if (simd_supported(SimdIsa::kSse2)) {
+    // Two lanes exactly fill SSE2; AVX2 would waste half its register.
+    EXPECT_EQ(simd_detect_for_lanes(2), SimdIsa::kSse2);
+  }
+  if (simd_supported(SimdIsa::kAvx2)) {
+    // Three lanes: SSE2 pads one of two (half wasted, rejected), AVX2
+    // pads one of four (accepted). Four lanes fill AVX2 exactly; an
+    // AVX-512 register would run half empty, so AVX2 wins even when
+    // AVX-512 is supported — the seeds=3 scalar-batch regression.
+    EXPECT_EQ(simd_detect_for_lanes(3), SimdIsa::kAvx2);
+    EXPECT_EQ(simd_detect_for_lanes(4), SimdIsa::kAvx2);
+  }
+  if (simd_supported(SimdIsa::kAvx512)) {
+    // Five lanes pad three of eight (under half), and multiples of eight
+    // fill AVX-512 exactly — e.g. the d=8, B=3 vector batch (24 lanes).
+    EXPECT_EQ(simd_detect_for_lanes(5), SimdIsa::kAvx512);
+    EXPECT_EQ(simd_detect_for_lanes(8), SimdIsa::kAvx512);
+    EXPECT_EQ(simd_detect_for_lanes(24), SimdIsa::kAvx512);
+  }
+}
+
+TEST(SimdDispatch, KernelsForLanesHonoursExplicitOverride) {
+  // Once an explicit selection is made (simd_select or a successful
+  // FTMAO_ISA override), width-aware auto-dispatch defers to it.
+  const SimdIsa prev = simd_active();
+  ASSERT_TRUE(simd_select(SimdIsa::kScalar));
+  EXPECT_EQ(simd_kernels_for_lanes(64).isa, SimdIsa::kScalar);
+  ASSERT_TRUE(simd_select(prev));
+  EXPECT_EQ(simd_kernels_for_lanes(64).isa, prev);
+}
+
 TEST(SimdDispatch, ParseIsaNames) {
   EXPECT_EQ(parse_simd_isa("scalar"), SimdIsa::kScalar);
   EXPECT_EQ(parse_simd_isa("sse2"), SimdIsa::kSse2);

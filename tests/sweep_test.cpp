@@ -51,7 +51,7 @@ TEST(Sweep, Deterministic) {
 TEST(Sweep, CsvShape) {
   const auto cells = run_sweep(small_config());
   const std::string csv = sweep_to_csv(cells);
-  EXPECT_EQ(csv.rfind("n,f,attack,seeds,dist_count,", 0), 0u);
+  EXPECT_EQ(csv.rfind("n,f,dim,attack,seeds,dist_count,", 0), 0u);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
             static_cast<long>(cells.size()) + 1);
   EXPECT_NE(csv.find("split-brain"), std::string::npos);
@@ -65,7 +65,7 @@ TEST(Sweep, CsvHandlesEmptyCells) {
   empty.f = 2;
   empty.attack = AttackKind::Silent;
   const std::string csv = sweep_to_csv({empty});
-  EXPECT_NE(csv.find("7,2,silent,0,0,0,0,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("7,2,1,silent,0,0,0,0,0,0"), std::string::npos);
 }
 
 TEST(Sweep, ValidationCatchesBadGrid) {
