@@ -5,17 +5,21 @@
 //   ftmao_certify --n 7 --f 2           # exit code 0 iff everything holds
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
 #include "common/table.hpp"
 #include "sim/certify.hpp"
 #include "simd/simd.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftmao;
-  cli::ArgParser parser({
+  std::vector<cli::FlagSpec> specs = {
       {"n", "total number of agents", "7", false},
       {"f", "fault bound (n > 3f)", "2", false},
       {"rounds", "iterations per run", "4000", false},
@@ -23,12 +27,6 @@ int main(int argc, char** argv) {
       {"spread", "cost-optima layout width", "8", false},
       {"consensus-eps", "final-disagreement acceptance", "0.05", false},
       {"optimality-eps", "final Dist-to-Y acceptance", "0.1", false},
-      {"threads", "worker threads (0 = all cores); report is identical "
-                  "for every value", "1", false},
-      {"batch", "attacks per batched-engine call (0 = whole grid); report "
-                "is identical for every value", "0", false},
-      {"scalar", "force the scalar reference engine (one run per attack)",
-       "false", true},
       {"async-n", "agents for the asynchronous section (n > 5f)", "11",
        false},
       {"async-f", "fault bound for the asynchronous section", "2", false},
@@ -47,10 +45,11 @@ int main(int argc, char** argv) {
       {"vector-optimality-eps", "vector bounded-drift acceptance (loose on "
                                 "purpose: consensus is guaranteed, optimality "
                                 "is not)", "10.0", false},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512; "
-              "report is identical for every value", "auto", false},
       {"help", "show usage", "false", true},
-  });
+  };
+  cli::append_flags(specs, cli::engine_flag_specs("report", "attacks"));
+  cli::append_flags(specs, cli::cache_flag_specs());
+  cli::ArgParser parser(std::move(specs));
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (const auto error = parser.parse(args)) {
     std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
@@ -63,17 +62,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // "auto" keeps width-aware auto-dispatch live (the engines pick the
-    // widest backend whose register the lane count can mostly fill); any
-    // explicit name forces that backend everywhere.
-    if (parser.get("isa") != "auto") {
-      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-      if (!simd_select(isa)) {
-        std::cerr << "error: ISA '" << simd_isa_name(isa)
-                  << "' is not supported on this machine/build\n";
-        return 2;
-      }
-    }
+    if (!cli::apply_isa_flag(parser, std::cerr)) return 2;
     CertifyOptions options;
     options.n = static_cast<std::size_t>(parser.get_int("n"));
     options.f = static_cast<std::size_t>(parser.get_int("f"));
@@ -96,10 +85,15 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(parser.get_int("vector-rounds"));
     options.vector_consensus_eps = parser.get_double("vector-consensus-eps");
     options.vector_optimality_eps = parser.get_double("vector-optimality-eps");
+    const std::unique_ptr<ResultCache> cache = cli::cache_from(parser);
+    options.cache = cache.get();
 
     std::cout << "certifying SBG at n=" << options.n << ", f=" << options.f
               << " over 10 attacks, " << options.rounds << " rounds...\n\n";
     const CertificationReport report = certify_sbg(options);
+    if (cache != nullptr)
+      std::cerr << "ftmao_certify: " << cache_stats_line(cache->stats())
+                << "\n";
 
     Table table({"check", "result", "detail"});
     for (const auto& check : report.checks) {

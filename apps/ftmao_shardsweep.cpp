@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
 #include "sim/shard.hpp"
 #include "sim/shard_merge.hpp"
 #include "simd/simd.hpp"
@@ -100,7 +101,7 @@ pid_t spawn_worker(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   using namespace ftmao;
-  cli::ArgParser parser({
+  std::vector<cli::FlagSpec> specs = {
       {"sizes", "comma list of n:f pairs", "7:2,10:3,13:4", false},
       {"dim", "comma list of state dimensions (1 = scalar SBG; d >= 2 runs "
               "the coordinate-wise vector engine)", "1", false},
@@ -112,13 +113,6 @@ int main(int argc, char** argv) {
       {"step", "harmonic | power | constant", "harmonic", false},
       {"step-scale", "step size scale", "1", false},
       {"step-exp", "exponent for --step power", "0.75", false},
-      {"threads", "worker threads per shard (0 = all cores)", "1", false},
-      {"batch", "seeds per batched-engine call (0 = whole seed axis)", "0",
-       false},
-      {"scalar", "force the scalar reference engine in workers", "false",
-       true},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512",
-       "auto", false},
       {"shards", "number of worker processes to split the grid across", "4",
        false},
       {"parallel", "max concurrent workers (0 = all shards at once)", "0",
@@ -140,7 +134,10 @@ int main(int argc, char** argv) {
       {"out", "write the merged CSV to this file instead of stdout", "",
        false},
       {"help", "show usage", "false", true},
-  });
+  };
+  cli::append_flags(specs, cli::engine_flag_specs("merged output", "seeds"));
+  cli::append_flags(specs, cli::cache_flag_specs());
+  cli::ArgParser parser(std::move(specs));
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (const auto error = parser.parse(args)) {
     std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
@@ -177,10 +174,13 @@ int main(int argc, char** argv) {
       if (worker.empty()) worker = default_worker_path(argv[0]);
 
       // Flags forwarded verbatim: every worker must see the same grid so
-      // every worker computes the same partition.
+      // every worker computes the same partition. Forwarding --cache-dir
+      // warm-starts shards from a prior run's cache (each worker serves
+      // its cells from the shared directory before simulating).
       const std::vector<std::string> pass_through = {
           "sizes", "dim", "attacks",    "seeds", "rounds",   "spread", "step",
-          "step-scale", "step-exp", "threads", "batch", "isa"};
+          "step-scale", "step-exp", "threads", "batch", "isa",
+          "cache-dir", "cache-mem-mb"};
 
       auto worker_args = [&](const ShardJob& job) {
         std::vector<std::string> wargs = {worker};

@@ -14,10 +14,14 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
 #include "common/table.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/shard.hpp"
@@ -67,7 +71,7 @@ void write_file(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   using namespace ftmao;
-  cli::ArgParser parser({
+  std::vector<cli::FlagSpec> specs = {
       {"sizes", "comma list of n:f pairs", "7:2,10:3,13:4", false},
       {"dim", "comma list of state dimensions (1 = scalar SBG; d >= 2 runs "
               "the coordinate-wise vector engine)", "1", false},
@@ -79,12 +83,6 @@ int main(int argc, char** argv) {
       {"step", "harmonic | power | constant", "harmonic", false},
       {"step-scale", "step size scale", "1", false},
       {"step-exp", "exponent for --step power", "0.75", false},
-      {"threads", "worker threads (0 = all cores); output is identical "
-                  "for every value", "1", false},
-      {"batch", "seeds per batched-engine call (0 = whole seed axis); "
-                "output is identical for every value", "0", false},
-      {"scalar", "force the scalar reference engine (one run per seed)",
-       "false", true},
       {"engine", "sync | async (event-driven rounds, requires n > 5f)",
        "sync", false},
       {"delay", "async delay model: fixed | uniform | targeted-slow",
@@ -92,8 +90,6 @@ int main(int argc, char** argv) {
       {"delay-lo", "async delay lower bound (fixed delay value)", "0.5",
        false},
       {"delay-hi", "async delay upper bound (uniform model)", "1.5", false},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512; "
-              "output is identical for every value", "auto", false},
       {"shard-index", "run only this shard of the grid (< --shard-count)",
        "0", false},
       {"shard-count", "number of disjoint shards the grid is split into",
@@ -104,7 +100,10 @@ int main(int argc, char** argv) {
        "false", true},
       {"csv", "emit CSV instead of the table", "false", true},
       {"help", "show usage", "false", true},
-  });
+  };
+  cli::append_flags(specs, cli::engine_flag_specs("output", "seeds"));
+  cli::append_flags(specs, cli::cache_flag_specs());
+  cli::ArgParser parser(std::move(specs));
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (const auto error = parser.parse(args)) {
     std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
@@ -117,22 +116,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // "auto" keeps width-aware auto-dispatch live (the engines pick the
-    // widest backend whose register the lane count can mostly fill); any
-    // explicit name forces that backend everywhere.
-    if (parser.get("isa") != "auto") {
-      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-      if (!simd_select(isa)) {
-        std::cerr << "error: ISA '" << simd_isa_name(isa)
-                  << "' is not supported on this machine/build\n";
-        return 2;
-      }
-    }
+    if (!cli::apply_isa_flag(parser, std::cerr)) return 2;
     if (parser.get_bool("inject-fail")) {
       std::cerr << "ftmao_sweep: --inject-fail — exiting before the run\n";
       return 7;
     }
-    const SweepConfig config = config_from(parser);
+    SweepConfig config = config_from(parser);
+    const std::unique_ptr<ResultCache> cache = cli::cache_from(parser);
+    config.cache = cache.get();
     const auto shard_index =
         static_cast<std::size_t>(parser.get_int("shard-index"));
     const auto shard_count =
@@ -158,6 +149,10 @@ int main(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    // Counters go to stderr so --csv stdout stays byte-identical with and
+    // without a cache (and cold vs warm).
+    if (cache != nullptr)
+      std::cerr << "ftmao_sweep: " << cache_stats_line(cache->stats()) << "\n";
 
     const std::string out_path = parser.get("out");
     if (!out_path.empty()) {

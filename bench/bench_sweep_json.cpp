@@ -30,6 +30,12 @@
 // ratio — the tracked vector-batch speedup. --vector-rounds 0 skips it
 // ("vector": null).
 //
+// A `cache` block times the content-addressed result cache
+// (cache/result_cache.hpp) on the sync grid: one cold pass that fills a
+// fresh in-memory cache, then the best of --repeats warm passes served
+// entirely from it, with their runs/sec ratio (the tracked warm-path
+// speedup) and the warm-pass hit ratio (must be 1).
+//
 //   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
 //                    [--batch B] [--isa auto|scalar|sse2|avx2|avx512]
 //                    [--repeats N] [--async-rounds R] [--vector-rounds R]
@@ -44,7 +50,9 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
@@ -126,14 +134,12 @@ void emit(std::ostream& os, const Throughput& t) {
 
 int main(int argc, char** argv) {
   using namespace ftmao;
-  cli::ArgParser parser({
+  std::vector<cli::FlagSpec> specs = {
       {"rounds", "iterations per run", "1000", false},
       {"seeds", "seeds per cell (1..k)", "3", false},
       {"engine", "sweep engine: batched | scalar", "batched", false},
       {"batch", "replicas per batched-engine call (0 = whole seed axis)",
        "0", false},
-      {"isa", "SIMD lane backend: auto | scalar | sse2 | avx2 | avx512",
-       "auto", false},
       {"repeats", "grid passes per rung; best (min-time) pass is reported",
        "20", false},
       {"async-rounds", "rounds per run for the async block (0 = skip)",
@@ -143,7 +149,9 @@ int main(int argc, char** argv) {
       {"vector-dim", "state dimension for the vector block", "8", false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
-  });
+  };
+  specs.push_back(cli::isa_flag_spec("output"));
+  cli::ArgParser parser(std::move(specs));
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (const auto error = parser.parse(args)) {
     std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
@@ -174,17 +182,7 @@ int main(int argc, char** argv) {
     config.scalar_engine = engine == "scalar";
     config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
 
-    // "auto" keeps width-aware auto-dispatch live (the engines pick the
-    // widest backend whose register the lane count can mostly fill); any
-    // explicit name forces that backend everywhere.
-    if (parser.get("isa") != "auto") {
-      const SimdIsa isa = parse_simd_isa(parser.get("isa"));
-      if (!simd_select(isa)) {
-        std::cerr << "error: ISA '" << simd_isa_name(isa)
-                  << "' is not supported on this machine/build\n";
-        return 2;
-      }
-    }
+    if (!cli::apply_isa_flag(parser, std::cerr)) return 2;
 
     const auto repeats =
         static_cast<std::size_t>(std::max<std::int64_t>(
@@ -246,6 +244,32 @@ int main(int argc, char** argv) {
             ? vector_batched.runs_per_sec / vector_scalar.runs_per_sec
             : 1.0;
 
+    // Cache block: the sync grid served through a fresh in-memory
+    // ResultCache. The cold pass (one pass, lookups all miss, results
+    // inserted) is timed on its own — measure()'s min-of-repeats would
+    // blend cold and warm passes — then the warm path is the best of
+    // `repeats` all-hit passes. Their runs/sec ratio is the tracked
+    // warm-path speedup; the hit ratio over the warm passes must be 1.
+    ResultCache cache{CacheConfig{}};
+    SweepConfig cached_config = config;
+    cached_config.cache = &cache;
+    const Throughput cache_cold = measure(cached_config, 1, 1);
+    const CacheStats after_cold = cache.stats();
+    const Throughput cache_warm = measure(cached_config, 1, repeats);
+    const CacheStats after_warm = cache.stats();
+    const double cache_speedup =
+        cache_cold.runs_per_sec > 0.0
+            ? cache_warm.runs_per_sec / cache_cold.runs_per_sec
+            : 1.0;
+    const std::uint64_t warm_lookups =
+        (after_warm.hits + after_warm.misses) -
+        (after_cold.hits + after_cold.misses);
+    const double warm_hit_ratio =
+        warm_lookups > 0
+            ? static_cast<double>(after_warm.hits - after_cold.hits) /
+                  static_cast<double>(warm_lookups)
+            : 0.0;
+
     const Throughput& serial = results.front();
     double best_runs_per_sec = serial.runs_per_sec;
     for (const Throughput& t : results)
@@ -278,7 +302,13 @@ int main(int argc, char** argv) {
       os << (i + 1 < results.size() ? ",\n" : "\n");
     }
     os << "  ],\n"
-       << "  \"speedup\": " << speedup << ",\n";
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"cache\": {\n"
+       << "    \"cold_runs_per_sec\": " << cache_cold.runs_per_sec << ",\n"
+       << "    \"warm_runs_per_sec\": " << cache_warm.runs_per_sec << ",\n"
+       << "    \"speedup\": " << cache_speedup << ",\n"
+       << "    \"warm_hit_ratio\": " << warm_hit_ratio << ",\n"
+       << "    \"entries\": " << after_warm.entries << "\n  },\n";
     if (async_rounds > 0) {
       os << "  \"async\": {\n"
          << "    \"grid\": {\"sizes\": \"6:1,11:2\", "

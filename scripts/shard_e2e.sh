@@ -107,4 +107,44 @@ if ! cmp -s "$WORK/single_vec.csv" "$WORK/merged_vec.csv"; then
   exit 1
 fi
 
-echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips"
+echo "shard_e2e: cache warm-start (shared --cache-dir across two runs) ..."
+# The orchestrator forwards --cache-dir to every worker, so a second run
+# over the same grid must be served from the first run's records: every
+# worker reports hits and zero misses, and the merged CSV is still
+# byte-identical — the cache can change wall-clock, never output.
+CGRID="--sizes 7:2,10:3 --seeds 2 --rounds 400"
+# shellcheck disable=SC2086  # word-splitting of $CGRID is intended
+"$SWEEP" $CGRID --csv > "$WORK/single_cache.csv"
+# shellcheck disable=SC2086
+"$SHARDSWEEP" $CGRID --shards 2 --cache-dir "$WORK/cache" \
+  --workdir "$WORK/shards_cold" --out "$WORK/merged_cold.csv" \
+  2> "$WORK/orchestrator_cold.log"
+# shellcheck disable=SC2086
+"$SHARDSWEEP" $CGRID --shards 2 --cache-dir "$WORK/cache" \
+  --workdir "$WORK/shards_warm" --out "$WORK/merged_warm.csv" \
+  2> "$WORK/orchestrator_warm.log"
+
+if [ "$(grep -c "cache: hits=" "$WORK/orchestrator_warm.log")" -lt 2 ]; then
+  echo "shard_e2e: FAIL — warm workers did not report cache counters" >&2
+  cat "$WORK/orchestrator_warm.log" >&2
+  exit 1
+fi
+if grep "cache: hits=" "$WORK/orchestrator_warm.log" | grep -qv "misses=0 "; then
+  echo "shard_e2e: FAIL — a warm worker recomputed cells (misses != 0)" >&2
+  cat "$WORK/orchestrator_warm.log" >&2
+  exit 1
+fi
+if grep -q "cache: hits=0 " "$WORK/orchestrator_warm.log"; then
+  echo "shard_e2e: FAIL — a warm worker was not served from the cache" >&2
+  cat "$WORK/orchestrator_warm.log" >&2
+  exit 1
+fi
+
+if ! cmp -s "$WORK/single_cache.csv" "$WORK/merged_cold.csv" ||
+   ! cmp -s "$WORK/single_cache.csv" "$WORK/merged_warm.csv"; then
+  echo "shard_e2e: FAIL — cached merged CSV differs from single-process CSV" >&2
+  diff "$WORK/single_cache.csv" "$WORK/merged_warm.csv" >&2 || true
+  exit 1
+fi
+
+echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips, warm-start served from cache"

@@ -1,0 +1,62 @@
+#include "cache/cell_key.hpp"
+
+#include <charconv>
+
+namespace ftmao {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// The second 64-bit lane hashes the same bytes from a different basis;
+// xoring a fixed odd constant into the FNV offset de-correlates the two
+// streams without inventing a second hash function.
+constexpr std::uint64_t kHiBasisTweak = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t cache_hash64(const std::string& bytes, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return splitmix64(h);
+}
+
+std::string cache_canon_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("?");
+}
+
+std::string CellKey::hex() const {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+CellKey make_cell_key(const std::string& canonical_spec,
+                      std::uint64_t schema_rev) {
+  CellKey key;
+  key.spec = "rev=" + std::to_string(schema_rev) + ";" + canonical_spec;
+  key.lo = cache_hash64(key.spec, kFnvOffset);
+  key.hi = cache_hash64(key.spec, kFnvOffset ^ kHiBasisTweak);
+  return key;
+}
+
+}  // namespace ftmao

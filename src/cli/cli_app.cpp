@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "sim/async_runner.hpp"
@@ -22,7 +23,7 @@ namespace ftmao::cli {
 namespace {
 
 ArgParser make_parser() {
-  return ArgParser({
+  std::vector<FlagSpec> specs = {
       {"algorithm", "sbg | dgd | local | async | graph | crash", "sbg", false},
       {"n", "total number of agents", "7", false},
       {"f", "fault bound (n > 3f; async needs n > 5f)", "2", false},
@@ -57,7 +58,9 @@ ArgParser make_parser() {
       {"csv", "emit per-round CSV instead of the summary", "false", true},
       {"audit", "run per-iteration Lemma 2 witness audits", "false", true},
       {"help", "show usage", "false", true},
-  });
+  };
+  specs.push_back(isa_flag_spec("output"));
+  return ArgParser(std::move(specs));
 }
 
 Scenario scenario_from(const ArgParser& parser) {
@@ -276,6 +279,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   }
   try {
+    if (!apply_isa_flag(parser, err)) return 2;
     if (parser.get("algorithm") == "async") return run_async_algorithm(parser, out);
     if (parser.get("algorithm") == "graph") return run_graph_algorithm(parser, out);
     if (parser.get("algorithm") == "crash") return run_crash_algorithm(parser, out);

@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared engine-execution and result-cache CLI flags. Every tool that
+// drives the simulation engines (ftmao_sweep, ftmao_certify,
+// ftmao_shardsweep, ftmao, the benches) accepts the same --threads /
+// --batch / --scalar / --isa quartet with the same semantics and the
+// same identity promise; the sweep-family tools add --cache-dir /
+// --cache-mem-mb. Declaring them here keeps the help texts, defaults,
+// and wiring from drifting apart per binary.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+namespace ftmao {
+class ResultCache;  // cache/result_cache.hpp
+}
+
+namespace ftmao::cli {
+
+/// Appends `extra` to `specs` (parser-construction helper).
+void append_flags(std::vector<FlagSpec>& specs, std::vector<FlagSpec> extra);
+
+/// The --isa flag alone (tools that run a single scenario want backend
+/// control without the batching knobs). `subject` names the artifact the
+/// identity promise covers ("output", "report").
+FlagSpec isa_flag_spec(const std::string& subject);
+
+/// The execution-strategy quartet: --threads, --batch, --scalar, --isa.
+/// `subject` as above; `unit` names what one batched-engine call groups
+/// ("seeds", "attacks") and what the scalar engine runs one at a time.
+std::vector<FlagSpec> engine_flag_specs(const std::string& subject,
+                                        const std::string& unit);
+
+/// The result-cache pair: --cache-dir (persistent tier root; empty =
+/// caching off) and --cache-mem-mb (in-memory LRU budget).
+std::vector<FlagSpec> cache_flag_specs();
+
+/// Applies --isa: "auto" keeps width-aware auto-dispatch live (the
+/// engines pick the widest backend whose register the lane count can
+/// mostly fill); any explicit name forces that backend everywhere.
+/// Returns false (after printing to `err`) when the forced backend is
+/// unsupported on this machine/build.
+bool apply_isa_flag(const ArgParser& parser, std::ostream& err);
+
+/// The ResultCache configured by the cache flags, or nullptr when
+/// --cache-dir is empty (a one-shot process gains nothing from a private
+/// in-memory cache, so no directory means no caching).
+std::unique_ptr<ResultCache> cache_from(const ArgParser& parser);
+
+}  // namespace ftmao::cli

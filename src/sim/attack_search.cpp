@@ -2,15 +2,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
+#include <sstream>
 
+#include "cache/cell_key.hpp"
+#include "cache/result_cache.hpp"
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "func/spec.hpp"
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
+#include "sim/scenario_io.hpp"
 
 namespace ftmao {
+
+namespace {
+
+// Canonical rendering of a candidate attack config: every AttackConfig
+// field, so two candidates key identically iff the runs they induce are
+// identical. The candidate's display name is deliberately absent (it is
+// cosmetic and re-attached from the candidate list on a hit).
+std::string attack_config_spec(const AttackConfig& c) {
+  std::ostringstream os;
+  os << "kind=" << attack_kind_name(c.kind)
+     << ",smag=" << cache_canon_double(c.state_magnitude)
+     << ",gmag=" << cache_canon_double(c.gradient_magnitude)
+     << ",target=" << cache_canon_double(c.target)
+     << ",amp=" << cache_canon_double(c.amplification)
+     << ",flip=" << c.flip_period << ",act=" << c.activation_round
+     << ",consistent=" << (c.consistent ? 1 : 0);
+  return os.str();
+}
+
+// Canonical base identity for the synchronous search: the full scenario
+// file of the attack-free variant (save_scenario writes every field at
+// round-trip precision, functions in spec syntax).
+std::string sync_base_spec(const Scenario& clean) {
+  std::ostringstream os;
+  save_scenario(clean, os);
+  return os.str();
+}
+
+// Canonical base identity for the asynchronous search: every AsyncScenario
+// field except the attack (candidates supply it).
+std::string async_base_spec(const AsyncScenario& base) {
+  std::ostringstream os;
+  os << "n=" << base.n << ";f=" << base.f << ";faulty=";
+  for (std::size_t a : base.faulty) os << a << ',';
+  os << ";functions=";
+  for (const auto& fn : base.functions) os << to_spec(*fn) << '|';
+  os << ";initial=";
+  for (double x : base.initial_states) os << cache_canon_double(x) << ',';
+  os << ";step=" << step_kind_name(base.step.kind) << ':'
+     << cache_canon_double(base.step.scale) << ':'
+     << cache_canon_double(base.step.exponent) << ";rounds=" << base.rounds
+     << ";seed=" << base.seed << ";crashes=";
+  for (const auto& [agent, time] : base.crashes)
+    os << agent << '@' << cache_canon_double(time) << ',';
+  os << ";delay=" << delay_kind_name(base.delay_kind) << ':'
+     << cache_canon_double(base.delay_lo) << ':'
+     << cache_canon_double(base.delay_hi)
+     << ";slow=" << cache_canon_double(base.slow_delay) << 'x'
+     << base.slow_count;
+  return os.str();
+}
+
+}  // namespace
 
 std::vector<AttackCandidate> standard_attack_grid() {
   std::vector<AttackCandidate> grid;
@@ -59,17 +119,54 @@ std::vector<AttackCandidate> standard_attack_grid() {
 
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
-    std::size_t num_threads, std::size_t batch_size, bool scalar_engine) {
+    std::size_t num_threads, std::size_t batch_size, bool scalar_engine,
+    ResultCache* cache) {
   FTMAO_EXPECTS(!candidates.empty());
 
   Scenario clean = base;
   clean.attack = AttackConfig{};
   clean.attack.kind = AttackKind::None;
-  const RunMetrics reference = run_sbg(clean);
+  const std::string base_spec =
+      cache != nullptr ? sync_base_spec(clean) : std::string{};
 
   AttackSearchResult result;
-  result.reference_state = reference.final_states.front();
-  result.optima = reference.optima;
+
+  // Reference run (attack-free). Cached payload carries the consensus
+  // state and the Y interval bit-exactly, so bias computed against a
+  // restored reference equals bias against a recomputed one.
+  bool have_reference = false;
+  CellKey reference_key;
+  if (cache != nullptr) {
+    reference_key =
+        make_cell_key("attack-search-ref;engine=sync;base=" + base_spec);
+    if (const std::optional<std::string> payload = cache->lookup(reference_key)) {
+      try {
+        PayloadReader reader(*payload);
+        const double state = reader.get_double();
+        const double lo = reader.get_double();
+        const double hi = reader.get_double();
+        if (reader.exhausted()) {
+          result.reference_state = state;
+          result.optima = Interval(lo, hi);
+          have_reference = true;
+        }
+      } catch (const ContractViolation&) {
+        have_reference = false;
+      }
+    }
+  }
+  if (!have_reference) {
+    const RunMetrics reference = run_sbg(clean);
+    result.reference_state = reference.final_states.front();
+    result.optima = reference.optima;
+    if (cache != nullptr) {
+      PayloadWriter writer;
+      writer.put_double(result.reference_state);
+      writer.put_double(result.optima.lo());
+      writer.put_double(result.optima.hi());
+      cache->insert(reference_key, writer.bytes());
+    }
+  }
 
   // Index-addressed evaluation: outcome i always describes candidate i,
   // so the sort below sees the same array whatever the thread count or
@@ -78,18 +175,53 @@ AttackSearchResult find_strongest_attack(
   const std::size_t count = candidates.size();
   result.outcomes.resize(count);
   const double reference_state = result.reference_state;
+
+  // Cache pre-pass over the candidates; misses land on `pending` and run
+  // through the unchanged chunked loop below.
+  std::vector<std::size_t> pending(count);
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::vector<CellKey> keys;
+  if (cache != nullptr) {
+    pending.clear();
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(
+          make_cell_key("attack-search;engine=sync;base=" + base_spec +
+                        ";cand=" + attack_config_spec(candidates[i].config)));
+      bool filled = false;
+      if (const std::optional<std::string> payload = cache->lookup(keys[i])) {
+        try {
+          PayloadReader reader(*payload);
+          AttackOutcome outcome;
+          outcome.name = candidates[i].name;
+          outcome.final_state = reader.get_double();
+          outcome.dist_to_y = reader.get_double();
+          outcome.disagreement = reader.get_double();
+          if (reader.exhausted()) {
+            outcome.bias = std::abs(outcome.final_state - reference_state);
+            result.outcomes[i] = std::move(outcome);
+            filled = true;
+          }
+        } catch (const ContractViolation&) {
+          filled = false;
+        }
+      }
+      if (!filled) pending.push_back(i);
+    }
+  }
+
   const std::size_t chunk =
       scalar_engine ? 1
                     : std::min(batch_size == 0 ? count : batch_size, count);
-  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
   parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
     const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, count - first);
+    const std::size_t batch = std::min(chunk, pending.size() - first);
     std::vector<Scenario> replicas;
     replicas.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       Scenario attacked = base;
-      attacked.attack = candidates[first + i].config;
+      attacked.attack = candidates[pending[first + i]].config;
       replicas.push_back(std::move(attacked));
     }
     std::vector<RunMetrics> metrics;
@@ -100,14 +232,26 @@ AttackSearchResult find_strongest_attack(
     }
     for (std::size_t i = 0; i < batch; ++i) {
       const RunMetrics& m = metrics[i];
-      AttackOutcome& outcome = result.outcomes[first + i];
-      outcome.name = candidates[first + i].name;
+      AttackOutcome& outcome = result.outcomes[pending[first + i]];
+      outcome.name = candidates[pending[first + i]].name;
       outcome.final_state = m.final_states.front();
       outcome.bias = std::abs(outcome.final_state - reference_state);
       outcome.dist_to_y = m.final_max_dist();
       outcome.disagreement = m.final_disagreement();
     }
   });
+
+  if (cache != nullptr) {
+    for (std::size_t i : pending) {
+      const AttackOutcome& outcome = result.outcomes[i];
+      PayloadWriter writer;
+      writer.put_double(outcome.final_state);
+      writer.put_double(outcome.dist_to_y);
+      writer.put_double(outcome.disagreement);
+      cache->insert(keys[i], writer.bytes());
+    }
+  }
+
   std::sort(result.outcomes.begin(), result.outcomes.end(),
             [](const AttackOutcome& a, const AttackOutcome& b) {
               return a.bias > b.bias;
@@ -117,17 +261,51 @@ AttackSearchResult find_strongest_attack(
 
 AttackSearchResult find_strongest_attack_async(
     const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
-    std::size_t num_threads, std::size_t batch_size, bool scalar_engine) {
+    std::size_t num_threads, std::size_t batch_size, bool scalar_engine,
+    ResultCache* cache) {
   FTMAO_EXPECTS(!candidates.empty());
 
   AsyncScenario clean = base;
   clean.attack = AttackConfig{};
   clean.attack.kind = AttackKind::None;
-  const AsyncRunMetrics reference = run_async_sbg(clean);
+  const std::string base_spec =
+      cache != nullptr ? async_base_spec(base) : std::string{};
 
   AttackSearchResult result;
-  result.reference_state = reference.final_states.front();
-  result.optima = reference.optima;
+
+  bool have_reference = false;
+  CellKey reference_key;
+  if (cache != nullptr) {
+    reference_key =
+        make_cell_key("attack-search-ref;engine=async;base=" + base_spec);
+    if (const std::optional<std::string> payload = cache->lookup(reference_key)) {
+      try {
+        PayloadReader reader(*payload);
+        const double state = reader.get_double();
+        const double lo = reader.get_double();
+        const double hi = reader.get_double();
+        if (reader.exhausted()) {
+          result.reference_state = state;
+          result.optima = Interval(lo, hi);
+          have_reference = true;
+        }
+      } catch (const ContractViolation&) {
+        have_reference = false;
+      }
+    }
+  }
+  if (!have_reference) {
+    const AsyncRunMetrics reference = run_async_sbg(clean);
+    result.reference_state = reference.final_states.front();
+    result.optima = reference.optima;
+    if (cache != nullptr) {
+      PayloadWriter writer;
+      writer.put_double(result.reference_state);
+      writer.put_double(result.optima.lo());
+      writer.put_double(result.optima.hi());
+      cache->insert(reference_key, writer.bytes());
+    }
+  }
 
   // Same index-addressed contract as the synchronous search: outcome i
   // always describes candidate i, whatever the thread count, chunking, or
@@ -135,18 +313,51 @@ AttackSearchResult find_strongest_attack_async(
   const std::size_t count = candidates.size();
   result.outcomes.resize(count);
   const double reference_state = result.reference_state;
+
+  std::vector<std::size_t> pending(count);
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::vector<CellKey> keys;
+  if (cache != nullptr) {
+    pending.clear();
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(
+          make_cell_key("attack-search;engine=async;base=" + base_spec +
+                        ";cand=" + attack_config_spec(candidates[i].config)));
+      bool filled = false;
+      if (const std::optional<std::string> payload = cache->lookup(keys[i])) {
+        try {
+          PayloadReader reader(*payload);
+          AttackOutcome outcome;
+          outcome.name = candidates[i].name;
+          outcome.final_state = reader.get_double();
+          outcome.dist_to_y = reader.get_double();
+          outcome.disagreement = reader.get_double();
+          if (reader.exhausted()) {
+            outcome.bias = std::abs(outcome.final_state - reference_state);
+            result.outcomes[i] = std::move(outcome);
+            filled = true;
+          }
+        } catch (const ContractViolation&) {
+          filled = false;
+        }
+      }
+      if (!filled) pending.push_back(i);
+    }
+  }
+
   const std::size_t chunk =
       scalar_engine ? 1
                     : std::min(batch_size == 0 ? count : batch_size, count);
-  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
   parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
     const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, count - first);
+    const std::size_t batch = std::min(chunk, pending.size() - first);
     std::vector<AsyncScenario> replicas;
     replicas.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       AsyncScenario attacked = base;
-      attacked.attack = candidates[first + i].config;
+      attacked.attack = candidates[pending[first + i]].config;
       replicas.push_back(std::move(attacked));
     }
     std::vector<AsyncRunMetrics> metrics;
@@ -158,14 +369,26 @@ AttackSearchResult find_strongest_attack_async(
     }
     for (std::size_t i = 0; i < batch; ++i) {
       const AsyncRunMetrics& m = metrics[i];
-      AttackOutcome& outcome = result.outcomes[first + i];
-      outcome.name = candidates[first + i].name;
+      AttackOutcome& outcome = result.outcomes[pending[first + i]];
+      outcome.name = candidates[pending[first + i]].name;
       outcome.final_state = m.final_states.front();
       outcome.bias = std::abs(outcome.final_state - reference_state);
       outcome.dist_to_y = m.max_dist_to_y.back();
       outcome.disagreement = m.disagreement.back();
     }
   });
+
+  if (cache != nullptr) {
+    for (std::size_t i : pending) {
+      const AttackOutcome& outcome = result.outcomes[i];
+      PayloadWriter writer;
+      writer.put_double(outcome.final_state);
+      writer.put_double(outcome.dist_to_y);
+      writer.put_double(outcome.disagreement);
+      cache->insert(keys[i], writer.bytes());
+    }
+  }
+
   std::sort(result.outcomes.begin(), result.outcomes.end(),
             [](const AttackOutcome& a, const AttackOutcome& b) {
               return a.bias > b.bias;

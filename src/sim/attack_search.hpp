@@ -15,6 +15,8 @@
 
 namespace ftmao {
 
+class ResultCache;  // cache/result_cache.hpp
+
 struct AttackCandidate {
   std::string name;
   AttackConfig config;
@@ -48,10 +50,15 @@ std::vector<AttackCandidate> standard_attack_grid();
 /// shape). `scalar_engine` forces one run_sbg per candidate instead.
 /// Each run writes to its own slot, so the ranking is bit-identical for
 /// every thread count, batch size, and engine.
+///
+/// When `cache` is set, the reference run and every candidate run are
+/// looked up by their canonical key (full serialized base scenario +
+/// rendered candidate attack config) before simulating and inserted
+/// after; the result is bit-identical cold vs warm vs mixed.
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads = 1, std::size_t batch_size = 0,
-    bool scalar_engine = false);
+    bool scalar_engine = false, ResultCache* cache = nullptr);
 
 /// The asynchronous-engine counterpart: same contract, candidates
 /// evaluated through run_async_sbg_batch (run_async_sbg when
@@ -59,6 +66,6 @@ AttackSearchResult find_strongest_attack(
 AttackSearchResult find_strongest_attack_async(
     const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads = 1, std::size_t batch_size = 0,
-    bool scalar_engine = false);
+    bool scalar_engine = false, ResultCache* cache = nullptr);
 
 }  // namespace ftmao

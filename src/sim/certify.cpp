@@ -1,8 +1,12 @@
 #include "sim/certify.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <sstream>
 
+#include "cache/cell_key.hpp"
+#include "cache/result_cache.hpp"
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -36,6 +40,23 @@ Scenario scenario_for(const CertifyOptions& o, AttackKind kind) {
   s.attack.target = -6.0 * o.spread;
   s.attack.gradient_magnitude = 10.0;
   return s;
+}
+
+// Canonical cache spec for one per-attack run of a certification section.
+// `section` names the engine family ("certify-sync" also covers the audit
+// knobs, which are compile-time constants folded into the schema rev);
+// (n, f, dim, rounds) are the section's own values, which differ from the
+// sync section's for async/vector. Attack target/gradient overrides are
+// derived from spread, so spread covers them.
+std::string certify_cache_spec(const CertifyOptions& o, const char* section,
+                               AttackKind kind, std::size_t n, std::size_t f,
+                               std::size_t dim, std::size_t rounds) {
+  std::ostringstream os;
+  os << section << ";family=std-mixed;n=" << n << ";f=" << f << ";dim=" << dim
+     << ";attack=" << attack_kind_name(kind)
+     << ";spread=" << cache_canon_double(o.spread) << ";rounds=" << rounds
+     << ";seed=" << o.seed << ";constraint=none";
+  return os.str();
 }
 
 }  // namespace
@@ -72,20 +93,62 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   const std::vector<AttackKind>& grid = attack_grid();
   std::vector<AttackVerdict> verdicts(grid.size());
 
+  // Cache pre-pass: per-attack verdicts whose canonical key resolves are
+  // restored field-for-field from the payload; the rest land on `pending`
+  // and are simulated exactly as without a cache. A payload that fails to
+  // decode is discarded and the attack recomputed.
+  std::vector<std::size_t> pending(grid.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::vector<CellKey> sync_keys;
+  if (options.cache != nullptr) {
+    pending.clear();
+    sync_keys.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      sync_keys.push_back(make_cell_key(
+          certify_cache_spec(options, "certify-sync", grid[i], options.n,
+                             options.f, 1, options.rounds)));
+      bool filled = false;
+      if (const std::optional<std::string> payload =
+              options.cache->lookup(sync_keys[i])) {
+        try {
+          PayloadReader reader(*payload);
+          AttackVerdict v;
+          v.attack = attack_kind_name(grid[i]);
+          v.disagreement = reader.get_double();
+          v.dist = reader.get_double();
+          v.witnesses_ok = reader.get_bool();
+          v.invariants_ok = reader.get_bool();
+          v.invariant_violation = reader.get_string();
+          v.bounds_ok = reader.get_bool();
+          v.bound_violation = reader.get_string();
+          if (reader.exhausted()) {
+            verdicts[i] = std::move(v);
+            filled = true;
+          }
+        } catch (const ContractViolation&) {
+          filled = false;
+        }
+      }
+      if (!filled) pending.push_back(i);
+    }
+  }
+
   const HarmonicStep harmonic;
   // Every attack in the grid runs the same scenario shape, so a chunk of
   // them advances in lockstep through the batched engine; the per-attack
   // verdicts (audits, invariants, bound domination) are then computed from
-  // each replica's metrics exactly as the scalar path would.
+  // each replica's metrics exactly as the scalar path would. Chunking over
+  // the pending subset is sound for the same reason chunking at all is:
+  // each replica's numbers are independent of its batch-mates.
   const std::size_t chunk =
       options.scalar_engine
           ? 1
           : std::min(options.batch_size == 0 ? grid.size() : options.batch_size,
                      grid.size());
-  const std::size_t num_chunks = (grid.size() + chunk - 1) / chunk;
+  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
   parallel_for_each(options.num_threads, num_chunks, [&](std::size_t task) {
     const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, grid.size() - first);
+    const std::size_t batch = std::min(chunk, pending.size() - first);
     RunOptions run_options;
     run_options.record_trace = true;
     run_options.audit_witnesses = true;
@@ -95,7 +158,7 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
     std::vector<Scenario> replicas;
     replicas.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i)
-      replicas.push_back(scenario_for(options, grid[first + i]));
+      replicas.push_back(scenario_for(options, grid[pending[first + i]]));
     std::vector<RunMetrics> metrics;
     if (options.scalar_engine) {
       for (const Scenario& s : replicas) metrics.push_back(run_sbg(s, run_options));
@@ -106,8 +169,8 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
     for (std::size_t i = 0; i < batch; ++i) {
       const Scenario& s = replicas[i];
       const RunMetrics& m = metrics[i];
-      AttackVerdict& v = verdicts[first + i];
-      v.attack = attack_kind_name(grid[first + i]);
+      AttackVerdict& v = verdicts[pending[first + i]];
+      v.attack = attack_kind_name(grid[pending[first + i]]);
       v.disagreement = m.final_disagreement();
       v.dist = m.final_max_dist();
       v.witnesses_ok =
@@ -135,6 +198,21 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
       }
     }
   });
+
+  if (options.cache != nullptr) {
+    for (std::size_t i : pending) {
+      const AttackVerdict& v = verdicts[i];
+      PayloadWriter writer;
+      writer.put_double(v.disagreement);
+      writer.put_double(v.dist);
+      writer.put_bool(v.witnesses_ok);
+      writer.put_bool(v.invariants_ok);
+      writer.put_string(v.invariant_violation);
+      writer.put_bool(v.bounds_ok);
+      writer.put_string(v.bound_violation);
+      options.cache->insert(sync_keys[i], writer.bytes());
+    }
+  }
 
   for (const AttackVerdict& v : verdicts) {
     if (v.disagreement > worst_disagreement) {
@@ -178,6 +256,36 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   if (options.async_rounds > 0) {
     FTMAO_EXPECTS(options.async_n > 5 * options.async_f);
     std::vector<std::pair<double, double>> async_results(grid.size());
+
+    std::vector<std::size_t> async_pending(grid.size());
+    std::iota(async_pending.begin(), async_pending.end(), std::size_t{0});
+    std::vector<CellKey> async_keys;
+    if (options.cache != nullptr) {
+      async_pending.clear();
+      async_keys.reserve(grid.size());
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        async_keys.push_back(make_cell_key(certify_cache_spec(
+            options, "certify-async", grid[i], options.async_n,
+            options.async_f, 1, options.async_rounds)));
+        bool filled = false;
+        if (const std::optional<std::string> payload =
+                options.cache->lookup(async_keys[i])) {
+          try {
+            PayloadReader reader(*payload);
+            const double disagreement = reader.get_double();
+            const double dist = reader.get_double();
+            if (reader.exhausted()) {
+              async_results[i] = {disagreement, dist};
+              filled = true;
+            }
+          } catch (const ContractViolation&) {
+            filled = false;
+          }
+        }
+        if (!filled) async_pending.push_back(i);
+      }
+    }
+
     const std::size_t async_chunk =
         options.scalar_engine
             ? 1
@@ -185,17 +293,19 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
                   options.batch_size == 0 ? grid.size() : options.batch_size,
                   grid.size());
     const std::size_t async_chunks =
-        (grid.size() + async_chunk - 1) / async_chunk;
+        (async_pending.size() + async_chunk - 1) / async_chunk;
     parallel_for_each(
         options.num_threads, async_chunks, [&](std::size_t task) {
           const std::size_t first = task * async_chunk;
-          const std::size_t batch = std::min(async_chunk, grid.size() - first);
+          const std::size_t batch =
+              std::min(async_chunk, async_pending.size() - first);
           std::vector<AsyncScenario> replicas;
           replicas.reserve(batch);
           for (std::size_t i = 0; i < batch; ++i) {
             AsyncScenario s = make_standard_async_scenario(
                 options.async_n, options.async_f, options.spread,
-                grid[first + i], options.async_rounds, options.seed);
+                grid[async_pending[first + i]], options.async_rounds,
+                options.seed);
             s.attack.target = -6.0 * options.spread;
             s.attack.gradient_magnitude = 10.0;
             replicas.push_back(std::move(s));
@@ -208,9 +318,19 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
             metrics = run_async_sbg_batch(replicas);
           }
           for (std::size_t i = 0; i < batch; ++i)
-            async_results[first + i] = {metrics[i].disagreement.back(),
-                                        metrics[i].max_dist_to_y.back()};
+            async_results[async_pending[first + i]] = {
+                metrics[i].disagreement.back(),
+                metrics[i].max_dist_to_y.back()};
         });
+
+    if (options.cache != nullptr) {
+      for (std::size_t i : async_pending) {
+        PayloadWriter writer;
+        writer.put_double(async_results[i].first);
+        writer.put_double(async_results[i].second);
+        options.cache->insert(async_keys[i], writer.bytes());
+      }
+    }
 
     double async_worst_disagreement = 0.0;
     std::string async_worst_disagreement_attack = "none";
@@ -242,6 +362,36 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   // certify.hpp). Fixed slots + grid-order fold, like the other sections.
   if (options.vector_rounds > 0) {
     std::vector<std::pair<double, double>> vector_results(grid.size());
+
+    std::vector<std::size_t> vector_pending(grid.size());
+    std::iota(vector_pending.begin(), vector_pending.end(), std::size_t{0});
+    std::vector<CellKey> vector_keys;
+    if (options.cache != nullptr) {
+      vector_pending.clear();
+      vector_keys.reserve(grid.size());
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        vector_keys.push_back(make_cell_key(certify_cache_spec(
+            options, "certify-vector", grid[i], options.n, options.f,
+            options.vector_dim, options.vector_rounds)));
+        bool filled = false;
+        if (const std::optional<std::string> payload =
+                options.cache->lookup(vector_keys[i])) {
+          try {
+            PayloadReader reader(*payload);
+            const double disagreement = reader.get_double();
+            const double dist = reader.get_double();
+            if (reader.exhausted()) {
+              vector_results[i] = {disagreement, dist};
+              filled = true;
+            }
+          } catch (const ContractViolation&) {
+            filled = false;
+          }
+        }
+        if (!filled) vector_pending.push_back(i);
+      }
+    }
+
     const std::size_t vector_chunk =
         options.scalar_engine
             ? 1
@@ -249,17 +399,19 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
                   options.batch_size == 0 ? grid.size() : options.batch_size,
                   grid.size());
     const std::size_t vector_chunks =
-        (grid.size() + vector_chunk - 1) / vector_chunk;
+        (vector_pending.size() + vector_chunk - 1) / vector_chunk;
     parallel_for_each(
         options.num_threads, vector_chunks, [&](std::size_t task) {
           const std::size_t first = task * vector_chunk;
-          const std::size_t batch = std::min(vector_chunk, grid.size() - first);
+          const std::size_t batch =
+              std::min(vector_chunk, vector_pending.size() - first);
           std::vector<VectorScenario> replicas;
           replicas.reserve(batch);
           for (std::size_t i = 0; i < batch; ++i) {
             VectorScenario s = make_standard_vector_scenario(
-                options.n, options.f, options.spread, grid[first + i],
-                options.vector_rounds, options.seed, options.vector_dim);
+                options.n, options.f, options.spread,
+                grid[vector_pending[first + i]], options.vector_rounds,
+                options.seed, options.vector_dim);
             s.attack.target = -6.0 * options.spread;
             s.attack.gradient_magnitude = 10.0;
             replicas.push_back(std::move(s));
@@ -272,10 +424,19 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
             metrics = run_vector_sbg_batch(replicas);
           }
           for (std::size_t i = 0; i < batch; ++i)
-            vector_results[first + i] = {
+            vector_results[vector_pending[first + i]] = {
                 metrics[i].disagreement.back(),
                 metrics[i].dist_to_average_optimum.back()};
         });
+
+    if (options.cache != nullptr) {
+      for (std::size_t i : vector_pending) {
+        PayloadWriter writer;
+        writer.put_double(vector_results[i].first);
+        writer.put_double(vector_results[i].second);
+        options.cache->insert(vector_keys[i], writer.bytes());
+      }
+    }
 
     double vector_worst_disagreement = 0.0;
     std::string vector_worst_disagreement_attack = "none";
@@ -304,11 +465,40 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   // baseline has to fail under the coordinated attack, otherwise the whole
   // certification would be vacuous.
   {
-    Scenario s = scenario_for(options, AttackKind::PullToTarget);
-    const RunMetrics dgd = run_dgd(s);
+    double dgd_dist = 0.0;
+    bool dgd_cached = false;
+    CellKey dgd_key;
+    if (options.cache != nullptr) {
+      dgd_key = make_cell_key(
+          certify_cache_spec(options, "certify-dgd", AttackKind::PullToTarget,
+                             options.n, options.f, 1, options.rounds));
+      if (const std::optional<std::string> payload =
+              options.cache->lookup(dgd_key)) {
+        try {
+          PayloadReader reader(*payload);
+          const double dist = reader.get_double();
+          if (reader.exhausted()) {
+            dgd_dist = dist;
+            dgd_cached = true;
+          }
+        } catch (const ContractViolation&) {
+          dgd_cached = false;
+        }
+      }
+    }
+    if (!dgd_cached) {
+      Scenario s = scenario_for(options, AttackKind::PullToTarget);
+      const RunMetrics dgd = run_dgd(s);
+      dgd_dist = dgd.final_max_dist();
+      if (options.cache != nullptr) {
+        PayloadWriter writer;
+        writer.put_double(dgd_dist);
+        options.cache->insert(dgd_key, writer.bytes());
+      }
+    }
     add("attack-liveness (DGD must fail)",
-        dgd.final_max_dist() > 10.0 * options.optimality_eps,
-        "DGD dist " + format_double(dgd.final_max_dist(), 4));
+        dgd_dist > 10.0 * options.optimality_eps,
+        "DGD dist " + format_double(dgd_dist, 4));
   }
 
   report.passed = std::all_of(report.checks.begin(), report.checks.end(),

@@ -12,6 +12,8 @@
 
 namespace ftmao {
 
+class ResultCache;  // cache/result_cache.hpp
+
 struct CertifyOptions {
   std::size_t n = 7;
   std::size_t f = 2;
@@ -65,6 +67,13 @@ struct CertifyOptions {
   std::size_t vector_rounds = 800;
   double vector_consensus_eps = 0.1;    ///< final-disagreement acceptance
   double vector_optimality_eps = 10.0;  ///< bounded-drift acceptance (norm)
+
+  /// Content-addressed result cache (cache/result_cache.hpp). When set,
+  /// each per-attack run of every section (sync, async, vector, the DGD
+  /// liveness contrast) is looked up by its canonical key before
+  /// simulating and inserted after. The report is bit-identical cold vs
+  /// warm vs mixed; the cache is not part of the certification identity.
+  ResultCache* cache = nullptr;
 };
 
 struct CertifyCheck {

@@ -1,10 +1,13 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <span>
 #include <sstream>
 #include <utility>
 
+#include "cache/cell_key.hpp"
+#include "cache/result_cache.hpp"
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/batch_async_runner.hpp"
@@ -12,6 +15,7 @@
 #include "sim/batch_vector_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
+#include "sim/shard.hpp"
 #include "sim/vector_scenario.hpp"
 
 namespace ftmao {
@@ -42,32 +46,87 @@ std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config) {
   return specs;
 }
 
+std::string sweep_cell_cache_spec(const SweepConfig& config,
+                                  const CellSpec& spec) {
+  std::ostringstream os;
+  os << "sweep;family=std-mixed;n=" << spec.n << ";f=" << spec.f
+     << ";dim=" << spec.dim << ";attack=" << attack_kind_name(spec.attack)
+     << ";spread=" << cache_canon_double(config.spread)
+     << ";rounds=" << config.rounds << ";step=" << format_step(config.step)
+     << ";seeds=" << format_seeds(config.seeds) << ";constraint=none";
+  if (config.async_engine) {
+    os << ";engine=async;delay=" << delay_kind_name(config.delay_kind) << ':'
+       << cache_canon_double(config.delay_lo) << ':'
+       << cache_canon_double(config.delay_hi);
+  } else {
+    os << ";engine=sync";
+  }
+  return os.str();
+}
+
 std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
                                        const std::vector<CellSpec>& specs) {
   config.validate();
 
-  // One task per (cell, seed-chunk): each chunk's replicas share a shape
-  // (only the seed differs) and advance in lockstep through the batched
-  // engine. Every run derives its randomness solely from its own seed and
-  // writes to its own index, so the aggregate below sees exactly the
-  // sequence the serial scalar path would have produced, whatever the
-  // thread count, batch size, or engine.
   const std::size_t num_seeds = config.seeds.size();
+  std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
+  std::vector<double> dists(specs.size() * num_seeds, 0.0);
+
+  // Cache pre-pass: cells whose canonical key resolves fill their result
+  // slots from the payload's bit-exact per-seed doubles; the rest land on
+  // the pending list and are simulated exactly as without a cache. A
+  // payload that fails to decode (truncated, wrong seed count, trailing
+  // bytes) is discarded and the cell recomputed.
+  std::vector<std::size_t> pending;
+  pending.reserve(specs.size());
+  std::vector<CellKey> keys;
+  if (config.cache != nullptr) {
+    keys.reserve(specs.size());
+    for (std::size_t c = 0; c < specs.size(); ++c) {
+      keys.push_back(make_cell_key(sweep_cell_cache_spec(config, specs[c])));
+      bool filled = false;
+      if (const std::optional<std::string> payload =
+              config.cache->lookup(keys[c])) {
+        try {
+          PayloadReader reader(*payload);
+          if (reader.get_u64() == num_seeds) {
+            for (std::size_t i = 0; i < num_seeds; ++i)
+              disagreements[c * num_seeds + i] = reader.get_double();
+            for (std::size_t i = 0; i < num_seeds; ++i)
+              dists[c * num_seeds + i] = reader.get_double();
+            filled = reader.exhausted();
+          }
+        } catch (const ContractViolation&) {
+          filled = false;
+        }
+      }
+      if (!filled) pending.push_back(c);
+    }
+  } else {
+    pending.resize(specs.size());
+    std::iota(pending.begin(), pending.end(), std::size_t{0});
+  }
+
+  // One task per (pending cell, seed-chunk): each chunk's replicas share
+  // a shape (only the seed differs) and advance in lockstep through the
+  // batched engine. Every run derives its randomness solely from its own
+  // seed and writes to its own index, so the aggregate below sees exactly
+  // the sequence the serial scalar path would have produced, whatever the
+  // thread count, batch size, engine, or cache hit pattern.
   const std::size_t chunk =
       config.scalar_engine
           ? 1
           : std::min(config.batch_size == 0 ? num_seeds : config.batch_size,
                      num_seeds);
   const std::size_t chunks_per_cell = (num_seeds + chunk - 1) / chunk;
-  std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
-  std::vector<double> dists(specs.size() * num_seeds, 0.0);
   parallel_for_each(
-      config.num_threads, specs.size() * chunks_per_cell,
+      config.num_threads, pending.size() * chunks_per_cell,
       [&](std::size_t task) {
-        const CellSpec& spec = specs[task / chunks_per_cell];
+        const std::size_t cell = pending[task / chunks_per_cell];
+        const CellSpec& spec = specs[cell];
         const std::size_t first = (task % chunks_per_cell) * chunk;
         const std::size_t count = std::min(chunk, num_seeds - first);
-        const std::size_t base = (task / chunks_per_cell) * num_seeds + first;
+        const std::size_t base = cell * num_seeds + first;
         if (config.async_engine) {
           std::vector<AsyncScenario> replicas;
           replicas.reserve(count);
@@ -149,6 +208,18 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
           }
         }
       });
+
+  if (config.cache != nullptr) {
+    for (std::size_t c : pending) {
+      PayloadWriter writer;
+      writer.put_u64(num_seeds);
+      for (std::size_t i = 0; i < num_seeds; ++i)
+        writer.put_double(disagreements[c * num_seeds + i]);
+      for (std::size_t i = 0; i < num_seeds; ++i)
+        writer.put_double(dists[c * num_seeds + i]);
+      config.cache->insert(keys[c], writer.bytes());
+    }
+  }
 
   std::vector<SweepCell> cells(specs.size());
   for (std::size_t c = 0; c < specs.size(); ++c) {

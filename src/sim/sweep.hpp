@@ -14,6 +14,8 @@
 
 namespace ftmao {
 
+class ResultCache;  // cache/result_cache.hpp
+
 struct SweepConfig {
   std::vector<std::pair<std::size_t, std::size_t>> sizes;  ///< (n, f) pairs
   std::vector<AttackKind> attacks;
@@ -57,6 +59,14 @@ struct SweepConfig {
   double delay_lo = 0.5;
   double delay_hi = 1.5;
 
+  /// Content-addressed result cache (cache/result_cache.hpp). When set,
+  /// each cell's per-seed results are looked up by their canonical key
+  /// before simulating and inserted after, so repeated grids are served
+  /// from memory/disk. Output is byte-identical cold vs warm vs mixed:
+  /// payloads carry the raw per-seed doubles bit-exactly. Like the engine
+  /// knobs above, the cache is not part of the grid's identity.
+  ResultCache* cache = nullptr;
+
   void validate() const;
 };
 
@@ -85,6 +95,15 @@ struct SweepCell {
 /// The grid's cells in canonical (sizes-major, dims-middle, attacks-minor)
 /// order.
 std::vector<CellSpec> sweep_cell_specs(const SweepConfig& config);
+
+/// Canonical cache-spec string for one cell of this grid: every knob that
+/// can influence the cell's numbers (cell identity, cost-family tag,
+/// spread, rounds, step schedule, seed axis, engine family, delay model),
+/// none that provably cannot (threads, batch size, scalar engine, ISA).
+/// Feed to make_cell_key (cache/cell_key.hpp); pinned by the golden-key
+/// test, so accidental drift fails CI.
+std::string sweep_cell_cache_spec(const SweepConfig& config,
+                                  const CellSpec& spec);
 
 /// Runs exactly the given cells (each across all seeds), in the given
 /// order. Every (cell, seed) run derives its randomness solely from its
