@@ -36,10 +36,26 @@
 // entirely from it, with their runs/sec ratio (the tracked warm-path
 // speedup) and the warm-pass hit ratio (must be 1).
 //
+// A `transcendental` block covers the cost families whose gradients are
+// transcendental (LogCosh / SmoothAbs / SoftplusBasin). It times an
+// all-transcendental family directly through run_sbg / run_sbg_batch
+// (the sweep spec grammar pins the std-mixed family, so this cannot
+// ride run_sweep) at three rungs: the scalar per-run engine (the fully
+// virtual path such families used to be confined to), the batched
+// engine with the deterministic kernels disabled (virtual derivative()
+// per lane — func/functions.hpp:
+// set_transcendental_batch_kernels_enabled), and the batched engine
+// with the SIMD polynomial kernels on. All three produce bit-identical
+// trajectories. `speedup` is kernel vs the scalar virtual path (the
+// tracked number); `devirtualization_speedup` isolates the
+// gradient-dispatch win within the batched engine.
+// --transcendental-rounds 0 skips it ("transcendental": null).
+//
 //   bench_sweep_json [--rounds R] [--seeds K] [--engine batched|scalar]
 //                    [--batch B] [--isa auto|scalar|sse2|avx2|avx512]
 //                    [--repeats N] [--async-rounds R] [--vector-rounds R]
-//                    [--vector-dim D] [--out FILE]
+//                    [--vector-dim D] [--transcendental-rounds R]
+//                    [--out FILE]
 
 #include <algorithm>
 #include <chrono>
@@ -54,6 +70,10 @@
 #include "cli/args.hpp"
 #include "cli/engine_flags.hpp"
 #include "common/thread_pool.hpp"
+#include "func/functions.hpp"
+#include "func/library.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
 #include "simd/simd.hpp"
@@ -122,6 +142,35 @@ Throughput measure(const SweepConfig& config, std::size_t threads,
   return r;
 }
 
+// Best-of-repeats runs/sec over the transcendental replicas. One "run"
+// is one replica trajectory, matching the sweep blocks' unit. `engine`
+// selects the rung: the scalar per-run path (run_sbg per replica), or
+// run_sbg_batch with the devirtualized kernels forced off or on.
+enum class TranscendentalRung { kScalarVirtual, kBatchedVirtual, kBatchedKernel };
+
+double measure_transcendental(const std::vector<Scenario>& replicas,
+                              std::size_t repeats, TranscendentalRung rung) {
+  set_transcendental_batch_kernels_enabled(rung ==
+                                           TranscendentalRung::kBatchedKernel);
+  double best_seconds = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    if (rung == TranscendentalRung::kScalarVirtual) {
+      for (const Scenario& s : replicas) run_sbg(s);
+    } else {
+      if (run_sbg_batch(replicas).size() != replicas.size()) return 0.0;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  set_transcendental_batch_kernels_enabled(true);
+  return best_seconds > 0.0
+             ? static_cast<double>(replicas.size()) / best_seconds
+             : 0.0;
+}
+
 void emit(std::ostream& os, const Throughput& t) {
   os << "    {\"threads\": " << t.threads << ", \"seconds\": " << t.seconds
      << ", \"cells_per_sec\": " << t.cells_per_sec
@@ -147,6 +196,9 @@ int main(int argc, char** argv) {
       {"vector-rounds", "rounds per run for the vector block (0 = skip)",
        "1000", false},
       {"vector-dim", "state dimension for the vector block", "8", false},
+      {"transcendental-rounds",
+       "rounds per run for the transcendental block (0 = skip)", "1000",
+       false},
       {"out", "output path", "BENCH_sweep.json", false},
       {"help", "show usage", "false", true},
   };
@@ -244,6 +296,34 @@ int main(int argc, char** argv) {
             ? vector_batched.runs_per_sec / vector_scalar.runs_per_sec
             : 1.0;
 
+    // Transcendental block: n=7, f=2, split-brain, 16 seed replicas over
+    // the all-transcendental family, timed straight through
+    // run_sbg_batch with the devirtualized kernels off (virtual
+    // derivative() per lane) vs on (SIMD polynomial kernels per row).
+    const auto transcendental_rounds =
+        static_cast<std::size_t>(parser.get_int("transcendental-rounds"));
+    double trans_virtual = 0.0, trans_bvirtual = 0.0, trans_kernel = 0.0;
+    if (transcendental_rounds > 0) {
+      const auto family = make_transcendental_family(7, 8.0);
+      std::vector<Scenario> replicas;
+      for (std::uint64_t s = 1; s <= 16; ++s) {
+        Scenario scenario = make_standard_scenario(
+            7, 2, 8.0, AttackKind::SplitBrain, transcendental_rounds, s);
+        scenario.functions = family;
+        replicas.push_back(std::move(scenario));
+      }
+      trans_virtual = measure_transcendental(
+          replicas, repeats, TranscendentalRung::kScalarVirtual);
+      trans_bvirtual = measure_transcendental(
+          replicas, repeats, TranscendentalRung::kBatchedVirtual);
+      trans_kernel = measure_transcendental(
+          replicas, repeats, TranscendentalRung::kBatchedKernel);
+    }
+    const double trans_speedup =
+        trans_virtual > 0.0 ? trans_kernel / trans_virtual : 1.0;
+    const double trans_devirt_speedup =
+        trans_bvirtual > 0.0 ? trans_kernel / trans_bvirtual : 1.0;
+
     // Cache block: the sync grid served through a fresh in-memory
     // ResultCache. The cold pass (one pass, lookups all miss, results
     // inserted) is timed on its own — measure()'s min-of-repeats would
@@ -309,6 +389,21 @@ int main(int argc, char** argv) {
        << "    \"speedup\": " << cache_speedup << ",\n"
        << "    \"warm_hit_ratio\": " << warm_hit_ratio << ",\n"
        << "    \"entries\": " << after_warm.entries << "\n  },\n";
+    if (transcendental_rounds > 0) {
+      os << "  \"transcendental\": {\n"
+         << "    \"grid\": {\"n\": 7, \"f\": 2, \"attack\": \"split-brain\", "
+         << "\"family\": \"transcendental\", \"seeds\": 16, \"rounds\": "
+         << transcendental_rounds << "},\n"
+         << "    \"virtual_runs_per_sec\": " << trans_virtual << ",\n"
+         << "    \"batched_virtual_runs_per_sec\": " << trans_bvirtual
+         << ",\n"
+         << "    \"kernel_runs_per_sec\": " << trans_kernel << ",\n"
+         << "    \"speedup\": " << trans_speedup << ",\n"
+         << "    \"devirtualization_speedup\": " << trans_devirt_speedup
+         << "\n  },\n";
+    } else {
+      os << "  \"transcendental\": null,\n";
+    }
     if (async_rounds > 0) {
       os << "  \"async\": {\n"
          << "    \"grid\": {\"sizes\": \"6:1,11:2\", "

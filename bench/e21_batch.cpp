@@ -117,8 +117,8 @@ void BM_Gradient_Kernel(benchmark::State& state, SimdIsa isa) {
   const Huber h(1.5, 2.0, 0.75);
   const BatchGradientKernel d = h.batch_gradient_kernel();
   const auto x = random_matrix(1, count, 11);
-  const std::vector<double> a(count, d.a), b(count, d.b), lo(count, d.lo),
-      hi(count, d.hi), scale(count, d.scale);
+  const std::vector<double> a(count, d.p0), b(count, d.p1), lo(count, d.p2),
+      hi(count, d.p3), scale(count, d.scale);
   std::vector<double> g(count);
   for (auto _ : state) {
     kernels.gradient_clamp(x.data(), a.data(), b.data(), lo.data(), hi.data(),

@@ -27,7 +27,10 @@ namespace ftmao {
 /// construction, step schedules, metric definitions, aggregation order.
 /// The revision is mixed into every cell key, so records written under an
 /// older schema simply become unreachable (a miss, never a wrong answer).
-inline constexpr std::uint64_t kEngineSchemaRev = 1;
+/// Rev 2: LogCosh/SmoothAbs/SoftplusBasin derivatives moved from libm to
+/// the deterministic polynomial kernels (simd/det_math_impl.hpp) — same
+/// functions, different (now platform-pinned) bits.
+inline constexpr std::uint64_t kEngineSchemaRev = 2;
 
 /// FNV-1a over `bytes` starting from `basis`, splitmix64-finalized so
 /// short inputs still avalanche. Stable across platforms by construction.

@@ -1,34 +1,50 @@
 #include "func/functions.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <atomic>
 
 #include "common/contracts.hpp"
+#include "simd/det_math.hpp"
 
 namespace ftmao {
 
 namespace {
 
-// log(cosh(z)) without overflow: for large |z|, cosh(z) ~ e^{|z|}/2.
-double log_cosh(double z) {
-  const double az = std::abs(z);
-  return az + std::log1p(std::exp(-2.0 * az)) - std::log(2.0);
-}
-
-// softplus(z) = log(1 + e^z), computed stably on both tails.
-double softplus(double z) {
-  if (z > 0.0) return z + std::log1p(std::exp(-z));
-  return std::log1p(std::exp(z));
-}
-
-// Logistic sigmoid, stable on both tails.
-double sigmoid(double z) {
-  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
-  const double e = std::exp(z);
-  return e / (1.0 + e);
-}
+// Default on: the descriptors and the virtual path compute identical
+// bits, so there is no correctness reason to ever disable this — only
+// the benches flip it to time the virtual path.
+std::atomic<bool> g_transcendental_kernels{true};
 
 }  // namespace
+
+void set_transcendental_batch_kernels_enabled(bool enabled) {
+  g_transcendental_kernels.store(enabled, std::memory_order_relaxed);
+}
+
+bool transcendental_batch_kernels_enabled() {
+  return g_transcendental_kernels.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------- BatchGradientKernel
+
+double BatchGradientKernel::evaluate(double x) const {
+  switch (kind) {
+    case Kind::kClamp: {
+      const double below = std::min(x - p0, 0.0);
+      const double above = std::max(x - p1, 0.0);
+      return scale * std::clamp(below + above, p2, p3);
+    }
+    case Kind::kTanh:
+      return detmath::grad_tanh(x, p0, p1, scale);
+    case Kind::kSmoothAbs:
+      return detmath::grad_smooth_abs(x, p0, p1, scale);
+    case Kind::kSoftplusDiff:
+      return detmath::grad_softplus_diff(x, p0, p1, p2, scale);
+    case Kind::kNone:
+      break;
+  }
+  return 0.0;
+}
 
 // ---------------------------------------------------------------- Huber
 
@@ -59,11 +75,16 @@ LogCosh::LogCosh(double center, double width, double scale)
 }
 
 double LogCosh::value(double x) const {
-  return scale_ * width_ * log_cosh((x - center_) / width_);
+  return detmath::val_log_cosh(x, center_, width_, scale_);
 }
 
 double LogCosh::derivative(double x) const {
-  return scale_ * std::tanh((x - center_) / width_);
+  return detmath::grad_tanh(x, center_, width_, scale_);
+}
+
+BatchGradientKernel LogCosh::batch_gradient_kernel() const {
+  if (!transcendental_batch_kernels_enabled()) return {};
+  return BatchGradientKernel::tanh_grad(center_, width_, scale_);
 }
 
 // ------------------------------------------------------------ SmoothAbs
@@ -75,13 +96,16 @@ SmoothAbs::SmoothAbs(double center, double eps, double scale)
 }
 
 double SmoothAbs::value(double x) const {
-  const double r = x - center_;
-  return scale_ * (std::hypot(r, eps_) - eps_);
+  return detmath::val_smooth_abs(x, center_, eps_, scale_);
 }
 
 double SmoothAbs::derivative(double x) const {
-  const double r = x - center_;
-  return scale_ * r / std::hypot(r, eps_);
+  return detmath::grad_smooth_abs(x, center_, eps_, scale_);
+}
+
+BatchGradientKernel SmoothAbs::batch_gradient_kernel() const {
+  if (!transcendental_batch_kernels_enabled()) return {};
+  return BatchGradientKernel::smooth_abs(center_, eps_, scale_);
 }
 
 // ------------------------------------------------------------ FlatHuber
@@ -141,12 +165,25 @@ SoftplusBasin::SoftplusBasin(double a, double b, double width, double scale)
 }
 
 double SoftplusBasin::value(double x) const {
-  return scale_ * width_ *
-         (softplus((x - b_) / width_) + softplus((a_ - x) / width_));
+  return detmath::val_softplus_basin(x, a_, b_, width_, scale_);
 }
 
 double SoftplusBasin::derivative(double x) const {
-  return scale_ * (sigmoid((x - b_) / width_) - sigmoid((a_ - x) / width_));
+  return detmath::grad_softplus_diff(x, a_, b_, width_, scale_);
+}
+
+double SoftplusBasin::lipschitz_bound() const {
+  // scale/width * (1/4 + sigma'(g/2)), g = (b-a)/width — see the header
+  // for the proof. det_sigmoid_prime keeps the bound's bits
+  // platform-independent like every other certificate input.
+  const double g = (b_ - a_) / width_;
+  const double sp = detmath::det_sigmoid_prime(g / 2.0);
+  return scale_ / width_ * (0.25 + sp);
+}
+
+BatchGradientKernel SoftplusBasin::batch_gradient_kernel() const {
+  if (!transcendental_batch_kernels_enabled()) return {};
+  return BatchGradientKernel::softplus_diff(a_, b_, width_, scale_);
 }
 
 }  // namespace ftmao

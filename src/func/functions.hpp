@@ -4,12 +4,31 @@
 // globally bounded, Lipschitz derivatives and compact argmin — note that a
 // plain quadratic is NOT admissible (unbounded gradient); Huber is its
 // admissible counterpart.
+//
+// The transcendental families (LogCosh, SmoothAbs, SoftplusBasin)
+// evaluate through the deterministic polynomial math in simd/det_math —
+// NOT libm — so their derivative() is bit-identical to the SIMD batch
+// gradient kernels on every backend and platform, and their
+// gradient_bound()/lipschitz_bound() are tight for the implementation
+// actually running (det_tanh saturates to exactly ±1, so LogCosh's
+// bound scale is attained; likewise SmoothAbs's).
 
 #include <algorithm>
 
 #include "func/scalar_function.hpp"
 
 namespace ftmao {
+
+/// Process-wide switch for the transcendental families' devirtualized
+/// batch descriptors (default on). When off, LogCosh / SmoothAbs /
+/// SoftplusBasin return kNone descriptors and the batch engines take the
+/// virtual derivative() path for those rows — numerically identical
+/// either way (both paths run the same det-math code), which is exactly
+/// what makes it a fair benchmark toggle (bench/e24_transcendental,
+/// bench_sweep_json's `transcendental` block). Not thread-safe against
+/// concurrent engine construction: flip before building engines.
+void set_transcendental_batch_kernels_enabled(bool enabled);
+bool transcendental_batch_kernels_enabled();
 
 /// Huber loss around `center`:
 ///   h(x) = scale * phi(x - center),
@@ -26,7 +45,8 @@ class Huber final : public ScalarFunction {
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return Interval(center_); }
   BatchGradientKernel batch_gradient_kernel() const override {
-    return {true, center_, center_, -delta_, delta_, scale_};
+    return BatchGradientKernel::clamp(center_, center_, -delta_, delta_,
+                                      scale_);
   }
 
   double center() const { return center_; }
@@ -41,8 +61,10 @@ class Huber final : public ScalarFunction {
 
 /// Log-cosh loss:
 ///   h(x) = scale * width * log(cosh((x - center)/width)).
-/// Smooth everywhere; h'(x) = scale * tanh((x-center)/width), so
-/// |h'| < scale and the Lipschitz constant is scale/width. Argmin
+/// Smooth everywhere; h'(x) = scale * tanh((x-center)/width). The
+/// deterministic tanh saturates to exactly ±1 for |z| >= 20, so
+/// gradient_bound() = scale is attained (not just approached); the
+/// Lipschitz constant scale/width is attained at the center. Argmin
 /// {center}.
 class LogCosh final : public ScalarFunction {
  public:
@@ -53,6 +75,7 @@ class LogCosh final : public ScalarFunction {
   double gradient_bound() const override { return scale_; }
   double lipschitz_bound() const override { return scale_ / width_; }
   Interval argmin() const override { return Interval(center_); }
+  BatchGradientKernel batch_gradient_kernel() const override;
 
   double center() const { return center_; }
   double width() const { return width_; }
@@ -66,7 +89,10 @@ class LogCosh final : public ScalarFunction {
 
 /// Pseudo-Huber / smoothed absolute value:
 ///   h(x) = scale * (sqrt((x-center)^2 + eps^2) - eps).
-/// |h'| < scale, Lipschitz constant scale/eps, argmin {center}.
+/// gradient_bound() = scale is attained in double precision (once
+/// eps²/r² drops below one ulp, r/sqrt(r²+eps²) rounds to exactly ±1);
+/// the Lipschitz constant scale/eps is h''(center) exactly. Argmin
+/// {center}.
 class SmoothAbs final : public ScalarFunction {
  public:
   SmoothAbs(double center, double eps, double scale);
@@ -76,6 +102,7 @@ class SmoothAbs final : public ScalarFunction {
   double gradient_bound() const override { return scale_; }
   double lipschitz_bound() const override { return scale_ / eps_; }
   Interval argmin() const override { return Interval(center_); }
+  BatchGradientKernel batch_gradient_kernel() const override;
 
   double center() const { return center_; }
   double eps() const { return eps_; }
@@ -101,7 +128,8 @@ class FlatHuber final : public ScalarFunction {
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return flat_; }
   BatchGradientKernel batch_gradient_kernel() const override {
-    return {true, flat_.lo(), flat_.hi(), -delta_, delta_, scale_};
+    return BatchGradientKernel::clamp(flat_.lo(), flat_.hi(), -delta_, delta_,
+                                      scale_);
   }
 
   Interval flat() const { return flat_; }
@@ -133,7 +161,8 @@ class AsymmetricHuber final : public ScalarFunction {
   double lipschitz_bound() const override { return scale_; }
   Interval argmin() const override { return Interval(center_); }
   BatchGradientKernel batch_gradient_kernel() const override {
-    return {true, center_, center_, -delta_neg_, delta_pos_, scale_};
+    return BatchGradientKernel::clamp(center_, center_, -delta_neg_,
+                                      delta_pos_, scale_);
   }
 
   double center() const { return center_; }
@@ -151,8 +180,14 @@ class AsymmetricHuber final : public ScalarFunction {
 /// Two opposing softplus walls:
 ///   h(x) = scale * width * [softplus((x-b)/width) + softplus((a-x)/width)]
 /// with a <= b. Strictly convex with a unique minimizer at (a+b)/2;
-/// |h'| < scale, Lipschitz constant scale/(2*width). Asymptotically linear
-/// with slopes -scale and +scale.
+/// |h'| < scale. Lipschitz bound (tight up to the sum-splitting):
+///   L' = scale/width * (1/4 + sigma'(g/2)),  g = (b-a)/width.
+/// Proof: h''(x)*width/scale = sigma'(u) + sigma'(g+u) with u = (x-b)/w.
+/// For u >= -g/2, sigma'(u) <= 1/4 and g+u >= g/2 so (sigma' even,
+/// decreasing on positives) sigma'(g+u) <= sigma'(g/2); u <= -g/2 is the
+/// mirror image with the roles swapped. Equals the old scale/(2*width)
+/// at a == b and is strictly tighter for a < b (sigma' evaluated through
+/// the deterministic det_sigmoid so the bound pins exactly everywhere).
 class SoftplusBasin final : public ScalarFunction {
  public:
   SoftplusBasin(double a, double b, double width, double scale);
@@ -160,8 +195,9 @@ class SoftplusBasin final : public ScalarFunction {
   double value(double x) const override;
   double derivative(double x) const override;
   double gradient_bound() const override { return scale_; }
-  double lipschitz_bound() const override { return scale_ / (2.0 * width_); }
+  double lipschitz_bound() const override;
   Interval argmin() const override { return Interval((a_ + b_) / 2.0); }
+  BatchGradientKernel batch_gradient_kernel() const override;
 
   double a() const { return a_; }
   double b() const { return b_; }

@@ -56,6 +56,29 @@ std::vector<ScalarFunctionPtr> make_mixed_family(std::size_t count,
   return out;
 }
 
+std::vector<ScalarFunctionPtr> make_transcendental_family(std::size_t count,
+                                                          double spread) {
+  FTMAO_EXPECTS(count >= 1);
+  std::vector<ScalarFunctionPtr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double c = spaced_center(i, count, spread);
+    switch (i % 3) {
+      case 0:
+        out.push_back(std::make_shared<LogCosh>(c, 1.0, 1.5));
+        break;
+      case 1:
+        out.push_back(std::make_shared<SmoothAbs>(c, 0.5, 1.0));
+        break;
+      default:
+        out.push_back(
+            std::make_shared<SoftplusBasin>(c - 0.5, c + 0.5, 0.75, 1.0));
+        break;
+    }
+  }
+  return out;
+}
+
 std::vector<ScalarFunctionPtr> make_random_family(
     std::size_t count, Rng& rng, const RandomFamilyOptions& opts) {
   FTMAO_EXPECTS(count >= 1);

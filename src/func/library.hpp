@@ -26,6 +26,15 @@ std::vector<ScalarFunctionPtr> make_spread_hubers(std::size_t count,
 std::vector<ScalarFunctionPtr> make_mixed_family(std::size_t count,
                                                  double spread);
 
+/// All-transcendental family cycling LogCosh / SmoothAbs / SoftplusBasin
+/// with centers evenly spaced over [-spread/2, +spread/2] — every row
+/// takes a transcendental gradient, so this is the worst case for the
+/// old virtual per-lane path and the workload the batch gradient
+/// kernels exist for (bench/e24_transcendental, bench_sweep_json's
+/// `transcendental` block).
+std::vector<ScalarFunctionPtr> make_transcendental_family(std::size_t count,
+                                                          double spread);
+
 struct RandomFamilyOptions {
   double center_lo = -10.0;
   double center_hi = 10.0;

@@ -11,46 +11,77 @@
 // system). argmin() must return the exact minimizing interval; numeric
 // cross-checks live in opt/argmin.hpp and func/validate.hpp.
 
-#include <algorithm>
+#include <cstdint>
 #include <memory>
 
 #include "common/interval.hpp"
 
 namespace ftmao {
 
-/// Closed-form descriptor of a derivative composed only of +, −, ×, ÷
-/// and compares — the shape shared by the quadratic-core families with
-/// piecewise-linear saturation (Huber, AsymmetricHuber, FlatHuber):
+/// Closed-form descriptor of a derivative the SIMD backends can evaluate
+/// without a virtual call — one of four shapes, tagged by `kind`:
 ///
-///   h'(x) = scale * clamp(min(x − a, 0) + max(x − b, 0), lo, hi)
+///   kClamp        h'(x) = scale * clamp(min(x−p0, 0) + max(x−p1, 0),
+///                                       p2, p3)
+///                 (Huber / AsymmetricHuber / FlatHuber: p0 <= p1 is the
+///                 flat interval, [p2, p3] the saturation band. min/max/
+///                 clamp use std:: tie semantics, under which
+///                 min(x−c,0) + max(x−c,0) == x − c bit-for-bit.)
+///   kTanh         h'(x) = scale * tanh((x − p0) / p1)          (LogCosh)
+///   kSmoothAbs    h'(x) = scale * r / sqrt(r² + p1²), r = x−p0 (SmoothAbs)
+///   kSoftplusDiff h'(x) = scale * (σ((x−p1)/p2) − σ((p0−x)/p2))
+///                 (SoftplusBasin with basin [p0, p1], width p2)
 ///
-/// with a <= b the flat interval of the residual (a == b == center for a
-/// point minimum) and [lo, hi] the saturation band. min/max/clamp use
-/// std:: tie semantics, under which min(x−c, 0) + max(x−c, 0) == x − c
-/// bit-for-bit for every double x (including ±0 and ±inf), so the
-/// descriptor reproduces the virtual derivative() exactly.
+/// The transcendental shapes evaluate tanh/σ through the deterministic
+/// polynomial suite (simd/det_math.hpp) — the SAME code the families'
+/// own derivative() calls — so every shape reproduces the virtual path
+/// bit-for-bit on every backend (simd/simd.hpp determinism contract).
 ///
-/// The batched engine (sim/batch_runner) evaluates these descriptors
-/// across replica lanes through the SIMD gradient kernel instead of
-/// making one virtual derivative() call per agent per replica. Families
-/// whose derivative needs transcendentals (LogCosh, SoftplusBasin) or
-/// libm selection logic (SmoothAbs's hypot) return an invalid descriptor
-/// and keep the virtual path.
+/// The batched engines (sim/batch_runner, batch_async_runner,
+/// batch_vector_runner) evaluate these descriptors across replica lanes
+/// through the SIMD gradient kernels instead of making one virtual
+/// derivative() call per agent per replica; rows whose function returns
+/// kNone keep the virtual path.
 struct BatchGradientKernel {
-  bool valid = false;
-  double a = 0.0;      ///< lower edge of the zero-derivative interval
-  double b = 0.0;      ///< upper edge of the zero-derivative interval
-  double lo = 0.0;     ///< saturation floor (<= 0)
-  double hi = 0.0;     ///< saturation ceiling (>= 0)
+  enum class Kind : std::uint8_t {
+    kNone = 0,      ///< no closed form — use virtual derivative()
+    kClamp,         ///< SimdKernels::gradient_clamp
+    kTanh,          ///< SimdKernels::gradient_tanh
+    kSmoothAbs,     ///< SimdKernels::gradient_smooth_abs
+    kSoftplusDiff,  ///< SimdKernels::gradient_softplus_diff
+  };
+
+  Kind kind = Kind::kNone;
+  double p0 = 0.0;     ///< clamp: flat lo | tanh/smoothabs: center | softplus: a
+  double p1 = 0.0;     ///< clamp: flat hi | tanh: width | smoothabs: eps | softplus: b
+  double p2 = 0.0;     ///< clamp: saturation floor | softplus: width
+  double p3 = 0.0;     ///< clamp: saturation ceiling
   double scale = 0.0;  ///< output multiplier
 
-  /// Scalar reference evaluation — the exact operation sequence the SIMD
-  /// lanes replicate. Tests pin this bitwise against derivative().
-  double evaluate(double x) const {
-    const double below = std::min(x - a, 0.0);
-    const double above = std::max(x - b, 0.0);
-    return scale * std::clamp(below + above, lo, hi);
+  bool valid() const { return kind != Kind::kNone; }
+
+  static BatchGradientKernel clamp(double a, double b, double lo, double hi,
+                                   double scale) {
+    return {Kind::kClamp, a, b, lo, hi, scale};
   }
+  static BatchGradientKernel tanh_grad(double center, double width,
+                                       double scale) {
+    return {Kind::kTanh, center, width, 0.0, 0.0, scale};
+  }
+  static BatchGradientKernel smooth_abs(double center, double eps,
+                                        double scale) {
+    return {Kind::kSmoothAbs, center, eps, 0.0, 0.0, scale};
+  }
+  static BatchGradientKernel softplus_diff(double a, double b, double width,
+                                           double scale) {
+    return {Kind::kSoftplusDiff, a, b, width, 0.0, scale};
+  }
+
+  /// Scalar reference evaluation — the exact operation sequence the SIMD
+  /// lanes replicate (out-of-line in functions.cpp; the transcendental
+  /// shapes route through simd/det_math). Tests pin this bitwise against
+  /// derivative(). Returns 0.0 for kNone.
+  double evaluate(double x) const;
 };
 
 /// A convex, continuously differentiable cost h with bounded, Lipschitz

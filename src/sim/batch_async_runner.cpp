@@ -20,6 +20,7 @@
 #include "core/valid_set.hpp"
 #include "net/delay.hpp"
 #include "net/sync.hpp"
+#include "sim/batch_grad.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -224,31 +225,18 @@ class BatchedAsyncRunner {
 
     // Devirtualized gradient descriptors, SoA, as in the sync runner: a
     // row takes the SIMD kernel only if every replica's cost exposes the
-    // closed-form clamp descriptor. Padding lanes keep the zero descriptor
-    // (scale 0 -> gradient +0, benign).
+    // same closed-form descriptor shape. finish_row gives transcendental
+    // padding lanes neutral widths (scale 0 -> gradient +/-0, benign).
     fns_.assign(H_ * Bpad_, nullptr);
-    ga_.assign(H_ * Bpad_, 0.0);
-    gb_.assign(H_ * Bpad_, 0.0);
-    glo_.assign(H_ * Bpad_, 0.0);
-    ghi_.assign(H_ * Bpad_, 0.0);
-    gscale_.assign(H_ * Bpad_, 0.0);
-    grad_row_kernel_.assign(H_, 1);
+    grad_.init(H_, Bpad_);
     for (std::size_t u = 0; u < H_; ++u) {
       const std::size_t idx = honest_ids_[u].value;
       for (std::size_t r = 0; r < B_; ++r) {
         const std::size_t l = u * Bpad_ + r;
         fns_[l] = replicas[r].functions[idx].get();
-        const BatchGradientKernel k = fns_[l]->batch_gradient_kernel();
-        if (k.valid) {
-          ga_[l] = k.a;
-          gb_[l] = k.b;
-          glo_[l] = k.lo;
-          ghi_[l] = k.hi;
-          gscale_[l] = k.scale;
-        } else {
-          grad_row_kernel_[u] = 0;
-        }
+        grad_.set(u, l, r == 0, fns_[l]->batch_gradient_kernel());
       }
+      grad_.finish_row(u, B_);
     }
 
     schedules_.reserve(B_);
@@ -431,10 +419,8 @@ class BatchedAsyncRunner {
     const std::size_t base = u * Bpad_;
     const double* x = hist(t, u);
     double* g = g_[gcur].data() + base;
-    if (grad_row_kernel_[u]) {
-      kernels_->gradient_clamp(x, ga_.data() + base, gb_.data() + base,
-                               glo_.data() + base, ghi_.data() + base,
-                               gscale_.data() + base, g, Bpad_);
+    if (grad_.fast(u)) {
+      grad_.run(*kernels_, u, x, g);
     } else {
       for (std::size_t r = 0; r < B_; ++r) {
         if (lanes_[r].completed[u] >= t)
@@ -501,8 +487,7 @@ class BatchedAsyncRunner {
   std::vector<std::size_t> byz_pos_;       ///< agent index -> faulty slot
 
   std::vector<const ScalarFunction*> fns_;  ///< (honest, lane), Bpad stride
-  std::vector<double> ga_, gb_, glo_, ghi_, gscale_;
-  std::vector<std::uint8_t> grad_row_kernel_;
+  BatchGradientPlanes grad_;
   std::vector<std::unique_ptr<StepSchedule>> schedules_;
   std::vector<std::vector<std::unique_ptr<SbgAdversary>>> adversaries_;
 

@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared SoA plumbing for devirtualized batch gradients.
+//
+// Each batch engine (sim/batch_runner, batch_async_runner,
+// batch_vector_runner) keeps one BatchGradientPlanes: per-row kernel
+// kinds plus lane-major parameter planes (p0..p3, scale) with the
+// engine's row stride. A row devirtualizes iff every useful lane in it
+// carries the SAME BatchGradientKernel::Kind (the SIMD kernels are
+// per-shape; a mixed row would need per-lane dispatch and is rarer than
+// it is worth) — otherwise the engine keeps its virtual derivative()
+// loop for that row. The descriptors and the virtual path compute
+// identical bits (func/scalar_function.hpp), so this is purely a
+// throughput decision.
+
+#include <cstddef>
+#include <vector>
+
+#include "func/scalar_function.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+class BatchGradientPlanes {
+ public:
+  using Kind = BatchGradientKernel::Kind;
+
+  /// rows × stride planes, all rows initially kNone with zeroed params.
+  void init(std::size_t rows, std::size_t stride) {
+    rows_ = rows;
+    stride_ = stride;
+    kind_.assign(rows, Kind::kNone);
+    p0_.assign(rows * stride, 0.0);
+    p1_.assign(rows * stride, 0.0);
+    p2_.assign(rows * stride, 0.0);
+    p3_.assign(rows * stride, 0.0);
+    scale_.assign(rows * stride, 0.0);
+  }
+
+  /// Records lane `lane` (absolute index: row*stride + offset) of `row`.
+  /// The first lane of a row decides its kind; any later lane whose kind
+  /// differs — including kNone — devirtualizes the whole row, and a row
+  /// once devirtualized stays so regardless of later lanes.
+  void set(std::size_t row, std::size_t lane, bool first,
+           const BatchGradientKernel& k) {
+    if (first) {
+      kind_[row] = k.kind;
+    } else if (k.kind != kind_[row]) {
+      kind_[row] = Kind::kNone;
+    }
+    p0_[lane] = k.p0;
+    p1_[lane] = k.p1;
+    p2_[lane] = k.p2;
+    p3_[lane] = k.p3;
+    scale_[lane] = k.scale;
+  }
+
+  /// Marks `row` virtual unconditionally (e.g. a vector function that
+  /// offers no per-coordinate descriptors).
+  void devirtualize(std::size_t row) { kind_[row] = Kind::kNone; }
+
+  /// Fills the padding lanes [used, stride) of `row`. The transcendental
+  /// shapes divide by p1/p2 widths, so zero-initialized padding would
+  /// compute 0/0 = NaN in dead lanes; neutral widths of 1.0 with scale 0
+  /// keep them finite (±0 gradients). Clamp rows keep the all-zero
+  /// descriptor, whose padding-lane output is exactly 0.0 as before.
+  /// Call once per row after the used lanes are set.
+  void finish_row(std::size_t row, std::size_t used) {
+    if (kind_[row] != Kind::kTanh && kind_[row] != Kind::kSmoothAbs &&
+        kind_[row] != Kind::kSoftplusDiff) {
+      return;
+    }
+    const std::size_t base = row * stride_;
+    for (std::size_t l = used; l < stride_; ++l) {
+      p1_[base + l] = 1.0;
+      p2_[base + l] = 1.0;
+    }
+  }
+
+  /// True iff the row runs through a SIMD kernel (uniform non-kNone kind).
+  bool fast(std::size_t row) const { return kind_[row] != Kind::kNone; }
+
+  /// Evaluates the whole row: g[l] = h'_l(x[l]) for l in [0, stride).
+  /// Requires fast(row). x and g point at the row's lane 0.
+  void run(const SimdKernels& kernels, std::size_t row, const double* x,
+           double* g) const {
+    const std::size_t base = row * stride_;
+    const double* p0 = p0_.data() + base;
+    const double* p1 = p1_.data() + base;
+    const double* p2 = p2_.data() + base;
+    const double* p3 = p3_.data() + base;
+    const double* sc = scale_.data() + base;
+    switch (kind_[row]) {
+      case Kind::kClamp:
+        kernels.gradient_clamp(x, p0, p1, p2, p3, sc, g, stride_);
+        break;
+      case Kind::kTanh:
+        kernels.gradient_tanh(x, p0, p1, sc, g, stride_);
+        break;
+      case Kind::kSmoothAbs:
+        kernels.gradient_smooth_abs(x, p0, p1, sc, g, stride_);
+        break;
+      case Kind::kSoftplusDiff:
+        kernels.gradient_softplus_diff(x, p0, p1, p2, sc, g, stride_);
+        break;
+      case Kind::kNone:
+        break;  // unreachable under the fast(row) precondition
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<Kind> kind_;
+  std::vector<double> p0_, p1_, p2_, p3_, scale_;
+};
+
+}  // namespace ftmao

@@ -18,6 +18,7 @@
 #include "core/step_size.hpp"
 #include "core/valid_set.hpp"
 #include "net/batch.hpp"
+#include "sim/batch_grad.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -80,35 +81,23 @@ class BatchedSbgRunner {
     bg_.resize(H_ * Bpad_);
     // Devirtualized gradient descriptors, SoA. A row (= one agent across
     // all replicas) takes the SIMD fast path only if every replica's cost
-    // exposes a closed-form clamp kernel; mixed rows keep the virtual
-    // per-replica derivative() calls. Padding lanes keep the
-    // zero-initialized descriptor (scale 0 -> gradient +0, benign).
-    ga_.resize(H_ * Bpad_);
-    gb_.resize(H_ * Bpad_);
-    glo_.resize(H_ * Bpad_);
-    ghi_.resize(H_ * Bpad_);
-    gscale_.resize(H_ * Bpad_);
-    grad_row_kernel_.assign(H_, 1);
+    // exposes the SAME kernel shape (clamp / tanh / smooth-abs /
+    // softplus-diff); mixed rows keep the virtual per-replica
+    // derivative() calls. finish_row gives transcendental padding lanes
+    // neutral widths (their shapes divide by the width parameter).
+    grad_.init(H_, Bpad_);
     for (std::size_t j = 0; j < H_; ++j) {
       const std::size_t idx = honest_ids_[j].value;
       for (std::size_t r = 0; r < B_; ++r) {
         const Scenario& s = replicas[r];
         const std::size_t l = lane(j, r);
         fns_[l] = s.functions[idx].get();
-        const BatchGradientKernel k = fns_[l]->batch_gradient_kernel();
-        if (k.valid) {
-          ga_[l] = k.a;
-          gb_[l] = k.b;
-          glo_[l] = k.lo;
-          ghi_[l] = k.hi;
-          gscale_[l] = k.scale;
-        } else {
-          grad_row_kernel_[j] = 0;
-        }
+        grad_.set(j, l, r == 0, fns_[l]->batch_gradient_kernel());
         double x0 = s.initial_states[idx];
         if (s.constraint) x0 = s.constraint->project(x0);
         x_[l] = x0;
       }
+      grad_.finish_row(j, B_);
     }
 
     schedules_.reserve(B_);
@@ -262,10 +251,11 @@ class BatchedSbgRunner {
   }
 
   // Step 1: every engine-honest agent's broadcast, SoA. Rows whose costs
-  // all expose a closed-form clamp descriptor evaluate h'(x) through the
-  // SIMD gradient kernel — one indirect call per row instead of one
-  // virtual call per lane; derivative() is pure, so the reordering is
-  // unobservable and the kernel is pinned bitwise to derivative() by the
+  // all expose the same closed-form descriptor shape (clamp or one of
+  // the transcendental kinds) evaluate h'(x) through the SIMD gradient
+  // kernel — one indirect call per row instead of one virtual call per
+  // lane; derivative() is pure, so the reordering is unobservable and
+  // every kernel is pinned bitwise to derivative() by the
   // BatchGradientKernel contract. The per-replica AoS views are
   // materialized only when adversaries exist to observe them.
   void broadcast_phase(Round t) {
@@ -277,10 +267,8 @@ class BatchedSbgRunner {
       double* bx = bx_.data() + base;
       double* bg = bg_.data() + base;
       std::memcpy(bx, x, Bpad_ * sizeof(double));
-      if (grad_row_kernel_[j]) {
-        kernels_->gradient_clamp(x, ga_.data() + base, gb_.data() + base,
-                                 glo_.data() + base, ghi_.data() + base,
-                                 gscale_.data() + base, bg, Bpad_);
+      if (grad_.fast(j)) {
+        grad_.run(*kernels_, j, x, bg);
       } else {
         for (std::size_t r = 0; r < B_; ++r)
           bg[r] = fns_[base + r]->derivative(x[r]);
@@ -504,10 +492,9 @@ class BatchedSbgRunner {
   std::vector<double> bx_;  ///< this round's broadcast states
   std::vector<double> bg_;  ///< this round's broadcast gradients
 
-  // Devirtualized gradient descriptors (H x Bpad, SoA) and per-row
-  // eligibility flags; see BatchGradientKernel.
-  std::vector<double> ga_, gb_, glo_, ghi_, gscale_;
-  std::vector<std::uint8_t> grad_row_kernel_;
+  // Devirtualized gradient descriptors (H x Bpad, SoA) with per-row
+  // kernel kinds; see BatchGradientKernel / BatchGradientPlanes.
+  BatchGradientPlanes grad_;
 
   // Per-replica projection parameters for the fused step (length Bpad).
   std::vector<double> clo_, chi_, pemask_;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "sim/batch_grad.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -102,6 +103,29 @@ class BatchedVectorSbgRunner {
       }
     }
 
+    // Devirtualized gradient planes: agent row j takes the SIMD kernel
+    // path iff every replica's cost j publishes per-coordinate
+    // descriptors of one uniform kind (sim/batch_grad.hpp). Lanes follow
+    // the engine layout l = k * B_ + r; the padding tail [L_, Lpad_)
+    // gets neutral widths so transcendental rows stay finite there.
+    grad_.init(H_, Lpad_);
+    {
+      std::vector<BatchGradientKernel> ks;
+      for (std::size_t j = 0; j < H_; ++j) {
+        for (std::size_t r = 0; r < B_; ++r) {
+          ks.clear();
+          if (!replicas_[r].honest_costs[j]->batch_gradient_kernels(ks) ||
+              ks.size() != d_) {
+            grad_.devirtualize(j);
+            continue;
+          }
+          for (std::size_t k = 0; k < d_; ++k)
+            grad_.set(j, j * Lpad_ + k * B_ + r, r == 0 && k == 0, ks[k]);
+        }
+        grad_.finish_row(j, L_);
+      }
+    }
+
     if (F_ > 0) {
       views_.resize(B_);
       for (std::size_t r = 0; r < B_; ++r) {
@@ -166,6 +190,14 @@ class BatchedVectorSbgRunner {
   void broadcast_phase() {
     std::memcpy(bx_.data(), x_.data(), H_ * Lpad_ * sizeof(double));
     for (std::size_t j = 0; j < H_; ++j) {
+      if (grad_.fast(j)) {
+        // Closed-form row: one SIMD sweep over all coordinates and
+        // replicas at once. Padding lanes compute +0.0 (scale 0), the
+        // same bits the zero-initialized plane held before.
+        grad_.run(*kernels_, j, x_.data() + j * Lpad_,
+                  bg_.data() + j * Lpad_);
+        continue;
+      }
       for (std::size_t r = 0; r < B_; ++r) {
         for (std::size_t k = 0; k < d_; ++k) xv_[k] = x(j, k, r);
         replicas_[r].honest_costs[j]->gradient_into(xv_, gv_);
@@ -314,6 +346,7 @@ class BatchedVectorSbgRunner {
   std::vector<std::unique_ptr<VectorAdversary>> adversaries_;
   std::vector<std::vector<Received<VecPayload>>> views_;
   std::vector<VectorRunResult> results_;
+  BatchGradientPlanes grad_;
   Vec xv_, gv_;
 };
 

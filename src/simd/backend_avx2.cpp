@@ -32,6 +32,12 @@ struct Avx2Lanes {
   static Vec less(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
   static Vec select(Vec m, Vec t, Vec f) { return _mm256_blendv_pd(f, t, m); }
   static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+  static Vec sqrt(Vec a) { return _mm256_sqrt_pd(a); }
+  static Vec exp2i(Vec t) {
+    const __m256i b =
+        _mm256_add_epi64(_mm256_castpd_si256(t), _mm256_set1_epi64x(1023));
+    return _mm256_castsi256_pd(_mm256_slli_epi64(b, 52));
+  }
 };
 
 }  // namespace

@@ -51,6 +51,16 @@ struct Avx512Lanes {
     return _mm512_mask_blend_pd(vec_to_mask(m), f, t);
   }
   static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+  // The maskz (all-lanes-kept) variants below emit the same VSQRTPD /
+  // VPSLLQ as the plain intrinsics, but avoid the _mm512_undefined_*
+  // merge operand in gcc's headers, which trips -Wmaybe-uninitialized
+  // noise on every build.
+  static Vec sqrt(Vec a) { return _mm512_maskz_sqrt_pd(0xff, a); }
+  static Vec exp2i(Vec t) {
+    const __m512i b =
+        _mm512_add_epi64(_mm512_castpd_si512(t), _mm512_set1_epi64(1023));
+    return _mm512_castsi512_pd(_mm512_maskz_slli_epi64(0xff, b, 52));
+  }
 };
 
 }  // namespace

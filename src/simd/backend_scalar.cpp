@@ -1,6 +1,9 @@
 // Scalar (width-1) backend: the portable reference every wider backend
-// must match bit-for-bit. Compiled with the tree's default flags — this
-// TU *is* the determinism baseline, so it gets no special options.
+// must match bit-for-bit. Compiled with the tree's default flags plus
+// -ffp-contract=off: this TU *is* the determinism baseline, and on
+// targets whose baseline ISA has fused multiply-add (aarch64) the
+// default contraction could otherwise fuse a*b+c inside the det-math
+// polynomials, silently diverging from the x86 backends.
 
 #include "simd/lanes_impl.hpp"
 #include "simd/simd.hpp"

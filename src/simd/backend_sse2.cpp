@@ -30,6 +30,11 @@ struct Sse2Lanes {
     return _mm_or_pd(_mm_and_pd(m, t), _mm_andnot_pd(m, f));
   }
   static Vec bitselect(Vec m, Vec t, Vec f) { return select(m, t, f); }
+  static Vec sqrt(Vec a) { return _mm_sqrt_pd(a); }
+  static Vec exp2i(Vec t) {
+    const __m128i b = _mm_add_epi64(_mm_castpd_si128(t), _mm_set1_epi64x(1023));
+    return _mm_castsi128_pd(_mm_slli_epi64(b, 52));
+  }
 };
 
 }  // namespace

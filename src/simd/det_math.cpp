@@ -1,0 +1,109 @@
+// Scalar deterministic transcendentals — the width-1 instantiations of
+// simd/det_math_impl.hpp, plus the log-side helpers the value() paths
+// need. This TU is compiled with -ffp-contract=off on every target
+// (src/simd/CMakeLists.txt): it is the reference the vector backends
+// must match bitwise, and baseline-FMA targets (aarch64) would
+// otherwise be free to contract a*b+c inside the polynomials.
+
+#include "simd/det_math.hpp"
+
+#include <cmath>
+
+#include "simd/lanes_impl.hpp"
+
+namespace ftmao::detmath {
+
+namespace {
+
+using S = simd_detail::ScalarLanes;
+
+// ln(2), correctly rounded.
+constexpr double kLn2 = 0x1.62e42fefa39efp-1;
+
+// 1/(2k+1) for the atanh series of det_log1p01 — exact small-integer
+// divisions like every other coefficient in the det suite. 19 terms:
+// s <= 1/3, so the truncated tail is below s^39/39 < 3e-20.
+constexpr double kLogC[19] = {
+    1.0,        1.0 / 3.0,  1.0 / 5.0,  1.0 / 7.0,  1.0 / 9.0,
+    1.0 / 11.0, 1.0 / 13.0, 1.0 / 15.0, 1.0 / 17.0, 1.0 / 19.0,
+    1.0 / 21.0, 1.0 / 23.0, 1.0 / 25.0, 1.0 / 27.0, 1.0 / 29.0,
+    1.0 / 31.0, 1.0 / 33.0, 1.0 / 35.0, 1.0 / 37.0,
+};
+
+}  // namespace
+
+double det_exp(double x) { return simd_detail::det_exp_v<S>(x); }
+
+double det_tanh(double z) { return simd_detail::det_tanh_v<S>(z); }
+
+double det_sigmoid(double z) { return simd_detail::det_sigmoid_v<S>(z); }
+
+double det_sigmoid_prime(double z) {
+  const double s = det_sigmoid(z);
+  return s * (1.0 - s);
+}
+
+double det_log1p01(double q) {
+  // ln(1+q) = 2 atanh(q/(2+q)); for q in [0,1], s = q/(2+q) <= 1/3.
+  const double s = q / (2.0 + q);
+  const double s2 = s * s;
+  double p = kLogC[18];
+  for (int i = 17; i >= 0; --i) p = p * s2 + kLogC[i];
+  return 2.0 * s * p;
+}
+
+double det_softplus(double z) {
+  // max(z, 0) + ln(1 + exp(-|z|)); exp's flush-to-zero tail makes the
+  // log term vanish exactly for z beyond +/-708, giving the asymptotes
+  // softplus(z) -> z and softplus(z) -> 0 with no cancellation.
+  const double az = z < 0.0 ? -z : z;
+  const double mx = z > 0.0 ? z : 0.0;
+  return mx + det_log1p01(det_exp(-az));
+}
+
+double val_log_cosh(double x, double center, double width, double scale) {
+  // log(cosh(z)) = |z| + ln(1 + exp(-2|z|)) - ln(2): exact at z = 0
+  // (ln2 - ln2), monotone to the asymptote |z| - ln2, and the exp
+  // argument is always <= 0 so det_log1p01's [0,1] domain holds.
+  const double z = (x - center) / width;
+  const double az = z < 0.0 ? -z : z;
+  const double lc = az + det_log1p01(det_exp(-2.0 * az)) - kLn2;
+  return scale * width * lc;
+}
+
+double val_smooth_abs(double x, double center, double eps, double scale) {
+  const double r = x - center;
+  return scale * (std::sqrt(r * r + eps * eps) - eps);
+}
+
+double val_softplus_basin(double x, double a, double b, double width,
+                          double scale) {
+  return scale * width *
+         (det_softplus((x - b) / width) + det_softplus((a - x) / width));
+}
+
+// The gradient helpers run the batch kernels at count = 1: scalar
+// derivative() and every SIMD lane are THE SAME instantiated code, so
+// bit-identity is by construction, not by parallel maintenance.
+
+double grad_tanh(double x, double center, double width, double scale) {
+  double g;
+  simd_detail::gradient_tanh_impl<S>(&x, &center, &width, &scale, &g, 1);
+  return g;
+}
+
+double grad_smooth_abs(double x, double center, double eps, double scale) {
+  double g;
+  simd_detail::gradient_smooth_abs_impl<S>(&x, &center, &eps, &scale, &g, 1);
+  return g;
+}
+
+double grad_softplus_diff(double x, double a, double b, double width,
+                          double scale) {
+  double g;
+  simd_detail::gradient_softplus_diff_impl<S>(&x, &a, &b, &width, &scale, &g,
+                                              1);
+  return g;
+}
+
+}  // namespace ftmao::detmath

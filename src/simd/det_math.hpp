@@ -1,0 +1,78 @@
+#pragma once
+
+// Scalar entry points for the deterministic transcendental math
+// (simd/det_math_impl.hpp). These are the ONLY exp/tanh/sigmoid the
+// transcendental cost families (func/functions.hpp: LogCosh, SmoothAbs,
+// SoftplusBasin) may call: each function here is the width-1
+// instantiation of the exact lane sequence the SIMD backends run, built
+// only from IEEE-pinned operations and compiled with -ffp-contract=off
+// (simd/det_math.cpp), so the scalar engine, every batch engine, and
+// every platform produce the same bits.
+//
+// Accuracy (pinned in tests/det_math_test.cpp): det_exp is within a few
+// ulp of the correctly rounded exp over [-708, 709]; det_tanh within a
+// few ulp everywhere (the worst lanes sit just above the small/large
+// crossover at |z| = 0.25, where (e-1) cancels ~1.4 bits). Documented
+// deviations from libm: det_exp saturates to +inf for x > 709 and
+// flushes to +0 below -708 (no denormal outputs); NaN propagates and
+// +/-0, +/-inf behave exactly as libm's.
+
+namespace ftmao::detmath {
+
+/// exp(x). Saturating tails at [-708, 709]; see header comment.
+double det_exp(double x);
+
+/// tanh(z). Exact +/-0 / denormal preservation, exact +/-1 saturation
+/// for |z| >= 20.
+double det_tanh(double z);
+
+/// Logistic sigmoid 1/(1+exp(-z)); sigma(+/-0) = 0.5, saturates to
+/// exactly 0/1 in the tails.
+double det_sigmoid(double z);
+
+/// sigma(z)*(1 - sigma(z)) — the sigmoid derivative, used for the
+/// tightened SoftplusBasin Lipschitz bound. Deterministic like the rest
+/// so bound values pin exactly across platforms.
+double det_sigmoid_prime(double z);
+
+/// ln(1 + q) for q in [0, 1] (atanh series on s = q/(2+q), s <= 1/3).
+/// Serves the value() paths, which reduce log/log1p calls to this range.
+double det_log1p01(double q);
+
+/// log(1 + exp(z)) = max(z, 0) + ln(1 + exp(-|z|)), deterministic.
+double det_softplus(double z);
+
+// ---- family value/gradient helpers --------------------------------------
+// The families delegate wholesale so every numeric path (value for
+// certificates, derivative for the scalar engine) lives in the one
+// -ffp-contract=off TU.
+
+/// LogCosh value: scale * width * log(cosh((x - center)/width)).
+double val_log_cosh(double x, double center, double width, double scale);
+
+/// SmoothAbs value: scale * (sqrt(r^2 + eps^2) - eps), r = x - center.
+/// (sqrt instead of the previous std::hypot: correctly rounded per
+/// IEEE 754, hence bit-stable; can overflow for |r| > ~1e154, far
+/// outside any admissible engine state.)
+double val_smooth_abs(double x, double center, double eps, double scale);
+
+/// SoftplusBasin value:
+/// scale * width * (softplus((x-b)/width) + softplus((a-x)/width)).
+double val_softplus_basin(double x, double a, double b, double width,
+                          double scale);
+
+/// LogCosh derivative: scale * tanh((x - center)/width). Identical to
+/// one lane of SimdKernels::gradient_tanh by construction.
+double grad_tanh(double x, double center, double width, double scale);
+
+/// SmoothAbs derivative: scale * r / sqrt(r^2 + eps^2). One lane of
+/// SimdKernels::gradient_smooth_abs.
+double grad_smooth_abs(double x, double center, double eps, double scale);
+
+/// SoftplusBasin derivative:
+/// scale * (sigma((x-b)/w) - sigma((a-x)/w)). One lane of
+/// SimdKernels::gradient_softplus_diff.
+double grad_softplus_diff(double x, double a, double b, double width,
+                          double scale);
+
+}  // namespace ftmao::detmath

@@ -1,0 +1,242 @@
+#pragma once
+
+// Deterministic transcendental kernels, width-agnostic.
+//
+// This header is a fragment of ftmao::simd_detail: it is included by
+// simd/lanes_impl.hpp AFTER the DoubleLanes helpers (lane_min / lane_max /
+// lane_clamp) are defined, and instantiates against the same policy types.
+// Do not include it directly from outside src/simd.
+//
+// The math here replaces libm for the transcendental cost families
+// (LogCosh, SmoothAbs, SoftplusBasin). libm's exp/tanh are NOT part of
+// the determinism contract — different libms (glibc vs musl vs Apple) and
+// different ISAs round the last bit differently — so the batch engines
+// could never devirtualize those rows against a libm scalar reference.
+// These routines are built only from operations IEEE 754 pins exactly
+// (+, −, ×, ÷, sqrt, compares, blends, integer bit shifts), evaluated in
+// one fixed order, so every backend and every platform produces the same
+// bits. docs/performance.md ("Deterministic transcendentals") carries the
+// full argument.
+//
+// ftmao_exp — exp(x) via Cody–Waite range reduction:
+//
+//   k = round_to_nearest_even(x * log2(e))   (magic-constant add: adding
+//       1.5·2^52 forces the round in the FPU adder itself — branch-free,
+//       identical everywhere, and works on SSE2 which has no floor)
+//   r = (x − k·ln2_hi) − k·ln2_lo            (|r| <= 0.3466; ln2_hi has
+//       its low 26 mantissa bits zero, so k·ln2_hi is EXACT for |k|<2^26)
+//   exp(x) = 2^k · P13(r)                     (degree-13 Taylor, Horner;
+//       truncation < 5e-18 relative, below half an ulp)
+//
+// 2^k is constructed by integer arithmetic on the magic-summed double
+// (exp2i): no table, no second rounding. Documented deviations from libm:
+// x > 709 saturates to +inf (libm overflows at ~709.78 — staying at or
+// under 2^1023 keeps exp2i's exponent field in range) and x < −708
+// flushes to +0 (no denormal outputs). NaN propagates: every tail
+// override triggers only on a TRUE ordered compare, which NaN fails.
+//
+// ftmao_tanh — three regimes, blended branch-free per lane:
+//   |z| <  0.25 : z · Q11(z²)   (odd Taylor through z²³; preserves ±0,
+//                                denormals, and the sign bit exactly)
+//   |z| >= 0.25 : t = (e − 1)/(e + 1) with e = exp(2·min(|z|, 20)); sign
+//                 restored by a compare+blend on the original z
+//   |z| >= 20   : the same formula saturates to ±1.0 exactly (e ≈ 2.4e17,
+//                 so e∓1 rounds to e and the quotient is literally 1.0 —
+//                 which IS the correctly rounded tanh there)
+//
+// sigmoid — σ(z) = select(z<0, e, 1) / (1 + e) with e = exp(−|z|):
+// the numerically stable two-sided form, one division, saturating to
+// exactly 0/1 through exp's tails. σ(±0) = 0.5 both ways.
+//
+// All polynomial coefficients are exact small-integer IEEE divisions
+// (1/6!, −17/315, …) folded at compile time — correctly rounded by the
+// standard, so no decimal-literal parsing can vary across toolchains.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ftmao::simd_detail {
+
+inline constexpr double kDetLog2E = 0x1.71547652b82fep+0;
+inline constexpr double kDetLn2Hi = 0x1.62e42fee00000p-1;  // low 26 bits zero
+inline constexpr double kDetLn2Lo = 0x1.a39ef35793c76p-33;
+inline constexpr double kDetExpMagic = 6755399441055744.0;  // 1.5 * 2^52
+inline constexpr double kDetExpHi = 709.0;   // exp(709) < DBL_MAX
+inline constexpr double kDetExpLo = -708.0;  // exp(-708) > DBL_MIN
+inline constexpr double kDetTanhSmall = 0.25;
+inline constexpr double kDetTanhSat = 20.0;
+
+// 1/k! for the exp Taylor polynomial (all factorials < 2^53, so each
+// quotient is one correctly rounded division).
+inline constexpr double kDetExpC[14] = {
+    1.0,
+    1.0,
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362880.0,
+    1.0 / 3628800.0,
+    1.0 / 39916800.0,
+    1.0 / 479001600.0,
+    1.0 / 6227020800.0,
+};
+
+// tanh(z)/z = Q(z²): Taylor coefficients of z^(2k+1), exact rationals
+// (numerators and denominators all < 2^53).
+inline constexpr double kDetTanhC[12] = {
+    1.0,
+    -1.0 / 3.0,
+    2.0 / 15.0,
+    -17.0 / 315.0,
+    62.0 / 2835.0,
+    -1382.0 / 155925.0,
+    21844.0 / 6081075.0,
+    -929569.0 / 638512875.0,
+    6404582.0 / 10854718875.0,
+    -443861162.0 / 1856156927625.0,
+    18888466084.0 / 194896477400625.0,
+    -113927491862.0 / 2900518163668125.0,
+};
+
+/// exp(x), deterministic. See the header comment for the tails.
+template <class L>
+inline typename L::Vec det_exp_v(typename L::Vec x) {
+  using V = typename L::Vec;
+  const V magic = L::broadcast(kDetExpMagic);
+  const V lo = L::broadcast(kDetExpLo);
+  const V hi = L::broadcast(kDetExpHi);
+  // Clamp BEFORE the reduction so exp2i's exponent arithmetic stays in
+  // range; the true tails are blended in afterwards. NaN passes through
+  // the clamp (both ordered compares are false) and poisons the result.
+  const V xc = lane_clamp<L>(x, lo, hi);
+  const V t = L::add(L::mul(xc, L::broadcast(kDetLog2E)), magic);
+  const V k = L::sub(t, magic);
+  const V r = L::sub(L::sub(xc, L::mul(k, L::broadcast(kDetLn2Hi))),
+                     L::mul(k, L::broadcast(kDetLn2Lo)));
+  V p = L::broadcast(kDetExpC[13]);
+  for (int i = 12; i >= 0; --i)
+    p = L::add(L::mul(p, r), L::broadcast(kDetExpC[i]));
+  V res = L::mul(p, L::exp2i(t));
+  res = L::select(L::less(x, lo), L::broadcast(0.0), res);
+  res = L::select(L::less(hi, x),
+                  L::broadcast(std::numeric_limits<double>::infinity()), res);
+  return res;
+}
+
+/// tanh(z), deterministic; exact ±0 / denormal / ±1-saturation behavior.
+template <class L>
+inline typename L::Vec det_tanh_v(typename L::Vec z) {
+  using V = typename L::Vec;
+  const V zero = L::broadcast(0.0);
+  const V one = L::broadcast(1.0);
+  const auto neg = L::less(z, zero);
+  const V az = L::select(neg, L::sub(zero, z), z);
+  // Small path: z * Q(z²). For |z| < 0.25 the truncation is < 2e-20;
+  // z² underflowing to +0 on denormal inputs makes Q = 1 and the result
+  // the (correctly rounded) input itself.
+  const V z2 = L::mul(z, z);
+  V q = L::broadcast(kDetTanhC[11]);
+  for (int i = 10; i >= 0; --i)
+    q = L::add(L::mul(q, z2), L::broadcast(kDetTanhC[i]));
+  const V small = L::mul(z, q);
+  // Large path on |z| clamped to 20: beyond that e∓1 rounds to e and the
+  // quotient is exactly 1.0 — the correctly rounded tanh. (Without the
+  // clamp, exp would saturate to +inf and inf/inf would poison the lane.)
+  const V azc = lane_min<L>(az, L::broadcast(kDetTanhSat));
+  const V e = det_exp_v<L>(L::add(azc, azc));
+  const V t = L::div(L::sub(e, one), L::add(e, one));
+  const V big = L::select(neg, L::sub(zero, t), t);
+  return L::select(L::less(az, L::broadcast(kDetTanhSmall)), small, big);
+}
+
+/// Logistic sigmoid σ(z) = 1/(1+exp(−z)), deterministic two-sided form.
+template <class L>
+inline typename L::Vec det_sigmoid_v(typename L::Vec z) {
+  using V = typename L::Vec;
+  const V zero = L::broadcast(0.0);
+  const V one = L::broadcast(1.0);
+  const auto neg = L::less(z, zero);
+  const V az = L::select(neg, L::sub(zero, z), z);
+  const V e = det_exp_v<L>(L::sub(zero, az));
+  return L::div(L::select(neg, e, one), L::add(one, e));
+}
+
+// ---- batch gradient kernels over the det routines -----------------------
+//
+// Lane sequences are the single source of truth for the transcendental
+// families' derivatives: the scalar derivative() calls the width-1
+// instantiation of exactly these bodies (simd/det_math.cpp), so scalar
+// engine, vector body, and vector tail agree bitwise by construction.
+
+/// g[k] = scale[k] * tanh((x[k] - c[k]) / w[k])  — LogCosh::derivative.
+template <class L>
+void gradient_tanh_impl(const double* x, const double* c, const double* w,
+                        const double* scale, double* g, std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec z =
+        L::div(L::sub(L::load(x + k), L::load(c + k)), L::load(w + k));
+    L::store(g + k, L::mul(L::load(scale + k), det_tanh_v<L>(z)));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    const double z = S::div(S::sub(x[k], c[k]), w[k]);
+    g[k] = S::mul(scale[k], det_tanh_v<S>(z));
+  }
+}
+
+/// g[k] = scale[k] * r / sqrt(r² + eps²), r = x[k] - c[k]
+/// — SmoothAbs::derivative (sqrt is correctly rounded by IEEE 754, so
+/// this form is bit-stable where libm's hypot is not).
+template <class L>
+void gradient_smooth_abs_impl(const double* x, const double* c,
+                              const double* eps, const double* scale,
+                              double* g, std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec r = L::sub(L::load(x + k), L::load(c + k));
+    const typename L::Vec ev = L::load(eps + k);
+    const typename L::Vec d =
+        L::div(r, L::sqrt(L::add(L::mul(r, r), L::mul(ev, ev))));
+    L::store(g + k, L::mul(L::load(scale + k), d));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    const double r = S::sub(x[k], c[k]);
+    const double d =
+        S::div(r, S::sqrt(S::add(S::mul(r, r), S::mul(eps[k], eps[k]))));
+    g[k] = S::mul(scale[k], d);
+  }
+}
+
+/// g[k] = scale[k] * (σ((x[k]-b[k])/w[k]) − σ((a[k]-x[k])/w[k]))
+/// — SoftplusBasin::derivative.
+template <class L>
+void gradient_softplus_diff_impl(const double* x, const double* a,
+                                 const double* b, const double* w,
+                                 const double* scale, double* g,
+                                 std::size_t count) {
+  std::size_t k = 0;
+  for (; k + L::kWidth <= count; k += L::kWidth) {
+    const typename L::Vec xv = L::load(x + k);
+    const typename L::Vec wv = L::load(w + k);
+    const typename L::Vec sb =
+        det_sigmoid_v<L>(L::div(L::sub(xv, L::load(b + k)), wv));
+    const typename L::Vec sa =
+        det_sigmoid_v<L>(L::div(L::sub(L::load(a + k), xv), wv));
+    L::store(g + k, L::mul(L::load(scale + k), L::sub(sb, sa)));
+  }
+  for (; k < count; ++k) {
+    using S = ScalarLanes;
+    const double sb = det_sigmoid_v<S>(S::div(S::sub(x[k], b[k]), w[k]));
+    const double sa = det_sigmoid_v<S>(S::div(S::sub(a[k], x[k]), w[k]));
+    g[k] = S::mul(scale[k], S::sub(sb, sa));
+  }
+}
+
+}  // namespace ftmao::simd_detail

@@ -16,6 +16,15 @@
 //   static Vec  select(Vec m, Vec t, Vec f);     // m ? t : f, m from less()
 //   static Vec  bitselect(Vec m, Vec t, Vec f);  // m ? t : f, m a *stored*
 //                                                // all-ones/all-zeros mask
+//   static Vec  sqrt(Vec);                 // IEEE 754 square root — the
+//                                          // standard requires correct
+//                                          // rounding, so hardware SQRTPD
+//                                          // and std::sqrt agree bitwise
+//   static Vec  exp2i(Vec t);              // 2^k for t = k + 1.5*2^52:
+//                                          // ((bits(t) + 1023) << 52)
+//                                          // reinterpreted as double —
+//                                          // pure integer lane ops (see
+//                                          // simd/det_math_impl.hpp)
 //
 // Every kernel body below performs the identical IEEE operation sequence
 // per lane in every instantiation; vector tails reuse the scalar policy
@@ -29,6 +38,7 @@
 // flagged objects).
 
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -57,6 +67,11 @@ struct ScalarLanes {
   static Vec bitselect(Vec m, Vec t, Vec f) {
     return std::bit_cast<std::uint64_t>(m) != 0 ? t : f;
   }
+  static Vec sqrt(Vec a) { return std::sqrt(a); }
+  static Vec exp2i(Vec t) {
+    return std::bit_cast<double>(
+        (std::bit_cast<std::uint64_t>(t) + 1023u) << 52u);
+  }
 };
 
 // std::min / std::max tie semantics (first argument wins on equality),
@@ -79,6 +94,15 @@ inline typename L::Vec lane_clamp(typename L::Vec v, typename L::Vec lo,
                                   typename L::Vec hi) {
   return lane_min<L>(lane_max<L>(v, lo), hi);
 }
+
+}  // namespace ftmao::simd_detail
+
+// Deterministic exp/tanh/sigmoid and the transcendental gradient kernels.
+// Lives in its own header for readability; it extends ftmao::simd_detail
+// and uses the lane helpers above, so it must be included exactly here.
+#include "simd/det_math_impl.hpp"  // NOLINT(misc-include-cleaner)
+
+namespace ftmao::simd_detail {
 
 template <class L>
 void sort_network_impl(double* data, std::size_t stride,
@@ -211,6 +235,9 @@ SimdKernels make_kernels(SimdIsa isa, const char* name) {
   k.accumulate_rows = &accumulate_rows_impl<L>;
   k.divide_rows = &divide_rows_impl<L>;
   k.gradient_clamp = &gradient_clamp_impl<L>;
+  k.gradient_tanh = &gradient_tanh_impl<L>;
+  k.gradient_smooth_abs = &gradient_smooth_abs_impl<L>;
+  k.gradient_softplus_diff = &gradient_softplus_diff_impl<L>;
   k.fused_step = &fused_step_impl<L>;
   k.masked_blend = &masked_blend_impl<L>;
   return k;

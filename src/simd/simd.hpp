@@ -108,6 +108,29 @@ struct SimdKernels {
                          const double* lo, const double* hi,
                          const double* scale, double* g, std::size_t count);
 
+  /// g[k] = scale[k] * tanh((x[k] - c[k]) / w[k])
+  /// — the LogCosh batch gradient. tanh here is the deterministic
+  /// polynomial implementation (simd/det_math_impl.hpp), NOT libm: the
+  /// scalar LogCosh::derivative calls the width-1 instantiation of the
+  /// same body, so this is bit-identical to the virtual path on every
+  /// backend and platform.
+  void (*gradient_tanh)(const double* x, const double* c, const double* w,
+                        const double* scale, double* g, std::size_t count);
+
+  /// g[k] = scale[k] * r / sqrt(r^2 + eps[k]^2), r = x[k] - c[k]
+  /// — the SmoothAbs batch gradient (sqrt is correctly rounded by
+  /// IEEE 754, so it is bit-stable across backends like add/mul).
+  void (*gradient_smooth_abs)(const double* x, const double* c,
+                              const double* eps, const double* scale, double* g,
+                              std::size_t count);
+
+  /// g[k] = scale[k] * (sigmoid((x[k]-b[k])/w[k]) - sigmoid((a[k]-x[k])/w[k]))
+  /// — the SoftplusBasin batch gradient, on the deterministic sigmoid.
+  void (*gradient_softplus_diff)(const double* x, const double* a,
+                                 const double* b, const double* w,
+                                 const double* scale, double* g,
+                                 std::size_t count);
+
   /// Fused projected SBG step, x <- Pi(x - lambda[t] * g):
   ///   u[k]    = tx[k] - lambda[k] * tg[k]
   ///   next[k] = clamp(u[k], clo[k], chi[k])

@@ -56,6 +56,17 @@ double SeparableHuber::gradient_bound() const {
   return scale_ * delta_ * std::sqrt(static_cast<double>(dim()));
 }
 
+bool SeparableHuber::batch_gradient_kernels(
+    std::vector<BatchGradientKernel>& out) const {
+  // huber_slope(r, delta) == clamp(min(r,0) + max(r,0), -delta, delta)
+  // bit-for-bit (std tie semantics make min+max the identity on r), so
+  // the clamp descriptor reproduces gradient_into exactly.
+  for (std::size_t k = 0; k < dim(); ++k)
+    out.push_back(BatchGradientKernel::clamp(center_[k], center_[k], -delta_,
+                                             delta_, scale_));
+  return true;
+}
+
 // ------------------------------------------------------------ RadialHuber
 
 RadialHuber::RadialHuber(Vec center, double delta, double scale)
@@ -133,6 +144,14 @@ void ScalarAsVector::gradient_into(const Vec& x, Vec& out) const {
 
 Vec ScalarAsVector::a_minimizer() const {
   return Vec(1, scalar_->argmin().midpoint());
+}
+
+bool ScalarAsVector::batch_gradient_kernels(
+    std::vector<BatchGradientKernel>& out) const {
+  const BatchGradientKernel k = scalar_->batch_gradient_kernel();
+  if (!k.valid()) return false;
+  out.push_back(k);
+  return true;
 }
 
 // ------------------------------------------------------ VectorWeightedSum

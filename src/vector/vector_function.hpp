@@ -5,6 +5,7 @@
 // compact argmin, gradient bounded and Lipschitz.
 
 #include <memory>
+#include <vector>
 
 #include "func/scalar_function.hpp"
 #include "vector/vec.hpp"
@@ -31,6 +32,19 @@ class VectorFunction {
 
   /// Some point in argmin (the argmin need not be a box in general).
   virtual Vec a_minimizer() const = 0;
+
+  /// Per-coordinate closed-form gradient descriptors, if the gradient is
+  /// SEPARABLE and every coordinate fits a BatchGradientKernel shape:
+  /// appends dim() descriptors to `out` (coordinate order) and returns
+  /// true, in which case out[k].evaluate(x[k]) == gradient_into(x)[k]
+  /// bit-for-bit for every x. Coupled gradients (RadialHuber,
+  /// DirectionalHuber, sums) return false and keep the virtual path in
+  /// the batched vector engine. Default: false, `out` untouched.
+  virtual bool batch_gradient_kernels(
+      std::vector<BatchGradientKernel>& out) const {
+    (void)out;
+    return false;
+  }
 };
 
 using VectorFunctionPtr = std::shared_ptr<const VectorFunction>;
@@ -48,6 +62,10 @@ class SeparableHuber final : public VectorFunction {
   void gradient_into(const Vec& x, Vec& out) const override;
   double gradient_bound() const override;
   Vec a_minimizer() const override { return center_; }
+  /// dim() clamp descriptors — gradient_into's per-coordinate
+  /// scale * clamp(x[k] - c[k], -delta, delta) in closed form.
+  bool batch_gradient_kernels(
+      std::vector<BatchGradientKernel>& out) const override;
 
  private:
   Vec center_;
@@ -111,6 +129,11 @@ class ScalarAsVector final : public VectorFunction {
   double gradient_bound() const override { return scalar_->gradient_bound(); }
   /// Midpoint of the scalar argmin interval.
   Vec a_minimizer() const override;
+  /// The wrapped scalar's descriptor (one coordinate), if it has one —
+  /// keeps the d=1 collapse on the devirtualized path for every family
+  /// the scalar engines devirtualize.
+  bool batch_gradient_kernels(
+      std::vector<BatchGradientKernel>& out) const override;
 
   const ScalarFunctionPtr& scalar() const { return scalar_; }
 

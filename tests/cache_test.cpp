@@ -76,10 +76,14 @@ std::string sweep_csv(const SweepConfig& config) {
 // across a numeric change.
 
 TEST(CellKey, GoldenHashesArePinned) {
+  // Default-rev pin (currently rev 2: deterministic transcendental
+  // derivatives) plus an explicit future-rev pin so the grammar itself
+  // stays covered independently of the default.
+  static_assert(kEngineSchemaRev == 2);
   EXPECT_EQ(make_cell_key("golden-spec-a").hex(),
-            "f6fd32620bbbe5d50e981554efd2b7f0");
-  EXPECT_EQ(make_cell_key("golden-spec-a", 2).hex(),
             "d0b2426f24d8ace9c66a898094951d99");
+  EXPECT_EQ(make_cell_key("golden-spec-a", 3).hex(),
+            "98d6c23e5acf9884c0db568c834d1e7e");
 }
 
 TEST(CellKey, HexIs32LowercaseChars) {
@@ -111,7 +115,7 @@ TEST(CellKey, SweepSpecGrammarIsPinned) {
             "sweep;family=std-mixed;n=7;f=2;dim=1;attack=split-brain;"
             "spread=8;rounds=4000;step=harmonic:1:0.75;seeds=1,2,3;"
             "constraint=none;engine=sync");
-  EXPECT_EQ(make_cell_key(spec).hex(), "d21b2ad934efe7681f6af2ec07257603");
+  EXPECT_EQ(make_cell_key(spec).hex(), "ba6fde6b609b0e291b3ec2e794e12ab5");
 
   SweepConfig async_config = config;
   async_config.sizes = {{11, 2}};
@@ -124,7 +128,7 @@ TEST(CellKey, SweepSpecGrammarIsPinned) {
             "spread=8;rounds=4000;step=harmonic:1:0.75;seeds=1,2,3;"
             "constraint=none;engine=async;delay=uniform:0.5:1.5");
   EXPECT_EQ(make_cell_key(async_spec).hex(),
-            "893421c446ff26d9ccc98c0e788e2a8b");
+            "1b45fc458d3f63e01adc22e7ef2252b1");
 }
 
 TEST(CellKey, CanonDoubleRoundTripsShortest) {
@@ -288,6 +292,26 @@ TEST(ResultCache, CrossRevisionRecordIsAMiss) {
   ResultCache cache{CacheConfig{dir.string(), 256 << 20}};
   EXPECT_FALSE(cache.lookup(make_cell_key("rev-spec", 2)).has_value());
   EXPECT_EQ(cache.stats().disk_errors, 0u);
+}
+
+TEST(ResultCache, PreBumpDiskRecordIsAMissUnderCurrentDefault) {
+  // The rev-1 → rev-2 bump (deterministic transcendental derivatives)
+  // specifically: a disk tier populated before the bump serves nothing
+  // to a post-bump binary, without a single disk error — stale results
+  // age out silently rather than poisoning the new numerics.
+  const auto dir = fresh_dir("prebump");
+  const CellKey old_key = make_cell_key("prebump-spec", kEngineSchemaRev - 1);
+  {
+    ResultCache cache{CacheConfig{dir.string(), 256 << 20}};
+    cache.insert(old_key, "pre-bump-bits");
+  }
+  ResultCache cache{CacheConfig{dir.string(), 256 << 20}};
+  EXPECT_FALSE(cache.lookup(make_cell_key("prebump-spec")).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.disk_errors, 0u);
+  // The old record itself is intact and still addressable by its own key.
+  ASSERT_TRUE(cache.lookup(old_key).has_value());
 }
 
 TEST(ResultCache, TruncatedRecordIsAMissNotAnError) {

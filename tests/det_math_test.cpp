@@ -1,0 +1,264 @@
+// Accuracy + determinism harness for the deterministic transcendental
+// kernels (src/simd/det_math*). Three layers of guarantee:
+//
+//  1. Accuracy: max ULP distance to a long-double libm reference over
+//     dense grids (including the tanh small/large crossover, where
+//     cancellation is worst) stays under pinned bounds.
+//  2. Determinism: selected outputs are pinned as exact bit patterns.
+//     These pins must hold on EVERY platform (the arm64 CI lane runs
+//     them too) — they are the cross-platform reproducibility contract.
+//  3. Backend identity: every compiled-and-supported SIMD backend's
+//     gradient_{tanh,smooth_abs,softplus_diff} kernel produces the same
+//     bits as the scalar detmath helpers, lane for lane, for
+//     heterogeneous parameters and every count/tail combination.
+//
+// Special values (±0, ±inf, NaN, denormals, saturation tails) are pinned
+// explicitly; the documented deviations from libm (det_exp saturating at
+// [-708, 709] instead of producing denormals) are asserted, not skipped.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simd/det_math.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+namespace {
+
+using detmath::det_exp;
+using detmath::det_log1p01;
+using detmath::det_sigmoid;
+using detmath::det_tanh;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Maps a finite double onto the integers so that adjacent representable
+// values differ by 1 (two's-complement trick over the sign-magnitude
+// encoding); the ULP distance is then a plain integer difference.
+std::int64_t ordered(double x) {
+  const std::uint64_t b = bits(x);
+  const std::int64_t mag = static_cast<std::int64_t>(b & 0x7fffffffffffffffull);
+  return (b >> 63) ? -mag : mag;
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  return std::llabs(ordered(a) - ordered(b));
+}
+
+// Worst ULP distance of f vs reference over a dense inclusive grid.
+std::int64_t max_ulp_on_grid(double lo, double hi, int n,
+                             double (*f)(double),
+                             long double (*reference)(long double)) {
+  std::int64_t worst = 0;
+  for (int i = 0; i <= n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n);
+    const double ref = static_cast<double>(reference(static_cast<long double>(x)));
+    worst = std::max(worst, ulp_distance(f(x), ref));
+  }
+  return worst;
+}
+
+long double ref_sigmoid(long double z) { return 1.0L / (1.0L + expl(-z)); }
+
+// ---------------------------------------------------------------- accuracy
+
+TEST(DetMath, ExpUlpBoundOverFullRange) {
+  // Measured worst ≈ 1.2 ulp; pinned with headroom. The grid spans the
+  // whole non-saturating domain.
+  EXPECT_LE(max_ulp_on_grid(-708.0, 709.0, 200000, det_exp, expl), 2);
+}
+
+TEST(DetMath, TanhUlpBound) {
+  // Measured worst ≈ 2.3 ulp, just above the |z| = 0.25 series/exp
+  // crossover where (e - 1) cancels ~1.4 bits; both the global grid and
+  // a dense window around the crossover are checked.
+  EXPECT_LE(max_ulp_on_grid(-25.0, 25.0, 200000, det_tanh, tanhl), 4);
+  EXPECT_LE(max_ulp_on_grid(0.24, 0.26, 50000, det_tanh, tanhl), 4);
+  EXPECT_LE(max_ulp_on_grid(-0.26, -0.24, 50000, det_tanh, tanhl), 4);
+}
+
+TEST(DetMath, SigmoidUlpBound) {
+  EXPECT_LE(max_ulp_on_grid(-50.0, 50.0, 200000, det_sigmoid, ref_sigmoid),
+            4);
+}
+
+TEST(DetMath, Log1p01UlpBound) {
+  EXPECT_LE(max_ulp_on_grid(0.0, 1.0, 200000, det_log1p01, log1pl), 4);
+}
+
+// ---------------------------------------------------------- special values
+
+TEST(DetMath, ExpSpecialValuesAndSaturationTails) {
+  EXPECT_EQ(bits(det_exp(0.0)), bits(1.0));
+  EXPECT_EQ(bits(det_exp(-0.0)), bits(1.0));
+  EXPECT_EQ(bits(det_exp(kInf)), bits(kInf));
+  EXPECT_EQ(bits(det_exp(-kInf)), bits(0.0));  // +0, not -0
+  EXPECT_TRUE(std::isnan(det_exp(kNaN)));
+  // exp of a denormal rounds to exactly 1.
+  EXPECT_EQ(bits(det_exp(std::numeric_limits<double>::denorm_min())),
+            bits(1.0));
+  // Saturation boundaries: 709 is still on the polynomial path (finite),
+  // anything above goes straight to +inf; -708 is finite (normal),
+  // anything below flushes to +0 (no denormal outputs, by design).
+  EXPECT_TRUE(std::isfinite(det_exp(709.0)));
+  EXPECT_GT(det_exp(709.0), 8.2e307);
+  EXPECT_EQ(bits(det_exp(709.5)), bits(kInf));
+  EXPECT_GT(det_exp(-708.0), 0.0);
+  EXPECT_TRUE(std::isnormal(det_exp(-708.0)));
+  EXPECT_EQ(bits(det_exp(-708.5)), bits(0.0));
+}
+
+TEST(DetMath, TanhSpecialValuesAndExactSaturation) {
+  // Signed zero preserved bit-for-bit.
+  EXPECT_EQ(bits(det_tanh(0.0)), bits(0.0));
+  EXPECT_EQ(bits(det_tanh(-0.0)), bits(-0.0));
+  EXPECT_EQ(bits(det_tanh(kInf)), bits(1.0));
+  EXPECT_EQ(bits(det_tanh(-kInf)), bits(-1.0));
+  EXPECT_TRUE(std::isnan(det_tanh(kNaN)));
+  // Exact ±1 saturation from |z| = 20 on.
+  EXPECT_EQ(bits(det_tanh(20.0)), bits(1.0));
+  EXPECT_EQ(bits(det_tanh(-20.0)), bits(-1.0));
+  EXPECT_EQ(bits(det_tanh(345.0)), bits(1.0));
+  // tanh(z) = z exactly for tiny z: denormals round-trip unchanged.
+  const double d = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(bits(det_tanh(d)), bits(d));
+  EXPECT_EQ(bits(det_tanh(-d)), bits(-d));
+}
+
+TEST(DetMath, SigmoidSpecialValues) {
+  EXPECT_EQ(bits(det_sigmoid(0.0)), bits(0.5));
+  EXPECT_EQ(bits(det_sigmoid(-0.0)), bits(0.5));
+  EXPECT_EQ(bits(det_sigmoid(kInf)), bits(1.0));
+  EXPECT_EQ(bits(det_sigmoid(-kInf)), bits(0.0));
+  EXPECT_TRUE(std::isnan(det_sigmoid(kNaN)));
+}
+
+// --------------------------------------------------- cross-platform pins
+
+TEST(DetMath, OutputBitsArePinnedAcrossPlatforms) {
+  // These exact bit patterns were produced by the straight-line IEEE
+  // sequence in det_math_impl.hpp and must reproduce on every platform
+  // and backend (x86 scalar/SSE2/AVX2/AVX-512 and arm64 all run this).
+  // A failure here means a non-IEEE-pinned operation (fused contraction,
+  // a libm call, an approximate reciprocal) crept into the kernels.
+  EXPECT_EQ(bits(det_exp(1.0)), 0x4005bf0a8b14576aull);
+  EXPECT_EQ(bits(det_exp(-1.0)), 0x3fd78b56362cef38ull);
+  EXPECT_EQ(bits(det_exp(10.5)), 0x40e1bb7015e84d3bull);
+  EXPECT_EQ(bits(det_exp(-345.25)), 0x20ce0e19f745027eull);
+  EXPECT_EQ(bits(det_tanh(0.125)), 0x3fbfd5992bc4b835ull);
+  EXPECT_EQ(bits(det_tanh(1.5)), 0x3fecf6f9786df577ull);
+  EXPECT_EQ(bits(det_tanh(-3.75)), 0xbfeff6f17a754772ull);
+  EXPECT_EQ(bits(det_tanh(0.25)), 0x3fcf597ea69a1c86ull);  // crossover lane
+  EXPECT_EQ(bits(det_sigmoid(2.5)), 0x3fed9291ddb596f8ull);
+  EXPECT_EQ(bits(det_sigmoid(-0.75)), 0x3fd4885610b9b827ull);
+}
+
+// ----------------------------------------------------- backend identity
+
+// Runs `body` once per compiled-and-supported backend, forced active.
+void for_each_backend(const std::function<void(const SimdKernels&)>& body) {
+  const SimdIsa prev = simd_active();
+  for (const SimdIsa isa : simd_compiled()) {
+    if (!simd_supported(isa)) continue;
+    ASSERT_TRUE(simd_select(isa));
+    body(simd_kernels());
+  }
+  simd_select(prev);
+}
+
+std::vector<double> probe_values(std::size_t count, Rng& rng) {
+  const double pool[] = {0.0,  -0.0, kInf, -kInf,
+                         std::numeric_limits<double>::denorm_min(),
+                         -std::numeric_limits<double>::denorm_min(),
+                         25.0, -25.0, 0.25, -0.25, 1e-8};
+  std::vector<double> x(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    x[i] = (i % 3 == 0) ? pool[i % (sizeof(pool) / sizeof(pool[0]))]
+                        : rng.uniform(-30.0, 30.0);
+  }
+  return x;
+}
+
+TEST(DetMathBackends, GradientTanhBitIdenticalEverywhere) {
+  Rng rng(211);
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 7u, 16u, 33u}) {
+    const std::vector<double> x = probe_values(count, rng);
+    std::vector<double> c(count), w(count), scale(count), expected(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      c[i] = rng.uniform(-5.0, 5.0);
+      w[i] = rng.uniform(0.25, 4.0);
+      scale[i] = rng.uniform(0.25, 3.0);
+      expected[i] = detmath::grad_tanh(x[i], c[i], w[i], scale[i]);
+    }
+    for_each_backend([&](const SimdKernels& k) {
+      std::vector<double> g(count, kNaN);
+      k.gradient_tanh(x.data(), c.data(), w.data(), scale.data(), g.data(),
+                      count);
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(bits(expected[i]), bits(g[i]))
+            << k.name << " count=" << count << " i=" << i << " x=" << x[i];
+    });
+  }
+}
+
+TEST(DetMathBackends, GradientSmoothAbsBitIdenticalEverywhere) {
+  Rng rng(223);
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 7u, 16u, 33u}) {
+    const std::vector<double> x = probe_values(count, rng);
+    std::vector<double> c(count), eps(count), scale(count), expected(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      c[i] = rng.uniform(-5.0, 5.0);
+      eps[i] = rng.uniform(0.05, 2.0);
+      scale[i] = rng.uniform(0.25, 3.0);
+      expected[i] = detmath::grad_smooth_abs(x[i], c[i], eps[i], scale[i]);
+    }
+    for_each_backend([&](const SimdKernels& k) {
+      std::vector<double> g(count, kNaN);
+      k.gradient_smooth_abs(x.data(), c.data(), eps.data(), scale.data(),
+                            g.data(), count);
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(bits(expected[i]), bits(g[i]))
+            << k.name << " count=" << count << " i=" << i << " x=" << x[i];
+    });
+  }
+}
+
+TEST(DetMathBackends, GradientSoftplusDiffBitIdenticalEverywhere) {
+  Rng rng(227);
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 7u, 16u, 33u}) {
+    const std::vector<double> x = probe_values(count, rng);
+    std::vector<double> a(count), b(count), w(count), scale(count),
+        expected(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      a[i] = rng.uniform(-5.0, 0.0);
+      b[i] = a[i] + rng.uniform(0.0, 5.0);
+      w[i] = rng.uniform(0.25, 4.0);
+      scale[i] = rng.uniform(0.25, 3.0);
+      expected[i] =
+          detmath::grad_softplus_diff(x[i], a[i], b[i], w[i], scale[i]);
+    }
+    for_each_backend([&](const SimdKernels& k) {
+      std::vector<double> g(count, kNaN);
+      k.gradient_softplus_diff(x.data(), a.data(), b.data(), w.data(),
+                               scale.data(), g.data(), count);
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(bits(expected[i]), bits(g[i]))
+            << k.name << " count=" << count << " i=" << i << " x=" << x[i];
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ftmao

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 
 #include "common/contracts.hpp"
@@ -13,6 +15,7 @@
 #include "func/functions.hpp"
 #include "func/library.hpp"
 #include "func/validate.hpp"
+#include "simd/det_math.hpp"
 
 namespace ftmao {
 namespace {
@@ -71,6 +74,16 @@ TEST(LogCosh, NoOverflowFarOut) {
   EXPECT_NEAR(h.derivative(1e6), 1.0, 1e-12);
 }
 
+TEST(LogCosh, DeterministicSaturationAttainsGradientBound) {
+  // det_tanh returns exactly +/-1 for |z| >= 20, so far-out derivatives
+  // hit the gradient bound bit-for-bit instead of approaching it from
+  // below -- gradient_bound() is attained, not just a supremum.
+  const LogCosh h(0.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.derivative(64.0), 3.0);  // z = 32
+  EXPECT_DOUBLE_EQ(h.derivative(-64.0), -3.0);
+  EXPECT_DOUBLE_EQ(h.derivative(64.0), h.gradient_bound());
+}
+
 // -------------------------------------------------------------- SmoothAbs
 
 TEST(SmoothAbs, ZeroAtCenterAndAsymptoticSlope) {
@@ -83,6 +96,18 @@ TEST(SmoothAbs, ZeroAtCenterAndAsymptoticSlope) {
 TEST(SmoothAbs, SymmetricValue) {
   const SmoothAbs h(0.0, 0.3, 1.0);
   EXPECT_DOUBLE_EQ(h.value(2.0), h.value(-2.0));
+}
+
+TEST(SmoothAbs, GradientBoundReachedToTheLastUlp) {
+  // |h'| = scale * |r| / sqrt(r^2 + eps^2) < scale everywhere, but at
+  // r = 2^40 (r^2 and sqrt(r^2) both exact, eps^2 rounds away) the
+  // quotient is exactly 1 and the bound is met bit-for-bit.
+  const SmoothAbs h(0.0, 0.5, 2.0);
+  EXPECT_LT(std::abs(h.derivative(3.0)), h.gradient_bound());
+  const double r = 1099511627776.0;  // 2^40
+  EXPECT_DOUBLE_EQ(h.derivative(r), 2.0);
+  EXPECT_DOUBLE_EQ(h.derivative(-r), -2.0);
+  EXPECT_DOUBLE_EQ(h.derivative(r), h.gradient_bound());
 }
 
 // -------------------------------------------------------------- FlatHuber
@@ -149,6 +174,20 @@ TEST(SoftplusBasin, BoundedSlopes) {
   EXPECT_NEAR(h.derivative(100.0), 2.0, 1e-9);
   EXPECT_NEAR(h.derivative(-100.0), -2.0, 1e-9);
   EXPECT_LT(std::abs(h.derivative(0.0)), 2.0);
+}
+
+TEST(SoftplusBasin, LipschitzBoundIsTighterThanGenericQuarter) {
+  // L = scale/width * (1/4 + sigma'(gap/2)) with gap = (b-a)/width:
+  // strictly below the generic scale/(2 width) whenever the basin has
+  // width (sigma'(gap/2) < 1/4 for gap > 0), while staying a sound bound
+  // on |h''| -- the finite-difference admissibility check covers that.
+  const SoftplusBasin h(-1.0, 1.0, 0.5, 2.0);
+  const double gap = (1.0 - -1.0) / 0.5;
+  EXPECT_DOUBLE_EQ(
+      h.lipschitz_bound(),
+      2.0 / 0.5 * (0.25 + detmath::det_sigmoid_prime(gap / 2.0)));
+  EXPECT_LT(h.lipschitz_bound(), 2.0 / (2.0 * 0.5));
+  EXPECT_GT(h.lipschitz_bound(), 0.0);
 }
 
 TEST(SoftplusBasin, RejectsInvertedWalls) {
@@ -315,6 +354,20 @@ TEST(Library, SingleFunctionCentered) {
 TEST(Library, MixedFamilyAllAdmissible) {
   for (const auto& fn : make_mixed_family(8, 10.0))
     EXPECT_TRUE(validate_admissible(*fn).ok);
+}
+
+TEST(Library, TranscendentalFamilyAdmissibleWithClosedFormDescriptors) {
+  const auto family = make_transcendental_family(6, 8.0);
+  ASSERT_EQ(family.size(), 6u);
+  for (const auto& fn : family) {
+    EXPECT_TRUE(validate_admissible(*fn).ok);
+    const BatchGradientKernel d = fn->batch_gradient_kernel();
+    ASSERT_TRUE(d.valid());
+    for (double x : {-5.0, -0.5, 0.0, 1.25, 7.0}) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(fn->derivative(x)),
+                std::bit_cast<std::uint64_t>(d.evaluate(x)));
+    }
+  }
 }
 
 TEST(Library, RandomFamilyDeterministicPerSeed) {

@@ -241,7 +241,7 @@ TEST(SimdKernels, GradientClampMatchesVirtualDerivativeBitwise) {
 
   for (const ScalarFunction* fn : fns) {
     const BatchGradientKernel d = fn->batch_gradient_kernel();
-    ASSERT_TRUE(d.valid);
+    ASSERT_TRUE(d.valid());
     for (double x : probes)
       ASSERT_EQ(bits(fn->derivative(x)), bits(d.evaluate(x)));
   }
@@ -253,10 +253,10 @@ TEST(SimdKernels, GradientClampMatchesVirtualDerivativeBitwise) {
       expected(count);
   for (std::size_t i = 0; i < count; ++i) {
     const BatchGradientKernel d = fns[i % 3]->batch_gradient_kernel();
-    a[i] = d.a;
-    b[i] = d.b;
-    lo[i] = d.lo;
-    hi[i] = d.hi;
+    a[i] = d.p0;
+    b[i] = d.p1;
+    lo[i] = d.p2;
+    hi[i] = d.p3;
     scale[i] = d.scale;
     expected[i] = fns[i % 3]->derivative(probes[i]);
   }
