@@ -1,0 +1,427 @@
+// ftmao_fabric — multi-node sweep fabric driver. Where ftmao_shardsweep
+// spawns all its workers itself, the fabric inverts control: any number
+// of independent worker processes — on one machine or on separate CI
+// runners exchanging the fabric directory as an artifact — coordinate
+// purely through atomic lease files (src/fabric/lease.hpp) and a
+// first-wins completion protocol, stealing work from stale leases, and a
+// final verifying merge reproduces the single-process sweep CSV
+// byte-for-byte.
+//
+//   ftmao_fabric --mode init  --fabric-dir fab --shards 8 [grid flags]
+//   ftmao_fabric --mode work  --fabric-dir fab --worker-id w0 &
+//   ftmao_fabric --mode work  --fabric-dir fab --worker-id w1 &
+//   wait
+//   ftmao_fabric --mode merge --fabric-dir fab --out merged.csv
+//
+// Modes:
+//   init    pin the grid (idempotent for an identical grid)
+//   work    claim/steal shards and run them via `ftmao_sweep --shard-index`
+//   claim   probe-claim one shard and exit (protocol testing): 0 =
+//           claimed (lease left in place), 4 = refused (live holder or
+//           already completed)
+//   status  print the lease/completion table
+//   merge   audit completion records + order-free verifying merge
+//
+// Exit status: 0 = success, 3 = degraded (incomplete work / merge
+// inconsistencies), 4 = claim refused, 2 = usage/setup error.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/engine_flags.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/scenario_io.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace ftmao;
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+SweepConfig grid_config_from(const cli::ArgParser& parser) {
+  SweepConfig config;
+  config.sizes = parse_sizes(parser.get("sizes"));
+  config.dims = parse_dims(parser.get("dim"));
+  config.attacks = parse_attacks(parser.get("attacks"));
+  const auto seed_count = static_cast<std::uint64_t>(parser.get_int("seeds"));
+  for (std::uint64_t s = 1; s <= seed_count; ++s) config.seeds.push_back(s);
+  config.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
+  config.spread = parser.get_double("spread");
+  config.step.kind = parse_step_kind(parser.get("step"));
+  config.step.scale = parser.get_double("step-scale");
+  config.step.exponent = parser.get_double("step-exp");
+  return config;
+}
+
+std::string default_worker_path(const char* argv0) {
+  const std::filesystem::path self(argv0);
+  if (self.has_parent_path())
+    return (self.parent_path() / "ftmao_sweep").string();
+  return "ftmao_sweep";
+}
+
+pid_t spawn_worker(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    std::cerr << "fabric: exec '" << args[0]
+              << "' failed: " << std::strerror(errno) << "\n";
+    _exit(127);
+  }
+  return pid;  // -1 on fork failure
+}
+
+/// The subprocess shard runner: `ftmao_sweep --shard-index` with the
+/// fabric grid and the operator's engine/cache knobs, killed past the
+/// per-attempt timeout. Lease heartbeats run on the fabric worker's side
+/// thread, so a slow shard never looks stale while this blocks.
+fabric::ShardRunner make_subprocess_runner(const cli::ArgParser& parser,
+                                           const std::string& worker_bin,
+                                           long inject_fail_shard) {
+  // Spawn counter per shard: --inject-fail is forwarded only on the first
+  // attempt, so the worker's own jittered retry recovers.
+  auto spawns = std::make_shared<std::map<std::size_t, int>>();
+  const double timeout_sec = parser.get_double("timeout-sec");
+  std::vector<std::string> engine_args;
+  for (const std::string& flag :
+       {std::string("threads"), std::string("batch"), std::string("isa"),
+        std::string("cache-dir"), std::string("cache-mem-mb")}) {
+    engine_args.push_back("--" + flag);
+    engine_args.push_back(parser.get(flag));
+  }
+  if (parser.get_bool("scalar")) engine_args.push_back("--scalar");
+
+  return [=](const SweepConfig& config, std::size_t shard,
+             std::size_t shard_count, const std::string& csv_scratch,
+             const std::string& manifest_scratch) -> int {
+    std::vector<std::string> args = {worker_bin,
+                                     "--sizes",
+                                     format_sizes(config.sizes),
+                                     "--dim",
+                                     format_dims(config.dims),
+                                     "--attacks",
+                                     format_attacks(config.attacks),
+                                     "--seeds",
+                                     std::to_string(config.seeds.size()),
+                                     "--rounds",
+                                     std::to_string(config.rounds),
+                                     "--spread",
+                                     format_double(config.spread),
+                                     "--step",
+                                     step_kind_name(config.step.kind),
+                                     "--step-scale",
+                                     format_double(config.step.scale),
+                                     "--step-exp",
+                                     format_double(config.step.exponent),
+                                     "--shard-index",
+                                     std::to_string(shard),
+                                     "--shard-count",
+                                     std::to_string(shard_count),
+                                     "--out",
+                                     csv_scratch,
+                                     "--manifest",
+                                     manifest_scratch};
+    args.insert(args.end(), engine_args.begin(), engine_args.end());
+    const int spawn_count = ++(*spawns)[shard];
+    if (inject_fail_shard >= 0 &&
+        shard == static_cast<std::size_t>(inject_fail_shard) &&
+        spawn_count == 1)
+      args.push_back("--inject-fail");
+
+    const pid_t pid = spawn_worker(args);
+    if (pid < 0) return -1;
+    const auto started = std::chrono::steady_clock::now();
+    const auto timeout = std::chrono::duration<double>(timeout_sec);
+    while (true) {
+      int status = 0;
+      const pid_t r = waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        if (WIFEXITED(status)) return WEXITSTATUS(status);
+        if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+        return -1;
+      }
+      if (r != 0) return -1;  // waitpid failed
+      if (std::chrono::steady_clock::now() - started > timeout) {
+        kill(pid, SIGKILL);
+        waitpid(pid, &status, 0);
+        return 124;  // timeout, in coreutils convention
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+}
+
+int run_claim_probe(fabric::LeaseDir& dir, std::size_t shard,
+                    const std::string& worker_id, std::uint64_t ttl_ms) {
+  const fabric::FabricGrid grid = dir.load_grid();
+  if (shard >= grid.shard_count) {
+    std::cerr << "error: --claim-shard " << shard << " >= --shards "
+              << grid.shard_count << "\n";
+    return 2;
+  }
+  if (dir.completed(shard)) {
+    std::cout << "refused: shard " << shard << " is already completed\n";
+    return 4;
+  }
+  const auto current = dir.current_lease(shard);
+  const std::uint64_t now_ms = fabric::wall_clock_ms();
+  fabric::ShardLease lease;
+  lease.shard_index = shard;
+  lease.shard_count = grid.shard_count;
+  lease.attempt = 1;
+  if (current) {
+    if (!fabric::lease_expired(*current, now_ms, ttl_ms)) {
+      std::cout << "refused: shard " << shard << " is leased by '"
+                << current->worker_id << "' (attempt " << current->attempt
+                << ", heartbeat "
+                << (now_ms - std::min(now_ms, current->heartbeat_ms))
+                << " ms old)\n";
+      return 4;
+    }
+    lease.attempt = current->attempt + 1;
+  }
+  lease.worker_id = worker_id;
+  lease.git_rev = build_git_revision();
+  lease.isa = simd_isa_name(simd_active());
+  lease.heartbeat_ms = now_ms;
+  if (!dir.try_claim(lease)) {
+    std::cout << "refused: lost the claim race for shard " << shard << "\n";
+    return 4;
+  }
+  std::cout << "claimed: shard " << shard << " attempt " << lease.attempt
+            << " as '" << worker_id << "'\n";
+  return 0;
+}
+
+void print_status(fabric::LeaseDir& dir) {
+  const fabric::FabricGrid grid = dir.load_grid();
+  std::vector<std::string> errors;
+  std::map<std::size_t, fabric::CompletionRecord> done;
+  for (const fabric::CompletionRecord& r : dir.completions(errors))
+    done.emplace(r.shard_index, r);
+  const std::uint64_t now_ms = fabric::wall_clock_ms();
+  std::cout << "fabric " << dir.root() << ": " << grid.shard_count
+            << " shards, grid sizes=" << grid.sizes
+            << " attacks=" << grid.attacks << " dims=" << grid.dims
+            << " seeds=" << grid.seeds << " rounds=" << grid.rounds
+            << " rev=" << grid.git_rev << "\n";
+  for (std::size_t i = 0; i < grid.shard_count; ++i) {
+    std::cout << "  shard " << i << ": ";
+    if (const auto it = done.find(i); it != done.end()) {
+      std::cout << "done by '" << it->second.worker_id << "' (attempt "
+                << it->second.attempt << ", " << it->second.wall_ms
+                << " ms, isa " << it->second.isa << ")";
+    } else if (const auto lease = dir.current_lease(i)) {
+      std::cout << "leased by '" << lease->worker_id << "' (attempt "
+                << lease->attempt << ", heartbeat "
+                << (now_ms - std::min(now_ms, lease->heartbeat_ms))
+                << " ms old)";
+    } else {
+      std::cout << "unclaimed";
+    }
+    std::cout << "\n";
+  }
+  for (const std::string& error : errors)
+    std::cout << "  error: " << error << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftmao;
+  std::vector<cli::FlagSpec> specs = {
+      {"mode", "init | work | claim | status | merge", "work", false},
+      {"fabric-dir", "shared fabric directory (leases, results, grid pin)",
+       ".ftmao_fabric", false},
+      {"sizes", "comma list of n:f pairs (init)", "7:2,10:3,13:4", false},
+      {"dim", "comma list of state dimensions (init)", "1", false},
+      {"attacks", "comma list of attack names (init)",
+       "split-brain,sign-flip,pull", false},
+      {"seeds", "number of seeds per cell (1..k) (init)", "3", false},
+      {"rounds", "iterations per run (init)", "4000", false},
+      {"spread", "cost-optima layout width (init)", "8", false},
+      {"step", "harmonic | power | constant (init)", "harmonic", false},
+      {"step-scale", "step size scale (init)", "1", false},
+      {"step-exp", "exponent for --step power (init)", "0.75", false},
+      {"shards", "number of disjoint shards the grid is split into (init)",
+       "8", false},
+      {"worker-id", "unique id recorded in leases and completion records "
+                    "(default: w<pid>)", "", false},
+      {"worker", "path to the ftmao_sweep worker binary (default: sibling "
+                 "of this binary)", "", false},
+      {"lease-ttl-ms", "heartbeat age after which a lease counts as stale "
+                       "and its shard may be stolen", "60000", false},
+      {"timeout-sec", "per-attempt wall-clock limit before the sweep "
+                      "subprocess is killed", "300", false},
+      {"retries", "re-execution budget per shard after a failed/timed-out "
+                  "attempt (worker-local, same lease)", "2", false},
+      {"backoff-ms", "retry k waits k * this + deterministic per-shard "
+                     "jitter in [0, this)", "200", false},
+      {"wait-all", "keep polling (and stealing stragglers) until every "
+                   "shard is completed", "false", true},
+      {"max-wall-sec", "overall deadline for --wait-all (0 = none)", "0",
+       false},
+      {"fleet-index", "claim only shards with index %% --fleet-size == "
+                      "this (CI matrix slice); -1 = claim anything", "-1",
+       false},
+      {"fleet-size", "number of fleet slices (0 = slicing off)", "0", false},
+      {"inject-die-shard", "raise SIGKILL right after claiming this shard "
+                           "(stale-lease/work-stealing testing); -1 = off",
+       "-1", false},
+      {"inject-fail-shard", "forward --inject-fail to the first sweep "
+                            "attempt of this shard (retry-path testing); "
+                            "-1 = off", "-1", false},
+      {"claim-shard", "shard index for --mode claim", "-1", false},
+      {"allow-isa-mix", "merge completion records from different SIMD "
+                        "backends (heterogeneous fleets)", "false", true},
+      {"out", "write the merged CSV to this file instead of stdout", "",
+       false},
+      {"help", "show usage", "false", true},
+  };
+  cli::append_flags(specs, cli::engine_flag_specs("merged output", "seeds"));
+  cli::append_flags(specs, cli::cache_flag_specs());
+  cli::ArgParser parser(std::move(specs));
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (const auto error = parser.parse(args)) {
+    std::cerr << "error: " << *error << "\n\nusage:\n" << parser.help_text();
+    return 2;
+  }
+  if (parser.get_bool("help")) {
+    std::cout << "ftmao_fabric — multi-node sweep fabric (lease directory + "
+                 "work-stealing workers + verifying merge)\n\n"
+              << parser.help_text();
+    return 0;
+  }
+
+  try {
+    if (!cli::apply_isa_flag(parser, std::cerr)) return 2;
+    const std::string mode = parser.get("mode");
+    fabric::LeaseDir dir(parser.get("fabric-dir"));
+    std::string worker_id = parser.get("worker-id");
+    if (worker_id.empty()) worker_id = "w" + std::to_string(getpid());
+    const auto ttl_ms =
+        static_cast<std::uint64_t>(parser.get_int("lease-ttl-ms"));
+
+    if (mode == "init") {
+      const SweepConfig config = grid_config_from(parser);
+      config.validate();
+      const auto shards = static_cast<std::size_t>(parser.get_int("shards"));
+      if (shards < 1) {
+        std::cerr << "error: --shards must be >= 1\n";
+        return 2;
+      }
+      dir.init(fabric::make_fabric_grid(config, shards));
+      std::cerr << "fabric: initialized '" << dir.root() << "' with "
+                << shards << " shards\n";
+      return 0;
+    }
+    if (mode == "claim") {
+      const long shard = parser.get_int("claim-shard");
+      if (shard < 0) {
+        std::cerr << "error: --mode claim needs --claim-shard\n";
+        return 2;
+      }
+      return run_claim_probe(dir, static_cast<std::size_t>(shard), worker_id,
+                             ttl_ms);
+    }
+    if (mode == "status") {
+      print_status(dir);
+      return 0;
+    }
+    if (mode == "merge") {
+      fabric::FabricMergeOptions options;
+      options.fabric_dir = dir.root();
+      options.allow_isa_mix = parser.get_bool("allow-isa-mix");
+      const fabric::FabricMergeReport report = fabric::collect_and_merge(options);
+
+      const std::string out_path = parser.get("out");
+      if (!out_path.empty()) {
+        std::ofstream os(out_path, std::ios::binary);
+        if (!os) {
+          std::cerr << "error: cannot open '" << out_path
+                    << "' for writing\n";
+          return 2;
+        }
+        os << report.merge.csv;
+      } else {
+        std::cout << report.merge.csv;
+      }
+      std::cerr << "fabric: merged " << report.merge.merged_cells << "/"
+                << report.merge.expected_cells << " cells from "
+                << report.completions.size() << " completed shard(s)\n";
+      for (const std::string& error : report.errors)
+        std::cerr << "fabric: error: " << error << "\n";
+      for (const std::string& error : report.merge.errors)
+        std::cerr << "fabric: merge error: " << error << "\n";
+      if (!report.merge.missing_cells.empty()) {
+        std::cerr << "fabric: missing cells:";
+        for (const std::string& key : report.merge.missing_cells)
+          std::cerr << ' ' << key;
+        std::cerr << "\n";
+      }
+      return report.ok() ? 0 : 3;
+    }
+    if (mode != "work") {
+      std::cerr << "error: unknown --mode '" << mode
+                << "' (init | work | claim | status | merge)\n";
+      return 2;
+    }
+
+    std::string worker_bin = parser.get("worker");
+    if (worker_bin.empty()) worker_bin = default_worker_path(argv[0]);
+
+    fabric::WorkerOptions options;
+    options.fabric_dir = dir.root();
+    options.worker_id = worker_id;
+    options.runner = make_subprocess_runner(
+        parser, worker_bin, parser.get_int("inject-fail-shard"));
+    options.lease_ttl_ms = ttl_ms;
+    options.retries = static_cast<int>(parser.get_int("retries"));
+    options.backoff.base_ms = parser.get_int("backoff-ms");
+    options.fleet_index = parser.get_int("fleet-index");
+    options.fleet_size = parser.get_int("fleet-size");
+    options.wait_all = parser.get_bool("wait-all");
+    options.max_wall_sec = parser.get_double("max-wall-sec");
+    options.inject_die_shard = parser.get_int("inject-die-shard");
+    options.log = &std::cerr;
+
+    const fabric::WorkerReport report = fabric::run_fabric_worker(options);
+    std::cerr << "fabric: worker '" << worker_id << "' claimed "
+              << report.claimed << " lease(s) (" << report.stolen
+              << " stolen), completed " << report.completed << " shard(s); "
+              << (report.all_done ? "grid complete"
+                                  : "grid still incomplete")
+              << "\n";
+    for (const std::string& error : report.errors)
+      std::cerr << "fabric: error: " << error << "\n";
+    return report.ok(options.wait_all) ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,7 +1,8 @@
 // ftmao_shardsweep — multi-process sweep orchestrator: splits the grid
 // into K disjoint shards (sim/shard.hpp's stable partition), spawns one
 // ftmao_sweep worker subprocess per shard, babysits them (per-shard
-// timeout, bounded retries with linear backoff), and recombines the
+// timeout, bounded retries with jittered backoff — fabric/backoff.hpp,
+// shared with the multi-node fabric), and recombines the
 // per-shard CSVs through the verifying merge stage (sim/shard_merge.hpp).
 //
 //   ftmao_shardsweep --shards 4 --out merged.csv --workdir shards/
@@ -35,6 +36,7 @@
 
 #include "cli/args.hpp"
 #include "cli/engine_flags.hpp"
+#include "fabric/backoff.hpp"
 #include "sim/shard.hpp"
 #include "sim/shard_merge.hpp"
 #include "simd/simd.hpp"
@@ -125,8 +127,8 @@ int main(int argc, char** argv) {
                       "killed", "300", false},
       {"retries", "re-execution budget per shard after a failed/timed-out "
                   "attempt", "2", false},
-      {"backoff-ms", "delay before retry k is attempt_count * this", "200",
-       false},
+      {"backoff-ms", "retry k waits k * this + deterministic per-shard "
+                     "jitter in [0, this)", "200", false},
       {"inject-fail-shard", "force the first attempt of this shard to fail "
                             "(retry-path testing); -1 = off", "-1", false},
       {"merge-only", "skip spawning; verify and merge existing workdir "
@@ -161,7 +163,8 @@ int main(int argc, char** argv) {
     const int retries = static_cast<int>(parser.get_int("retries"));
     const auto timeout = std::chrono::duration<double>(
         parser.get_double("timeout-sec"));
-    const auto backoff_ms = parser.get_int("backoff-ms");
+    fabric::BackoffPolicy backoff;
+    backoff.base_ms = parser.get_int("backoff-ms");
     std::size_t parallel = static_cast<std::size_t>(parser.get_int("parallel"));
     if (parallel == 0) parallel = shards;
 
@@ -216,8 +219,8 @@ int main(int argc, char** argv) {
                     << " unrecoverable after " << job.attempts
                     << " attempts (" << why << ")\n";
         } else {
-          const auto delay = std::chrono::milliseconds(
-              backoff_ms * job.attempts);
+          const auto delay = std::chrono::milliseconds(fabric::retry_delay_ms(
+              backoff, fabric::shard_backoff_seed(job.index), job.attempts));
           job.eligible = Clock::now() + delay;
           std::cerr << "shardsweep: shard " << job.index << " attempt "
                     << job.attempts << "/" << (retries + 1) << " failed ("

@@ -10,21 +10,23 @@
 # Registered as the ctest `shard_e2e` (label `shard`); also runnable
 # directly:
 #
-#   scripts/shard_e2e.sh <ftmao_sweep> <ftmao_shardsweep> <workdir>
+#   scripts/shard_e2e.sh <ftmao_sweep> <ftmao_shardsweep> <ftmao_fabric> <workdir>
 
 set -eu
 
-if [ "$#" -ne 3 ]; then
-  echo "usage: $0 <ftmao_sweep-binary> <ftmao_shardsweep-binary> <workdir>" >&2
+if [ "$#" -ne 4 ]; then
+  echo "usage: $0 <ftmao_sweep-binary> <ftmao_shardsweep-binary>" \
+       "<ftmao_fabric-binary> <workdir>" >&2
   exit 2
 fi
 
 SWEEP=$1
 SHARDSWEEP=$2
-WORK=$3
+FABRIC=$3
+WORK=$4
 
-if [ ! -x "$SWEEP" ] || [ ! -x "$SHARDSWEEP" ]; then
-  echo "shard_e2e: worker or orchestrator binary missing/not executable" >&2
+if [ ! -x "$SWEEP" ] || [ ! -x "$SHARDSWEEP" ] || [ ! -x "$FABRIC" ]; then
+  echo "shard_e2e: worker, orchestrator, or fabric binary missing/not executable" >&2
   exit 2
 fi
 
@@ -147,4 +149,67 @@ if ! cmp -s "$WORK/single_cache.csv" "$WORK/merged_cold.csv" ||
   exit 1
 fi
 
-echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips, warm-start served from cache"
+echo "shard_e2e: fabric — stale-lease steal + duplicate-claim rejection ..."
+# The multi-node fabric's crash-fault path, end to end over real
+# subprocesses: a worker SIGKILLs itself right after claiming a shard
+# (frozen heartbeat), a probe for the same shard is refused while the
+# lease is younger than the TTL (duplicate-claim rejection), then a
+# rescuer with a short TTL steals the stale lease, finishes the grid, and
+# the fabric merge is byte-identical to the single-process sweep.
+FAB="$WORK/fabric"
+FGRID="--sizes 7:2,10:3 --attacks split-brain,sign-flip --seeds 2 --rounds 300"
+# shellcheck disable=SC2086  # word-splitting of $FGRID is intended
+"$SWEEP" $FGRID --csv > "$WORK/single_fabric.csv"
+# shellcheck disable=SC2086
+"$FABRIC" --mode init --fabric-dir "$FAB" $FGRID --shards 4 \
+  2> "$WORK/fabric_init.log"
+
+DIE_STATUS=0
+"$FABRIC" --mode work --fabric-dir "$FAB" --worker-id dier \
+  --worker "$SWEEP" --inject-die-shard 2 \
+  2> "$WORK/fabric_dier.log" || DIE_STATUS=$?
+if [ "$DIE_STATUS" -ne 137 ]; then
+  echo "shard_e2e: FAIL — dier exited $DIE_STATUS, expected 137 (SIGKILL)" >&2
+  cat "$WORK/fabric_dier.log" >&2
+  exit 1
+fi
+
+PROBE_STATUS=0
+"$FABRIC" --mode claim --fabric-dir "$FAB" --claim-shard 2 \
+  --worker-id prober > "$WORK/fabric_probe.log" || PROBE_STATUS=$?
+if [ "$PROBE_STATUS" -ne 4 ] || ! grep -q "refused" "$WORK/fabric_probe.log"; then
+  echo "shard_e2e: FAIL — duplicate claim of a live lease was not refused" \
+       "(exit $PROBE_STATUS)" >&2
+  cat "$WORK/fabric_probe.log" >&2
+  exit 1
+fi
+
+"$FABRIC" --mode work --fabric-dir "$FAB" --worker-id rescuer \
+  --worker "$SWEEP" --lease-ttl-ms 200 --wait-all \
+  2> "$WORK/fabric_rescuer.log"
+
+if ! grep -q "stole shard 2" "$WORK/fabric_rescuer.log"; then
+  echo "shard_e2e: FAIL — rescuer did not steal the dead worker's shard" >&2
+  cat "$WORK/fabric_rescuer.log" >&2
+  exit 1
+fi
+
+# The acceptance property: the original lease and the completion record
+# of the stolen shard name different workers.
+if ! grep -q '"worker_id": "dier"' "$FAB/leases/shard_2.a1.lease" ||
+   ! grep -q '"worker_id": "rescuer"' "$FAB/results/shard_2.done.json"; then
+  echo "shard_e2e: FAIL — stolen shard's lease/completion worker ids wrong" >&2
+  cat "$FAB/leases/shard_2.a1.lease" "$FAB/results/shard_2.done.json" >&2
+  exit 1
+fi
+
+"$FABRIC" --mode merge --fabric-dir "$FAB" --out "$WORK/merged_fabric.csv" \
+  2> "$WORK/fabric_merge.log"
+
+if ! cmp -s "$WORK/single_fabric.csv" "$WORK/merged_fabric.csv"; then
+  echo "shard_e2e: FAIL — fabric merged CSV differs from single-process CSV" >&2
+  diff "$WORK/single_fabric.csv" "$WORK/merged_fabric.csv" >&2 || true
+  exit 1
+fi
+
+echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips, warm-start served from cache, fabric steal recovered"

@@ -1,0 +1,81 @@
+#include "common/json_min.hpp"
+
+#include <cctype>
+
+#include "common/contracts.hpp"
+
+namespace ftmao::jsonmin {
+
+bool has_key(const std::string& json, const std::string& key) {
+  return json.find('"' + key + '"') != std::string::npos;
+}
+
+std::size_t find_key(const std::string& json, const std::string& key) {
+  const std::string quoted = '"' + key + '"';
+  const std::size_t at = json.find(quoted);
+  if (at == std::string::npos)
+    throw ContractViolation("JSON: missing key \"" + key + "\"");
+  std::size_t pos = at + quoted.size();
+  while (pos < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  if (pos >= json.size() || json[pos] != ':')
+    throw ContractViolation("JSON: expected ':' after \"" + key + "\"");
+  ++pos;
+  while (pos < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  if (pos >= json.size())
+    throw ContractViolation("JSON: missing value for \"" + key + "\"");
+  return pos;
+}
+
+std::string string_field(const std::string& json, const std::string& key) {
+  std::size_t pos = find_key(json, key);
+  if (json[pos] != '"')
+    throw ContractViolation("JSON: \"" + key + "\" is not a string");
+  const std::size_t end = json.find('"', pos + 1);
+  if (end == std::string::npos)
+    throw ContractViolation("JSON: unterminated string for \"" + key + "\"");
+  const std::string value = json.substr(pos + 1, end - pos - 1);
+  if (value.find('\\') != std::string::npos)
+    throw ContractViolation("JSON: escapes unsupported in \"" + key + "\"");
+  return value;
+}
+
+double number_field(const std::string& json, const std::string& key) {
+  const std::size_t pos = find_key(json, key);
+  std::size_t end = pos;
+  while (end < json.size() &&
+         (std::isdigit(static_cast<unsigned char>(json[end])) ||
+          json[end] == '-' || json[end] == '+' || json[end] == '.' ||
+          json[end] == 'e' || json[end] == 'E'))
+    ++end;
+  if (end == pos)
+    throw ContractViolation("JSON: \"" + key + "\" is not a number");
+  return std::stod(json.substr(pos, end - pos));
+}
+
+std::vector<std::string> string_array_field(const std::string& json,
+                                            const std::string& key) {
+  std::size_t pos = find_key(json, key);
+  if (json[pos] != '[')
+    throw ContractViolation("JSON: \"" + key + "\" is not an array");
+  const std::size_t end = json.find(']', pos);
+  if (end == std::string::npos)
+    throw ContractViolation("JSON: unterminated array for \"" + key + "\"");
+  std::vector<std::string> out;
+  while (true) {
+    const std::size_t open = json.find('"', pos);
+    if (open == std::string::npos || open > end) break;
+    const std::size_t close = json.find('"', open + 1);
+    if (close == std::string::npos || close > end)
+      throw ContractViolation("JSON: unterminated element in \"" + key +
+                              "\"");
+    out.push_back(json.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace ftmao::jsonmin

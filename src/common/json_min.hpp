@@ -1,0 +1,35 @@
+#pragma once
+
+// Minimal scan-based field extraction for the repo's *own* flat JSON
+// documents — shard manifests (sim/shard.hpp) and the fabric lease /
+// completion / grid records (fabric/lease.hpp). Those codecs only ever
+// read documents their matching writer produced (flat objects, string
+// values drawn from [A-Za-z0-9_:.,+-]), so a scanner is sufficient; it
+// still validates everything it touches and throws ContractViolation on
+// anything unexpected. Not a general JSON parser — escapes and nested
+// same-named keys are out of scope by construction.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftmao::jsonmin {
+
+/// True iff `"key"` occurs in the document (writers emit each key once).
+bool has_key(const std::string& json, const std::string& key);
+
+/// Offset of the first value character after `"key":`. Throws on a
+/// missing key or malformed key/value separator.
+std::size_t find_key(const std::string& json, const std::string& key);
+
+/// The string value of `key` (no escape support — throws if one appears).
+std::string string_field(const std::string& json, const std::string& key);
+
+/// The numeric value of `key`.
+double number_field(const std::string& json, const std::string& key);
+
+/// The elements of `key`'s array of strings.
+std::vector<std::string> string_array_field(const std::string& json,
+                                            const std::string& key);
+
+}  // namespace ftmao::jsonmin

@@ -1,0 +1,37 @@
+#include "fabric/backoff.hpp"
+
+#include <algorithm>
+
+namespace ftmao::fabric {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t shard_backoff_seed(std::size_t shard_index) {
+  return splitmix64(static_cast<std::uint64_t>(shard_index));
+}
+
+std::int64_t retry_delay_ms(const BackoffPolicy& policy, std::uint64_t seed,
+                            int attempt) {
+  if (policy.base_ms <= 0) return 0;
+  if (attempt < 1) attempt = 1;
+  const std::uint64_t mix =
+      splitmix64(seed ^ static_cast<std::uint64_t>(attempt));
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(mix % static_cast<std::uint64_t>(policy.base_ms));
+  const std::int64_t linear = policy.base_ms * attempt;
+  return std::min(policy.max_ms, linear + jitter);
+}
+
+}  // namespace ftmao::fabric

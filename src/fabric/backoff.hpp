@@ -1,0 +1,38 @@
+#pragma once
+
+// Unified retry/backoff policy for everything that re-executes failed
+// shards: the in-process orchestrator (apps/ftmao_shardsweep) and the
+// multi-node fabric worker (fabric/fabric.hpp). One definition so the
+// two paths cannot drift.
+//
+// The delay for attempt k is linear-with-jitter:
+//
+//   delay(k) = min(max_ms, k * base_ms + jitter(seed, k))
+//
+// where jitter is drawn deterministically from [0, base_ms) by
+// splitmix64 over (seed ^ k). Determinism matters twice over: retries
+// reproduce exactly under a fixed grid (debuggable), and because the
+// jitter is seeded from the *shard hash*, shards that fail at the same
+// moment (a wedged machine taking all its workers down at once) retry at
+// staggered times instead of stampeding the claim directory in lockstep.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftmao::fabric {
+
+struct BackoffPolicy {
+  std::int64_t base_ms = 200;  ///< linear step; also the jitter window
+  std::int64_t max_ms = 10'000;  ///< cap on any single delay
+};
+
+/// Stable per-shard jitter seed (splitmix64-finalized shard index), so
+/// the jitter sequence of a shard is a pure function of its identity.
+std::uint64_t shard_backoff_seed(std::size_t shard_index);
+
+/// Delay before retry `attempt` (1-based: the delay scheduled *after*
+/// attempt k failed). base_ms <= 0 disables backoff entirely (0).
+std::int64_t retry_delay_ms(const BackoffPolicy& policy, std::uint64_t seed,
+                            int attempt);
+
+}  // namespace ftmao::fabric

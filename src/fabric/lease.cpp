@@ -1,0 +1,365 @@
+#include "fabric/lease.hpp"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/json_min.hpp"
+
+namespace ftmao::fabric {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ContractViolation("fabric: cannot read '" + path + "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os)
+    throw ContractViolation("fabric: cannot open '" + path +
+                            "' for writing");
+  os << text;
+  os.flush();
+  if (!os)
+    throw ContractViolation("fabric: write to '" + path + "' failed");
+}
+
+void check_version(int version, const std::string& what) {
+  if (version != kFabricProtocolVersion)
+    throw ContractViolation(
+        "fabric " + what + ": protocol version " + std::to_string(version) +
+        " does not match this binary's version " +
+        std::to_string(kFabricProtocolVersion));
+}
+
+/// Atomically installs `tmp` at `target` iff `target` does not exist:
+/// link(2) is atomic on one filesystem and fails with EEXIST when some
+/// other process installed a file there first. The temp file is removed
+/// either way.
+bool publish_exclusive(const std::string& tmp, const std::string& target) {
+  const int rc = ::link(tmp.c_str(), target.c_str());
+  const int saved_errno = errno;
+  ::unlink(tmp.c_str());
+  if (rc == 0) return true;
+  if (saved_errno == EEXIST) return false;
+  throw ContractViolation("fabric: link('" + tmp + "', '" + target +
+                          "') failed: " + std::strerror(saved_errno));
+}
+
+/// Atomically replaces `target` with `tmp` (rename never exposes a
+/// partial document to readers).
+void publish_replace(const std::string& tmp, const std::string& target) {
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec)
+    throw ContractViolation("fabric: rename('" + tmp + "', '" + target +
+                            "') failed: " + ec.message());
+}
+
+}  // namespace
+
+FabricGrid make_fabric_grid(const SweepConfig& config,
+                            std::size_t shard_count) {
+  FTMAO_EXPECTS(shard_count >= 1);
+  // The fabric forwards the grid to ftmao_sweep workers through its CLI,
+  // whose --seeds flag can only express the canonical 1..k axis.
+  for (std::size_t i = 0; i < config.seeds.size(); ++i)
+    if (config.seeds[i] != i + 1)
+      throw ContractViolation(
+          "fabric grids require the canonical 1..k seed axis");
+  FabricGrid grid;
+  grid.shard_count = shard_count;
+  grid.sizes = format_sizes(config.sizes);
+  grid.dims = format_dims(config.dims);
+  grid.attacks = format_attacks(config.attacks);
+  grid.seeds = format_seeds(config.seeds);
+  grid.rounds = config.rounds;
+  grid.spread = config.spread;
+  grid.step = format_step(config.step);
+  grid.git_rev = build_git_revision();
+  return grid;
+}
+
+SweepConfig config_from_grid(const FabricGrid& grid) {
+  SweepConfig config;
+  config.sizes = parse_sizes(grid.sizes);
+  config.dims = parse_dims(grid.dims);
+  config.attacks = parse_attacks(grid.attacks);
+  config.seeds = parse_seeds(grid.seeds);
+  config.rounds = grid.rounds;
+  config.spread = grid.spread;
+  config.step = parse_step(grid.step);
+  return config;
+}
+
+std::string grid_to_json(const FabricGrid& g) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": " << g.version << ",\n"
+     << "  \"shard_count\": " << g.shard_count << ",\n"
+     << "  \"sizes\": \"" << g.sizes << "\",\n"
+     << "  \"dims\": \"" << g.dims << "\",\n"
+     << "  \"attacks\": \"" << g.attacks << "\",\n"
+     << "  \"seeds\": \"" << g.seeds << "\",\n"
+     << "  \"rounds\": " << g.rounds << ",\n"
+     << "  \"spread\": " << format_double(g.spread) << ",\n"
+     << "  \"step\": \"" << g.step << "\",\n"
+     << "  \"git_rev\": \"" << g.git_rev << "\"\n"
+     << "}\n";
+  return os.str();
+}
+
+FabricGrid grid_from_json(const std::string& json) {
+  using namespace jsonmin;
+  FabricGrid g;
+  g.version = static_cast<int>(number_field(json, "version"));
+  check_version(g.version, "grid");
+  g.shard_count = static_cast<std::size_t>(number_field(json, "shard_count"));
+  g.sizes = string_field(json, "sizes");
+  g.dims = string_field(json, "dims");
+  g.attacks = string_field(json, "attacks");
+  g.seeds = string_field(json, "seeds");
+  g.rounds = static_cast<std::size_t>(number_field(json, "rounds"));
+  g.spread = number_field(json, "spread");
+  g.step = string_field(json, "step");
+  g.git_rev = string_field(json, "git_rev");
+  if (g.shard_count < 1)
+    throw ContractViolation("fabric grid: shard_count must be >= 1");
+  return g;
+}
+
+std::string lease_to_json(const ShardLease& l) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": " << l.version << ",\n"
+     << "  \"shard_index\": " << l.shard_index << ",\n"
+     << "  \"shard_count\": " << l.shard_count << ",\n"
+     << "  \"attempt\": " << l.attempt << ",\n"
+     << "  \"worker_id\": \"" << l.worker_id << "\",\n"
+     << "  \"git_rev\": \"" << l.git_rev << "\",\n"
+     << "  \"isa\": \"" << l.isa << "\",\n"
+     << "  \"heartbeat_ms\": " << l.heartbeat_ms << "\n"
+     << "}\n";
+  return os.str();
+}
+
+ShardLease lease_from_json(const std::string& json) {
+  using namespace jsonmin;
+  ShardLease l;
+  l.version = static_cast<int>(number_field(json, "version"));
+  check_version(l.version, "lease");
+  l.shard_index = static_cast<std::size_t>(number_field(json, "shard_index"));
+  l.shard_count = static_cast<std::size_t>(number_field(json, "shard_count"));
+  l.attempt = static_cast<int>(number_field(json, "attempt"));
+  l.worker_id = string_field(json, "worker_id");
+  l.git_rev = string_field(json, "git_rev");
+  l.isa = string_field(json, "isa");
+  l.heartbeat_ms =
+      static_cast<std::uint64_t>(number_field(json, "heartbeat_ms"));
+  if (l.shard_index >= l.shard_count)
+    throw ContractViolation("fabric lease: shard_index >= shard_count");
+  if (l.attempt < 1)
+    throw ContractViolation("fabric lease: attempt must be >= 1");
+  return l;
+}
+
+std::string completion_to_json(const CompletionRecord& r) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": " << r.version << ",\n"
+     << "  \"shard_index\": " << r.shard_index << ",\n"
+     << "  \"attempt\": " << r.attempt << ",\n"
+     << "  \"worker_id\": \"" << r.worker_id << "\",\n"
+     << "  \"git_rev\": \"" << r.git_rev << "\",\n"
+     << "  \"isa\": \"" << r.isa << "\",\n"
+     << "  \"wall_ms\": " << format_double(r.wall_ms) << "\n"
+     << "}\n";
+  return os.str();
+}
+
+CompletionRecord completion_from_json(const std::string& json) {
+  using namespace jsonmin;
+  CompletionRecord r;
+  r.version = static_cast<int>(number_field(json, "version"));
+  check_version(r.version, "completion record");
+  r.shard_index = static_cast<std::size_t>(number_field(json, "shard_index"));
+  r.attempt = static_cast<int>(number_field(json, "attempt"));
+  r.worker_id = string_field(json, "worker_id");
+  r.git_rev = string_field(json, "git_rev");
+  r.isa = string_field(json, "isa");
+  r.wall_ms = number_field(json, "wall_ms");
+  return r;
+}
+
+std::uint64_t wall_clock_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool lease_expired(const ShardLease& lease, std::uint64_t now_ms,
+                   std::uint64_t ttl_ms) {
+  return now_ms > lease.heartbeat_ms && now_ms - lease.heartbeat_ms > ttl_ms;
+}
+
+LeaseDir::LeaseDir(std::string root) : root_(std::move(root)) {
+  FTMAO_EXPECTS(!root_.empty());
+}
+
+std::string LeaseDir::csv_path(std::size_t shard) const {
+  return root_ + "/results/shard_" + std::to_string(shard) + ".csv";
+}
+
+std::string LeaseDir::manifest_path(std::size_t shard) const {
+  return root_ + "/results/shard_" + std::to_string(shard) + ".json";
+}
+
+std::string LeaseDir::lease_path(std::size_t shard, int attempt) const {
+  return root_ + "/leases/shard_" + std::to_string(shard) + ".a" +
+         std::to_string(attempt) + ".lease";
+}
+
+std::string LeaseDir::done_path(std::size_t shard) const {
+  return root_ + "/results/shard_" + std::to_string(shard) + ".done.json";
+}
+
+std::string LeaseDir::scratch_path(const std::string& worker_id,
+                                   const std::string& name) const {
+  return root_ + "/results/.wip_" + worker_id + "_" + name;
+}
+
+void LeaseDir::init(const FabricGrid& grid) {
+  fs::create_directories(root_ + "/leases");
+  fs::create_directories(root_ + "/results");
+  const std::string grid_path = root_ + "/grid.json";
+  const std::string json = grid_to_json(grid);
+  if (fs::exists(grid_path)) {
+    if (grid_from_json(read_file(grid_path)) != grid)
+      throw ContractViolation(
+          "fabric: '" + root_ +
+          "' is already initialized with a different grid");
+    return;
+  }
+  const std::string tmp = grid_path + ".tmp";
+  write_file(tmp, json);
+  if (!publish_exclusive(tmp, grid_path)) {
+    // Lost an init race; the winner's grid must be ours.
+    if (grid_from_json(read_file(grid_path)) != grid)
+      throw ContractViolation(
+          "fabric: '" + root_ +
+          "' was concurrently initialized with a different grid");
+  }
+}
+
+bool LeaseDir::initialized() const {
+  return fs::exists(root_ + "/grid.json");
+}
+
+FabricGrid LeaseDir::load_grid() const {
+  return grid_from_json(read_file(root_ + "/grid.json"));
+}
+
+std::optional<ShardLease> LeaseDir::current_lease(std::size_t shard) const {
+  const std::string prefix = "shard_" + std::to_string(shard) + ".a";
+  std::optional<ShardLease> best;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ + "/leases", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0 || name.find(".lease") == std::string::npos)
+      continue;
+    ShardLease lease;
+    try {
+      lease = lease_from_json(read_file(entry.path().string()));
+    } catch (const std::exception&) {
+      continue;  // partially transported artifact; a newer attempt decides
+    }
+    if (lease.shard_index != shard) continue;
+    if (!best || lease.attempt > best->attempt) best = lease;
+  }
+  return best;
+}
+
+bool LeaseDir::try_claim(const ShardLease& lease) {
+  const std::string target = lease_path(lease.shard_index, lease.attempt);
+  const std::string tmp = scratch_path(
+      lease.worker_id, "claim_" + std::to_string(lease.shard_index) + ".a" +
+                           std::to_string(lease.attempt));
+  write_file(tmp, lease_to_json(lease));
+  return publish_exclusive(tmp, target);
+}
+
+void LeaseDir::renew(ShardLease& lease) {
+  lease.heartbeat_ms = wall_clock_ms();
+  const std::string tmp = scratch_path(
+      lease.worker_id, "renew_" + std::to_string(lease.shard_index) + ".a" +
+                           std::to_string(lease.attempt));
+  write_file(tmp, lease_to_json(lease));
+  publish_replace(tmp, lease_path(lease.shard_index, lease.attempt));
+}
+
+bool LeaseDir::completed(std::size_t shard) const {
+  return fs::exists(done_path(shard));
+}
+
+bool LeaseDir::publish_completion(const CompletionRecord& record,
+                                  const std::string& csv_scratch,
+                                  const std::string& manifest_scratch) {
+  if (completed(record.shard_index)) {
+    std::error_code ec;
+    fs::remove(csv_scratch, ec);
+    fs::remove(manifest_scratch, ec);
+    return false;
+  }
+  // Artifacts first, done record last: the done record is the commit
+  // point, so a reader that sees it also sees the CSV and manifest.
+  publish_replace(csv_scratch, csv_path(record.shard_index));
+  publish_replace(manifest_scratch, manifest_path(record.shard_index));
+  const std::string tmp = scratch_path(
+      record.worker_id, "done_" + std::to_string(record.shard_index));
+  write_file(tmp, completion_to_json(record));
+  return publish_exclusive(tmp, done_path(record.shard_index));
+}
+
+std::vector<CompletionRecord> LeaseDir::completions(
+    std::vector<std::string>& errors) const {
+  std::vector<CompletionRecord> records;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ + "/results", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard_", 0) != 0 ||
+        name.find(".done") == std::string::npos ||
+        name.size() < 5 || name.substr(name.size() - 5) != ".json")
+      continue;
+    try {
+      records.push_back(completion_from_json(read_file(entry.path().string())));
+    } catch (const std::exception& e) {
+      errors.push_back("completion record '" + entry.path().string() +
+                       "': " + e.what());
+    }
+  }
+  return records;
+}
+
+}  // namespace ftmao::fabric

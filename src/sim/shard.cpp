@@ -1,10 +1,10 @@
 #include "sim/shard.hpp"
 
-#include <cctype>
 #include <limits>
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "common/json_min.hpp"
 #include "sim/scenario_io.hpp"
 
 #ifndef FTMAO_GIT_REV
@@ -46,82 +46,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
   std::istringstream is(text);
   std::string token;
   while (std::getline(is, token, sep)) out.push_back(token);
-  return out;
-}
-
-// --- minimal JSON field extraction -----------------------------------
-//
-// manifest_from_json only ever reads documents produced by
-// manifest_to_json (flat objects, string values drawn from
-// [A-Za-z0-9_:.,+-]), so a scan-based extractor is sufficient — it still
-// validates what it touches and throws on anything unexpected.
-
-std::size_t find_key(const std::string& json, const std::string& key) {
-  const std::string quoted = '"' + key + '"';
-  const std::size_t at = json.find(quoted);
-  if (at == std::string::npos)
-    throw ContractViolation("manifest JSON: missing key \"" + key + "\"");
-  std::size_t pos = at + quoted.size();
-  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos])))
-    ++pos;
-  if (pos >= json.size() || json[pos] != ':')
-    throw ContractViolation("manifest JSON: expected ':' after \"" + key + "\"");
-  ++pos;
-  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos])))
-    ++pos;
-  if (pos >= json.size())
-    throw ContractViolation("manifest JSON: missing value for \"" + key + "\"");
-  return pos;
-}
-
-std::string string_field(const std::string& json, const std::string& key) {
-  std::size_t pos = find_key(json, key);
-  if (json[pos] != '"')
-    throw ContractViolation("manifest JSON: \"" + key + "\" is not a string");
-  const std::size_t end = json.find('"', pos + 1);
-  if (end == std::string::npos)
-    throw ContractViolation("manifest JSON: unterminated string for \"" + key +
-                            "\"");
-  const std::string value = json.substr(pos + 1, end - pos - 1);
-  if (value.find('\\') != std::string::npos)
-    throw ContractViolation("manifest JSON: escapes unsupported in \"" + key +
-                            "\"");
-  return value;
-}
-
-double number_field(const std::string& json, const std::string& key) {
-  const std::size_t pos = find_key(json, key);
-  std::size_t end = pos;
-  while (end < json.size() &&
-         (std::isdigit(static_cast<unsigned char>(json[end])) ||
-          json[end] == '-' || json[end] == '+' || json[end] == '.' ||
-          json[end] == 'e' || json[end] == 'E'))
-    ++end;
-  if (end == pos)
-    throw ContractViolation("manifest JSON: \"" + key + "\" is not a number");
-  return std::stod(json.substr(pos, end - pos));
-}
-
-std::vector<std::string> string_array_field(const std::string& json,
-                                            const std::string& key) {
-  std::size_t pos = find_key(json, key);
-  if (json[pos] != '[')
-    throw ContractViolation("manifest JSON: \"" + key + "\" is not an array");
-  const std::size_t end = json.find(']', pos);
-  if (end == std::string::npos)
-    throw ContractViolation("manifest JSON: unterminated array for \"" + key +
-                            "\"");
-  std::vector<std::string> out;
-  while (true) {
-    const std::size_t open = json.find('"', pos);
-    if (open == std::string::npos || open > end) break;
-    const std::size_t close = json.find('"', open + 1);
-    if (close == std::string::npos || close > end)
-      throw ContractViolation("manifest JSON: unterminated element in \"" +
-                              key + "\"");
-    out.push_back(json.substr(open + 1, close - open - 1));
-    pos = close + 1;
-  }
   return out;
 }
 
@@ -325,6 +249,9 @@ std::string manifest_to_json(const ShardManifest& m) {
 }
 
 ShardManifest manifest_from_json(const std::string& json) {
+  using jsonmin::number_field;
+  using jsonmin::string_array_field;
+  using jsonmin::string_field;
   ShardManifest m;
   m.schema = static_cast<int>(number_field(json, "schema"));
   if (m.schema != 1)
