@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
     options.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
     options.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
     options.scalar_engine = parser.get_bool("scalar");
+    options.megabatch = cli::megabatch_flag(parser);
     options.async_n = static_cast<std::size_t>(parser.get_int("async-n"));
     options.async_f = static_cast<std::size_t>(parser.get_int("async-f"));
     options.async_rounds =

@@ -182,7 +182,7 @@ int main(int argc, char** argv) {
       // its cells from the shared directory before simulating).
       const std::vector<std::string> pass_through = {
           "sizes", "dim", "attacks",    "seeds", "rounds",   "spread", "step",
-          "step-scale", "step-exp", "threads", "batch", "isa",
+          "step-scale", "step-exp", "threads", "batch", "isa", "megabatch",
           "cache-dir", "cache-mem-mb"};
 
       auto worker_args = [&](const ShardJob& job) {

@@ -47,6 +47,7 @@ SweepConfig config_from(const cli::ArgParser& parser) {
   config.num_threads = static_cast<std::size_t>(parser.get_int("threads"));
   config.batch_size = static_cast<std::size_t>(parser.get_int("batch"));
   config.scalar_engine = parser.get_bool("scalar");
+  config.megabatch = cli::megabatch_flag(parser);
   const std::string engine = parser.get("engine");
   if (engine == "async") {
     config.async_engine = true;

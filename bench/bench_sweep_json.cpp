@@ -30,6 +30,18 @@
 // ratio — the tracked vector-batch speedup. --vector-rounds 0 skips it
 // ("vector": null).
 //
+// A `megabatch` block A/Bs the cross-cell megabatch scheduler
+// (sim/megabatch.hpp) on the sync grid, single-threaded: runs/sec with
+// megabatching off (independent per-cell batches, the legacy slicing) vs
+// on (shape-keyed cross-cell packs), their ratio — the tracked megabatch
+// speedup — and each mode's SIMD lane occupancy (useful lanes / padded
+// lanes dispatched, from the engines' own counters).
+//
+// The top-level `ladder_collapsed` flag is true when the thread ladder
+// degenerates to a single rung (a 1-core machine); scripts/bench_check.sh
+// then *skips* the parallel-speedup gate — explicitly, not silently —
+// instead of failing a comparison that cannot exist.
+//
 // A `cache` block times the content-addressed result cache
 // (cache/result_cache.hpp) on the sync grid: one cold pass that fills a
 // fresh in-memory cache, then the best of --repeats warm passes served
@@ -73,6 +85,7 @@
 #include "func/functions.hpp"
 #include "func/library.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/megabatch.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
@@ -244,6 +257,27 @@ int main(int argc, char** argv) {
     for (std::size_t threads : thread_ladder())
       results.push_back(measure(config, threads, repeats));
 
+    // Megabatch block: the sync grid, single-threaded, through the
+    // batched engines with cross-cell megabatching off (one batch per
+    // cell — the legacy slicing) vs on (shape-keyed cross-cell packs).
+    // The engines' own lane counters give each mode's occupancy: useful
+    // lanes / padded lanes actually dispatched, accumulated over every
+    // batched-engine call of the timed passes.
+    SweepConfig mb_config = config;
+    mb_config.scalar_engine = false;
+    mb_config.megabatch = false;
+    engine_stats_reset();
+    const Throughput mb_per_cell = measure(mb_config, 1, repeats);
+    const EngineStats mb_per_cell_stats = engine_stats_snapshot();
+    mb_config.megabatch = true;
+    engine_stats_reset();
+    const Throughput mb_on = measure(mb_config, 1, repeats);
+    const EngineStats mb_on_stats = engine_stats_snapshot();
+    const double mb_speedup =
+        mb_per_cell.runs_per_sec > 0.0
+            ? mb_on.runs_per_sec / mb_per_cell.runs_per_sec
+            : 1.0;
+
     // Async block: the n > 5f grid, single-threaded, scalar event loop vs
     // batched replay engine. Their runs/sec ratio is the tracked speedup.
     const auto async_rounds =
@@ -383,6 +417,18 @@ int main(int argc, char** argv) {
     }
     os << "  ],\n"
        << "  \"speedup\": " << speedup << ",\n"
+       << "  \"ladder_collapsed\": "
+       << (results.size() == 1 ? "true" : "false") << ",\n"
+       << "  \"megabatch\": {\n"
+       << "    \"per_cell_runs_per_sec\": " << mb_per_cell.runs_per_sec
+       << ",\n"
+       << "    \"megabatch_runs_per_sec\": " << mb_on.runs_per_sec << ",\n"
+       << "    \"speedup\": " << mb_speedup << ",\n"
+       << "    \"per_cell_occupancy\": " << mb_per_cell_stats.occupancy()
+       << ",\n"
+       << "    \"megabatch_occupancy\": " << mb_on_stats.occupancy() << ",\n"
+       << "    \"per_cell_batches\": " << mb_per_cell_stats.batches << ",\n"
+       << "    \"megabatch_batches\": " << mb_on_stats.batches << "\n  },\n"
        << "  \"cache\": {\n"
        << "    \"cold_runs_per_sec\": " << cache_cold.runs_per_sec << ",\n"
        << "    \"warm_runs_per_sec\": " << cache_warm.runs_per_sec << ",\n"

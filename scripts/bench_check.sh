@@ -7,6 +7,14 @@
 # `perf` (CONFIGURATIONS perf, so the default tier-1 `ctest` run skips it;
 # run it with `ctest -C perf` or directly).
 #
+# Two further gates ride along, each with an explicit SKIP path so a
+# missing comparison never silently passes:
+#   - parallel speedup (best rung vs 1 thread) — SKIPPED with a message
+#     when the fresh run reports ladder_collapsed (a 1-core machine has
+#     one rung, so there is no parallel speedup to compare);
+#   - megabatch speedup (cross-cell packing vs the per-cell baseline)
+#     — SKIPPED with a message when either JSON predates the block.
+#
 #   scripts/bench_check.sh <bench_sweep_json-binary> <baseline.json> [tolerance]
 #
 # tolerance is the allowed fractional regression (default 0.10 = 10%).
@@ -55,23 +63,71 @@ import sys
 baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
 
 
-def single_thread_runs_per_sec(path):
+def load(path):
     with open(path) as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def single_thread_runs_per_sec(doc, path):
     for entry in doc["results"]:
         if entry["threads"] == 1:
             return float(entry["runs_per_sec"])
     raise SystemExit(f"bench_check: no threads=1 entry in {path}")
 
 
-baseline = single_thread_runs_per_sec(baseline_path)
-fresh = single_thread_runs_per_sec(fresh_path)
+baseline_doc = load(baseline_path)
+fresh_doc = load(fresh_path)
+failed = False
+
+baseline = single_thread_runs_per_sec(baseline_doc, baseline_path)
+fresh = single_thread_runs_per_sec(fresh_doc, fresh_path)
 floor = baseline * (1.0 - tolerance)
 
 print(f"bench_check: baseline {baseline:.1f} runs/sec, fresh {fresh:.1f} "
       f"runs/sec, floor {floor:.1f} (tolerance {tolerance:.0%})")
 if fresh < floor:
     print("bench_check: FAIL — single-thread sweep throughput regressed")
+    failed = True
+
+# Parallel-speedup gate: the best-rung-vs-1-thread ratio must not decay.
+# A collapsed ladder (1-core machine: one rung) has no parallel speedup
+# to measure, so the gate is skipped — explicitly, never silently.
+collapsed = bool(
+    fresh_doc.get("ladder_collapsed", len(fresh_doc["results"]) == 1))
+if collapsed:
+    print("bench_check: SKIP parallel-speedup gate — thread ladder "
+          "collapsed to a single rung (1-core machine)")
+else:
+    base_speedup = float(baseline_doc.get("speedup", 1.0))
+    fresh_speedup = float(fresh_doc.get("speedup", 1.0))
+    speedup_floor = base_speedup * (1.0 - tolerance)
+    print(f"bench_check: parallel speedup baseline {base_speedup:.2f}x, "
+          f"fresh {fresh_speedup:.2f}x, floor {speedup_floor:.2f}x")
+    if fresh_speedup < speedup_floor:
+        print("bench_check: FAIL — parallel speedup regressed")
+        failed = True
+
+# Megabatch gate: cross-cell packing must stay ahead of the per-cell
+# baseline by at least the committed ratio (less tolerance). Skipped when
+# either JSON predates the megabatch block.
+base_mb = baseline_doc.get("megabatch")
+fresh_mb = fresh_doc.get("megabatch")
+if not isinstance(base_mb, dict) or not isinstance(fresh_mb, dict):
+    print("bench_check: SKIP megabatch gate — no megabatch block in "
+          "baseline or fresh JSON")
+else:
+    base_ratio = float(base_mb["speedup"])
+    fresh_ratio = float(fresh_mb["speedup"])
+    ratio_floor = base_ratio * (1.0 - tolerance)
+    print(f"bench_check: megabatch speedup baseline {base_ratio:.2f}x, "
+          f"fresh {fresh_ratio:.2f}x, floor {ratio_floor:.2f}x "
+          f"(occupancy {float(fresh_mb['per_cell_occupancy']):.3f} -> "
+          f"{float(fresh_mb['megabatch_occupancy']):.3f})")
+    if fresh_ratio < ratio_floor:
+        print("bench_check: FAIL — megabatch speedup regressed")
+        failed = True
+
+if failed:
     raise SystemExit(1)
 delta = (fresh - baseline) / baseline
 print(f"bench_check: OK ({delta:+.1%} vs baseline)")

@@ -37,6 +37,8 @@ FIELDS = [
     "agent_rounds_per_sec",
     "hw_concurrency",
     "compiler",
+    "megabatch_speedup",
+    "megabatch_occupancy",
 ]
 
 
@@ -64,6 +66,7 @@ def single_thread_entry(doc):
 def row_from_bench(doc, rev, label, date):
     entry = single_thread_entry(doc)
     machine = doc.get("machine", {})
+    megabatch = doc.get("megabatch") or {}
     return {
         "date": date,
         "git_rev": rev,
@@ -75,6 +78,15 @@ def row_from_bench(doc, rev, label, date):
         "agent_rounds_per_sec": f"{float(entry['agent_rounds_per_sec']):.5g}",
         "hw_concurrency": str(machine.get("hardware_concurrency", "")),
         "compiler": machine.get("compiler", ""),
+        "megabatch_speedup": (
+            f"{float(megabatch['speedup']):.3f}" if "speedup" in megabatch
+            else ""
+        ),
+        "megabatch_occupancy": (
+            f"{float(megabatch['megabatch_occupancy']):.3f}"
+            if "megabatch_occupancy" in megabatch
+            else ""
+        ),
     }
 
 
@@ -88,7 +100,9 @@ def load_history(path):
 def save_history(path, rows):
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        # restval fills columns absent from rows written under an older
+        # schema (e.g. pre-megabatch history entries).
+        writer = csv.DictWriter(handle, fieldnames=FIELDS, restval="")
         writer.writeheader()
         writer.writerows(rows)
 

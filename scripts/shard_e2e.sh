@@ -109,6 +109,34 @@ if ! cmp -s "$WORK/single_vec.csv" "$WORK/merged_vec.csv"; then
   exit 1
 fi
 
+echo "shard_e2e: megabatch A/B (--megabatch off vs default on) ..."
+# Cross-cell megabatching is a scheduling lever, never an output lever:
+# the same grid with --megabatch off (per-cell batches) must produce a
+# byte-identical CSV, both single-process and through the orchestrator
+# (which forwards the flag to every worker).
+MGRID="--sizes 7:2,10:3 --dim 1,3 --seeds 3 --rounds 300"
+# shellcheck disable=SC2086  # word-splitting of $MGRID is intended
+"$SWEEP" $MGRID --csv > "$WORK/single_mb_on.csv"
+# shellcheck disable=SC2086
+"$SWEEP" $MGRID --megabatch off --csv > "$WORK/single_mb_off.csv"
+
+if ! cmp -s "$WORK/single_mb_on.csv" "$WORK/single_mb_off.csv"; then
+  echo "shard_e2e: FAIL — --megabatch off changed the sweep CSV" >&2
+  diff "$WORK/single_mb_on.csv" "$WORK/single_mb_off.csv" >&2 || true
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$SHARDSWEEP" $MGRID --shards 2 --megabatch off \
+  --workdir "$WORK/shards_mb" --out "$WORK/merged_mb_off.csv" \
+  2> "$WORK/orchestrator_mb.log"
+
+if ! cmp -s "$WORK/single_mb_on.csv" "$WORK/merged_mb_off.csv"; then
+  echo "shard_e2e: FAIL — sharded --megabatch off merged CSV differs" >&2
+  diff "$WORK/single_mb_on.csv" "$WORK/merged_mb_off.csv" >&2 || true
+  exit 1
+fi
+
 echo "shard_e2e: cache warm-start (shared --cache-dir across two runs) ..."
 # The orchestrator forwards --cache-dir to every worker, so a second run
 # over the same grid must be served from the first run's records: every
@@ -212,4 +240,4 @@ if ! cmp -s "$WORK/single_fabric.csv" "$WORK/merged_fabric.csv"; then
   exit 1
 fi
 
-echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips, warm-start served from cache, fabric steal recovered"
+echo "shard_e2e: OK — retry exercised, merged CSVs byte-identical, engine flags forwarded, dim axis round-trips, megabatch A/B identical, warm-start served from cache, fabric steal recovered"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cache/result_cache.hpp"
+#include "common/contracts.hpp"
 #include "simd/simd.hpp"
 
 namespace ftmao::cli {
@@ -33,8 +34,19 @@ std::vector<FlagSpec> engine_flag_specs(const std::string& subject,
       {"scalar",
        "force the scalar reference engine (one run per " + unit + ")", "false",
        true},
+      {"megabatch",
+       "on | off: lane-aligned cross-cell megabatch packing; " + subject +
+           " is identical either way (off = per-cell baseline)",
+       "on", false},
       isa_flag_spec(subject),
   };
+}
+
+bool megabatch_flag(const ArgParser& parser) {
+  const std::string value = parser.get("megabatch");
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw ContractViolation("--megabatch expects on|off, got '" + value + "'");
 }
 
 std::vector<FlagSpec> cache_flag_specs() {

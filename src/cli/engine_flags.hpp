@@ -39,6 +39,12 @@ std::vector<FlagSpec> engine_flag_specs(const std::string& subject,
 /// caching off) and --cache-mem-mb (in-memory LRU budget).
 std::vector<FlagSpec> cache_flag_specs();
 
+/// Reads --megabatch: "on" (the default) keeps cross-cell megabatch
+/// packing live, "off" runs the per-cell batched baseline (the A/B
+/// lever). Throws on any other value. The flag never changes output
+/// bytes, only how work is grouped into batched-engine calls.
+bool megabatch_flag(const ArgParser& parser);
+
 /// Applies --isa: "auto" keeps width-aware auto-dispatch live (the
 /// engines pick the widest backend whose register the lane count can
 /// mostly fill); any explicit name forces that backend everywhere.

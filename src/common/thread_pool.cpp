@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace ftmao {
@@ -69,10 +71,40 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 
 void parallel_for_each(ThreadPool& pool, std::size_t count,
                        const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, i] { body(i); });
+  if (count == 0) return;
+  // One drain-loop closure per worker against a shared atomic index
+  // cursor — O(pool size) queued closures instead of one heap-allocated
+  // std::function per task, so huge grids don't churn the allocator. An
+  // index whose body throws records the first exception and the drain
+  // loop continues, so every index is still attempted (the old
+  // one-submission-per-index semantics) and the error is rethrown here
+  // after the barrier.
+  struct DrainState {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<DrainState>();
+  const std::size_t lanes =
+      std::min(std::max<std::size_t>(pool.size(), 1), count);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool.submit([state, count, &body] {
+      for (;;) {
+        const std::size_t i =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(state->mutex);
+          if (!state->first_error)
+            state->first_error = std::current_exception();
+        }
+      }
+    });
   }
   pool.wait();
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 void parallel_for_each(std::size_t threads, std::size_t count,

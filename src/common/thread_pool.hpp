@@ -13,9 +13,11 @@
 //      thread; remaining queued tasks still run (they are independent
 //      grid cells — partial results are not observable anyway because the
 //      rethrow happens after the barrier).
-//   3. No work stealing, no futures, no per-task allocation beyond the
-//      queued closure: tasks here are whole simulation runs (milliseconds
-//      to seconds), so queue contention is negligible.
+//   3. No work stealing, no futures, no per-task allocation:
+//      parallel_for_each queues one drain-loop closure per worker against
+//      a shared atomic index cursor, so a million-cell grid costs O(pool
+//      size) allocations, not O(count). Tasks here are whole simulation
+//      runs (milliseconds to seconds), so cursor contention is negligible.
 
 #include <condition_variable>
 #include <cstddef>

@@ -14,6 +14,7 @@
 #include "func/spec.hpp"
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/megabatch.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 
@@ -70,6 +71,32 @@ std::string async_base_spec(const AsyncScenario& base) {
   return os.str();
 }
 
+// Task slicing for a search section: the megabatch planner's lane-aligned
+// slices (full-register chunks plus one narrow tail) when enabled, the
+// legacy fixed-size chunks otherwise. Bit-identical outcomes either way —
+// only the chunk boundaries move.
+std::vector<MegabatchTask> search_slices(std::size_t pending_count,
+                                         std::size_t count,
+                                         std::size_t batch_size,
+                                         bool scalar_engine, bool megabatch,
+                                         const MegabatchKey& key,
+                                         std::size_t rounds) {
+  if (!scalar_engine && megabatch)
+    return plan_uniform_slices(pending_count, batch_size, rounds, key);
+  const std::size_t chunk =
+      scalar_engine ? 1
+                    : std::min(batch_size == 0 ? count : batch_size, count);
+  std::vector<MegabatchTask> tasks;
+  for (std::size_t first = 0; first < pending_count; first += chunk) {
+    MegabatchTask task;
+    task.first = first;
+    task.count = std::min(chunk, pending_count - first);
+    task.key = key;
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
 }  // namespace
 
 std::vector<AttackCandidate> standard_attack_grid() {
@@ -120,7 +147,7 @@ std::vector<AttackCandidate> standard_attack_grid() {
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads, std::size_t batch_size, bool scalar_engine,
-    ResultCache* cache) {
+    ResultCache* cache, bool megabatch) {
   FTMAO_EXPECTS(!candidates.empty());
 
   Scenario clean = base;
@@ -210,13 +237,12 @@ AttackSearchResult find_strongest_attack(
     }
   }
 
-  const std::size_t chunk =
-      scalar_engine ? 1
-                    : std::min(batch_size == 0 ? count : batch_size, count);
-  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
-  parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
-    const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, pending.size() - first);
+  const std::vector<MegabatchTask> tasks = search_slices(
+      pending.size(), count, batch_size, scalar_engine, megabatch,
+      MegabatchKey{MegabatchEngine::kSync, base.n, base.f, 1}, base.rounds);
+  parallel_for_each(num_threads, tasks.size(), [&](std::size_t task) {
+    const std::size_t first = tasks[task].first;
+    const std::size_t batch = tasks[task].count;
     std::vector<Scenario> replicas;
     replicas.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
@@ -262,7 +288,7 @@ AttackSearchResult find_strongest_attack(
 AttackSearchResult find_strongest_attack_async(
     const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads, std::size_t batch_size, bool scalar_engine,
-    ResultCache* cache) {
+    ResultCache* cache, bool megabatch) {
   FTMAO_EXPECTS(!candidates.empty());
 
   AsyncScenario clean = base;
@@ -346,13 +372,12 @@ AttackSearchResult find_strongest_attack_async(
     }
   }
 
-  const std::size_t chunk =
-      scalar_engine ? 1
-                    : std::min(batch_size == 0 ? count : batch_size, count);
-  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
-  parallel_for_each(num_threads, num_chunks, [&](std::size_t task) {
-    const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, pending.size() - first);
+  const std::vector<MegabatchTask> tasks = search_slices(
+      pending.size(), count, batch_size, scalar_engine, megabatch,
+      MegabatchKey{MegabatchEngine::kAsync, base.n, base.f, 1}, base.rounds);
+  parallel_for_each(num_threads, tasks.size(), [&](std::size_t task) {
+    const std::size_t first = tasks[task].first;
+    const std::size_t batch = tasks[task].count;
     std::vector<AsyncScenario> replicas;
     replicas.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {

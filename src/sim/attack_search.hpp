@@ -55,10 +55,16 @@ std::vector<AttackCandidate> standard_attack_grid();
 /// looked up by their canonical key (full serialized base scenario +
 /// rendered candidate attack config) before simulating and inserted
 /// after; the result is bit-identical cold vs warm vs mixed.
+///
+/// `megabatch` routes the chunking through the lane-aligned megabatch
+/// planner (sim/megabatch.hpp): full-SIMD-register chunks plus one narrow
+/// tail instead of naive fixed-size chunks. The ranking is bit-identical
+/// on or off; off is the legacy A/B baseline. Ignored under scalar_engine.
 AttackSearchResult find_strongest_attack(
     const Scenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads = 1, std::size_t batch_size = 0,
-    bool scalar_engine = false, ResultCache* cache = nullptr);
+    bool scalar_engine = false, ResultCache* cache = nullptr,
+    bool megabatch = true);
 
 /// The asynchronous-engine counterpart: same contract, candidates
 /// evaluated through run_async_sbg_batch (run_async_sbg when
@@ -66,6 +72,7 @@ AttackSearchResult find_strongest_attack(
 AttackSearchResult find_strongest_attack_async(
     const AsyncScenario& base, const std::vector<AttackCandidate>& candidates,
     std::size_t num_threads = 1, std::size_t batch_size = 0,
-    bool scalar_engine = false, ResultCache* cache = nullptr);
+    bool scalar_engine = false, ResultCache* cache = nullptr,
+    bool megabatch = true);
 
 }  // namespace ftmao

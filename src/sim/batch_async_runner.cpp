@@ -21,6 +21,7 @@
 #include "net/delay.hpp"
 #include "net/sync.hpp"
 #include "sim/batch_grad.hpp"
+#include "sim/megabatch.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -279,6 +280,7 @@ class BatchedAsyncRunner {
   }
 
   std::vector<AsyncRunMetrics> run() {
+    engine_stats_record(B_, B_, Bpad_);
     lanes_.reserve(B_);
     std::size_t t_max = 0;
     for (std::size_t r = 0; r < B_; ++r) {

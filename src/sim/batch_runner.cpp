@@ -19,6 +19,7 @@
 #include "core/valid_set.hpp"
 #include "net/batch.hpp"
 #include "sim/batch_grad.hpp"
+#include "sim/megabatch.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -179,8 +180,12 @@ class BatchedSbgRunner {
 
     dx_.resize(n_ * Bpad_);
     dg_.resize(n_ * Bpad_);
-    tx_.resize(Bpad_);
-    tg_.resize(Bpad_);
+    ctx_.resize(H_ * Bpad_);
+    ctg_.resize(H_ * Bpad_);
+    view_class_.assign(H_, 0);
+    class_hash_.assign(H_, 0);
+    class_rep_.assign(H_, 0);
+    class_done_.assign(H_, 0);
     lambda_.assign(Bpad_, 0.0);
     pe_.assign(H_ * Bpad_, 0.0);
     trimmed_state_.resize(S_ * Bpad_);
@@ -203,6 +208,7 @@ class BatchedSbgRunner {
   }
 
   std::vector<RunMetrics> run() {
+    engine_stats_record(B_, B_, Bpad_);
     for (std::size_t r = 0; r < B_; ++r) {
       record(r);
       metrics_[r].max_projection_error.push(0.0);
@@ -281,14 +287,9 @@ class BatchedSbgRunner {
 
   // Step 2a for the whole round: every Byzantine payload, in the scalar
   // engine's exact call order (recipient outer, sender inner), each
-  // adversary observing its own replica's view. While collecting, detect
-  // whether every Byzantine sender sent bitwise the same payload to all
-  // recipients — true for every recipient-independent strategy — because
-  // then (absent delivery filters) all recipients trim the same multiset
-  // and the trim pair is computed once per replica instead of once per
-  // recipient.
+  // adversary observing its own replica's view. Afterwards recipients are
+  // partitioned into view classes for this round's trim sharing.
   void collect_byzantine(Round t) {
-    uniform_ = true;
     const double kAllBits = std::bit_cast<double>(~std::uint64_t{0});
     const std::size_t stride = F_ * Bpad_;
     for (std::size_t j = 0; j < H_; ++j) {
@@ -311,20 +312,72 @@ class BatchedSbgRunner {
           bpx_[o] = px;
           bpg_[o] = pg;
           bpresent_[o] = present ? kAllBits : 0.0;
-          if (j > 0) {
-            const std::size_t o0 = b * Bpad_ + r;
-            if (std::bit_cast<std::uint64_t>(bpresent_[o]) !=
-                    std::bit_cast<std::uint64_t>(bpresent_[o0]) ||
-                (present &&
-                 (std::bit_cast<std::uint64_t>(px) !=
-                      std::bit_cast<std::uint64_t>(bpx_[o0]) ||
-                  std::bit_cast<std::uint64_t>(pg) !=
-                      std::bit_cast<std::uint64_t>(bpg_[o0])))) {
-              uniform_ = false;
-            }
-          }
         }
       }
+    }
+    classify_recipients();
+  }
+
+  // FNV-1a over recipient j's Byzantine block (payload states, gradients,
+  // presence masks), word-at-a-time. Bitwise-equal blocks hash equal;
+  // collisions are resolved by the memcmp verify in classify_recipients.
+  std::uint64_t block_hash(std::size_t j) const {
+    const std::size_t stride = F_ * Bpad_;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const double* p, std::size_t m) {
+      for (std::size_t i = 0; i < m; ++i) {
+        h ^= std::bit_cast<std::uint64_t>(p[i]);
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(bpx_.data() + j * stride, stride);
+    mix(bpg_.data() + j * stride, stride);
+    mix(bpresent_.data() + j * stride, stride);
+    return h;
+  }
+
+  bool blocks_equal(std::size_t a, std::size_t b) const {
+    const std::size_t stride = F_ * Bpad_;
+    const std::size_t bytes = stride * sizeof(double);
+    return std::memcmp(bpx_.data() + a * stride, bpx_.data() + b * stride,
+                       bytes) == 0 &&
+           std::memcmp(bpg_.data() + a * stride, bpg_.data() + b * stride,
+                       bytes) == 0 &&
+           std::memcmp(bpresent_.data() + a * stride,
+                       bpresent_.data() + b * stride, bytes) == 0;
+  }
+
+  // Partitions recipients into view classes: two recipients share a class
+  // iff their Byzantine payload blocks are bitwise identical this round
+  // (no delivery filter), because then they assemble the same n-row
+  // multiset — all broadcasts reach everyone, own tuple included — and
+  // Trim is a pure function of it. Recipient-independent strategies give
+  // one class, a split-brain adversary two, per-recipient noise H; the
+  // trim pair is computed once per class either way.
+  void classify_recipients() {
+    std::fill(class_done_.begin(), class_done_.end(), std::uint8_t{0});
+    num_classes_ = 0;
+    if (any_filter_) {
+      // Honest-row delivery masks differ per recipient, so trims cannot be
+      // shared even when the Byzantine blocks agree.
+      for (std::size_t j = 0; j < H_; ++j)
+        view_class_[j] = static_cast<std::uint32_t>(j);
+      num_classes_ = H_;
+      return;
+    }
+    for (std::size_t j = 0; j < H_; ++j) {
+      const std::uint64_t h = F_ > 0 ? block_hash(j) : 0;
+      std::size_t c = 0;
+      for (; c < num_classes_; ++c) {
+        if (class_hash_[c] == h && (F_ == 0 || blocks_equal(class_rep_[c], j)))
+          break;
+      }
+      if (c == num_classes_) {
+        class_hash_[c] = h;
+        class_rep_[c] = j;
+        ++num_classes_;
+      }
+      view_class_[j] = static_cast<std::uint32_t>(c);
     }
   }
 
@@ -335,12 +388,15 @@ class BatchedSbgRunner {
     const AgentId rid = honest_ids_[j];
     const std::size_t byz_base = j * F_ * Bpad_;
 
-    // Uniform-view fast path: with no delivery filter and
-    // recipient-independent Byzantine payloads, every recipient's multiset
-    // is the same n values (all broadcasts reach everyone, own tuple
-    // included), so recipients after the first reuse the first's trims.
-    const bool shared_view = uniform_ && !any_filter_;
-    if (!shared_view || j == 0) {
+    // View-class trim sharing: the first recipient of each class computes
+    // the trim pair into the class row; later same-class recipients reuse
+    // its bits — identical to computing their own, since their multisets
+    // are bitwise the same rows in a different (trim-irrelevant) order.
+    const std::uint32_t cls = view_class_[j];
+    double* tx = ctx_.data() + cls * Bpad_;
+    double* tg = ctg_.data() + cls * Bpad_;
+    if (!class_done_[cls]) {
+      class_done_[cls] = 1;
       // Multiset rows: own tuple, then every other engine-honest sender,
       // then the Byzantine senders; undelivered slots hold the default
       // payload — the same multiset the scalar agent assembles (inbox plus
@@ -390,8 +446,8 @@ class BatchedSbgRunner {
       }
       FTMAO_ENSURES(slot == n_);
 
-      trim_batch(dx, n_, Bpad_, f_, *kernels_, tx_.data());
-      trim_batch(dg, n_, Bpad_, f_, *kernels_, tg_.data());
+      trim_batch(dx, n_, Bpad_, f_, *kernels_, tx);
+      trim_batch(dg, n_, Bpad_, f_, *kernels_, tg);
     }
 
     // Fused projected step across the whole lane row:
@@ -400,13 +456,12 @@ class BatchedSbgRunner {
     // std::clamp, matched tie-for-tie by the lane clamp; unconstrained
     // lanes clamp against +/-inf, a bitwise identity).
     const std::size_t base = lane(j, 0);
-    kernels_->fused_step(tx_.data(), tg_.data(), lambda_.data(), clo_.data(),
+    kernels_->fused_step(tx, tg, lambda_.data(), clo_.data(),
                          chi_.data(), pemask_.data(), x_.data() + base,
                          pe_.data() + base, Bpad_);
     if (audit && j < S_) {
-      std::memcpy(trimmed_state_.data() + base, tx_.data(),
-                  Bpad_ * sizeof(double));
-      std::memcpy(trimmed_gradient_.data() + base, tg_.data(),
+      std::memcpy(trimmed_state_.data() + base, tx, Bpad_ * sizeof(double));
+      std::memcpy(trimmed_gradient_.data() + base, tg,
                   Bpad_ * sizeof(double));
     }
   }
@@ -522,7 +577,7 @@ class BatchedSbgRunner {
 
   // Round-scoped scratch, sized once in the constructor.
   std::vector<double> dx_, dg_;        ///< n x Bpad multiset matrices
-  std::vector<double> tx_, tg_;        ///< per-replica trim outputs
+  std::vector<double> ctx_, ctg_;      ///< per-class trim outputs, H x Bpad
   std::vector<double> lambda_;         ///< per-replica step size this round
   std::vector<double> pe_;             ///< projection errors, H x Bpad
   std::vector<double> trimmed_state_;  ///< audit diagnostics, S x Bpad
@@ -531,7 +586,13 @@ class BatchedSbgRunner {
   std::vector<double> bpresent_;     ///< all-ones/all-zeros lane masks
   std::vector<double> defx_, defg_;  ///< default payload rows, length Bpad
   std::vector<double> dmask_;        ///< per-row delivery mask scratch
-  bool uniform_ = false;  ///< this round's byz payloads recipient-independent
+
+  // This round's recipient view classes (classify_recipients).
+  std::vector<std::uint32_t> view_class_;  ///< recipient -> class id
+  std::vector<std::uint64_t> class_hash_;  ///< class id -> block hash
+  std::vector<std::uint32_t> class_rep_;   ///< class id -> first recipient
+  std::vector<std::uint8_t> class_done_;   ///< class trims computed yet?
+  std::size_t num_classes_ = 0;
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "sim/batch_vector_runner.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -10,6 +11,7 @@
 
 #include "common/contracts.hpp"
 #include "sim/batch_grad.hpp"
+#include "sim/megabatch.hpp"
 #include "simd/simd.hpp"
 #include "trim/trim_batch.hpp"
 
@@ -20,8 +22,6 @@ namespace {
 // All-ones mask double for masked_blend (a lane is "taken" iff any bit
 // is set; stored masks are all-ones / all-zeros).
 const double kAllBits = std::bit_cast<double>(~std::uint64_t{0});
-
-std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
 
 class BatchedVectorSbgRunner {
  public:
@@ -54,8 +54,13 @@ class BatchedVectorSbgRunner {
     bg_.assign(H_ * Lpad_, 0.0);
     dx_.assign(n_ * Lpad_, 0.0);
     dg_.assign(n_ * Lpad_, 0.0);
-    tx_.assign(Lpad_, 0.0);
-    tg_.assign(Lpad_, 0.0);
+    ctx_.assign(H_ * Lpad_, 0.0);
+    ctg_.assign(H_ * Lpad_, 0.0);
+    view_class_.assign(H_, 0);
+    class_hash_.assign(H_, 0);
+    class_rep_.assign(H_, 0);
+    class_done_.assign(H_, 0);
+    num_classes_ = 1;  // F_ == 0: every recipient trims the same multiset
     lam_.assign(Lpad_, 0.0);
     pe_.assign(Lpad_, 0.0);
     pemask_.assign(Lpad_, 0.0);
@@ -159,10 +164,10 @@ class BatchedVectorSbgRunner {
   }
 
   std::vector<VectorRunResult> run() {
+    engine_stats_record(B_, L_, Lpad_);
     for (std::size_t r = 0; r < B_; ++r) record(r);
     for (std::size_t t = 1; t <= rounds_; ++t) {
       broadcast_phase();
-      uniform_ = true;
       if (F_ > 0) collect_byzantine(t);
       fill_lambda(t);
       step_phase();
@@ -209,7 +214,8 @@ class BatchedVectorSbgRunner {
 
   // Step 2a: per-recipient Byzantine payloads, in the engine's exact
   // call order (recipient-major, sender-minor; one adversary object per
-  // replica), with bitwise uniformity detection across recipients.
+  // replica); recipients are then partitioned into view classes for the
+  // trim sharing in step_phase.
   void collect_byzantine(std::size_t t) {
     const Round round{static_cast<std::uint32_t>(t)};
     for (std::size_t r = 0; r < B_; ++r) {
@@ -224,7 +230,6 @@ class BatchedVectorSbgRunner {
     for (std::size_t j = 0; j < H_; ++j) {
       for (std::size_t b = 0; b < F_; ++b) {
         const std::size_t o = (j * F_ + b) * Lpad_;
-        const std::size_t o0 = b * Lpad_;
         for (std::size_t r = 0; r < B_; ++r) {
           const RoundView<VecPayload> view{round, views_[r]};
           const auto payload = adversaries_[r]->send_to(
@@ -245,15 +250,61 @@ class BatchedVectorSbgRunner {
               bpg_[o + l] = 0.0;
               bpresent_[o + l] = 0.0;
             }
-            if (j > 0 && uniform_ &&
-                (bits(bpresent_[o + l]) != bits(bpresent_[o0 + l]) ||
-                 bits(bpx_[o + l]) != bits(bpx_[o0 + l]) ||
-                 bits(bpg_[o + l]) != bits(bpg_[o0 + l]))) {
-              uniform_ = false;
-            }
           }
         }
       }
+    }
+    classify_recipients();
+  }
+
+  // FNV-1a over recipient j's Byzantine block; collisions resolved by the
+  // memcmp verify in classify_recipients.
+  std::uint64_t block_hash(std::size_t j) const {
+    const std::size_t stride = F_ * Lpad_;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const double* p, std::size_t m) {
+      for (std::size_t i = 0; i < m; ++i) {
+        h ^= std::bit_cast<std::uint64_t>(p[i]);
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(bpx_.data() + j * stride, stride);
+    mix(bpg_.data() + j * stride, stride);
+    mix(bpresent_.data() + j * stride, stride);
+    return h;
+  }
+
+  bool blocks_equal(std::size_t a, std::size_t b) const {
+    const std::size_t stride = F_ * Lpad_;
+    const std::size_t bytes = stride * sizeof(double);
+    return std::memcmp(bpx_.data() + a * stride, bpx_.data() + b * stride,
+                       bytes) == 0 &&
+           std::memcmp(bpg_.data() + a * stride, bpg_.data() + b * stride,
+                       bytes) == 0 &&
+           std::memcmp(bpresent_.data() + a * stride,
+                       bpresent_.data() + b * stride, bytes) == 0;
+  }
+
+  // Two recipients share a view class iff their Byzantine payload blocks
+  // are bitwise identical this round: the honest part of every multiset is
+  // the same broadcast snapshot (this engine has no delivery filter), so
+  // same-class recipients trim the same rows and share the trim pair.
+  // Recipient-independent strategies give one class, split-brain two,
+  // per-recipient noise H.
+  void classify_recipients() {
+    num_classes_ = 0;
+    for (std::size_t j = 0; j < H_; ++j) {
+      const std::uint64_t h = block_hash(j);
+      std::size_t c = 0;
+      for (; c < num_classes_; ++c) {
+        if (class_hash_[c] == h && blocks_equal(class_rep_[c], j)) break;
+      }
+      if (c == num_classes_) {
+        class_hash_[c] = h;
+        class_rep_[c] = j;
+        ++num_classes_;
+      }
+      view_class_[j] = static_cast<std::uint32_t>(c);
     }
   }
 
@@ -281,29 +332,24 @@ class BatchedVectorSbgRunner {
     }
   }
 
-  void trim_current() {
-    trim_batch(dx_.data(), n_, Lpad_, f_, *kernels_, tx_.data());
-    trim_batch(dg_.data(), n_, Lpad_, f_, *kernels_, tg_.data());
-  }
-
   // Steps 2b-3: trim per (coordinate, replica) lane and apply the fused
-  // projected step to each recipient row. Recipient-independent payload
-  // rounds compute the trims once and replay them for every recipient —
-  // the batched analogue of the scalar RoundPayloadCache memoization.
+  // projected step to each recipient row. The first recipient of each view
+  // class computes the trim pair into the class row; later same-class
+  // recipients replay it — the batched analogue of the scalar
+  // RoundPayloadCache memoization, per class instead of all-or-nothing.
   void step_phase() {
-    if (uniform_) {
-      assemble(0);
-      trim_current();
-      for (std::size_t j = 0; j < H_; ++j)
-        kernels_->fused_step(tx_.data(), tg_.data(), lam_.data(), clo_.data(),
-                             chi_.data(), pemask_.data(), x_.data() + j * Lpad_,
-                             pe_.data(), Lpad_);
-      return;
-    }
+    std::fill(class_done_.begin(), class_done_.end(), std::uint8_t{0});
     for (std::size_t j = 0; j < H_; ++j) {
-      assemble(j);
-      trim_current();
-      kernels_->fused_step(tx_.data(), tg_.data(), lam_.data(), clo_.data(),
+      const std::uint32_t cls = view_class_[j];
+      double* tx = ctx_.data() + cls * Lpad_;
+      double* tg = ctg_.data() + cls * Lpad_;
+      if (!class_done_[cls]) {
+        class_done_[cls] = 1;
+        assemble(j);
+        trim_batch(dx_.data(), n_, Lpad_, f_, *kernels_, tx);
+        trim_batch(dg_.data(), n_, Lpad_, f_, *kernels_, tg);
+      }
+      kernels_->fused_step(tx, tg, lam_.data(), clo_.data(),
                            chi_.data(), pemask_.data(), x_.data() + j * Lpad_,
                            pe_.data(), Lpad_);
     }
@@ -337,11 +383,18 @@ class BatchedVectorSbgRunner {
   const SimdKernels* kernels_ = nullptr;
   std::size_t n_ = 0, f_ = 0, d_ = 0, H_ = 0, F_ = 0;
   std::size_t rounds_ = 0, B_ = 0, L_ = 0, Lpad_ = 0;
-  bool uniform_ = true;
 
-  std::vector<double> x_, bx_, bg_, dx_, dg_, tx_, tg_;
+  std::vector<double> x_, bx_, bg_, dx_, dg_;
+  std::vector<double> ctx_, ctg_;  ///< per-class trim outputs, H x Lpad
   std::vector<double> lam_, pe_, pemask_, clo_, chi_, defx_, defg_;
   std::vector<double> bpx_, bpg_, bpresent_;
+
+  // This round's recipient view classes (classify_recipients).
+  std::vector<std::uint32_t> view_class_;
+  std::vector<std::uint64_t> class_hash_;
+  std::vector<std::uint32_t> class_rep_;
+  std::vector<std::uint8_t> class_done_;
+  std::size_t num_classes_ = 0;
   std::vector<std::unique_ptr<StepSchedule>> schedules_;
   std::vector<std::unique_ptr<VectorAdversary>> adversaries_;
   std::vector<std::vector<Received<VecPayload>>> views_;

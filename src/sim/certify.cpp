@@ -15,6 +15,7 @@
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/batch_vector_runner.hpp"
+#include "sim/megabatch.hpp"
 #include "sim/runner.hpp"
 #include "sim/vector_scenario.hpp"
 #include "sim/scenario_io.hpp"
@@ -57,6 +58,37 @@ std::string certify_cache_spec(const CertifyOptions& o, const char* section,
      << ";spread=" << cache_canon_double(o.spread) << ";rounds=" << rounds
      << ";seed=" << o.seed << ";constraint=none";
   return os.str();
+}
+
+// Slices a section's pending list into engine batches. Every attack in a
+// section runs the same scenario shape, so with megabatching on the
+// planner contributes its lane-aligned chunking (full-register batches
+// plus one narrow tail instead of a padded one), cost-ordered submission,
+// and occupancy accounting; off reproduces the fixed batch_size chunks.
+// The scalar engine runs one replica per task either way. Task ranges
+// index the pending list: [task.first, task.first + task.count).
+std::vector<MegabatchTask> section_slices(const CertifyOptions& options,
+                                          std::size_t pending_count,
+                                          std::size_t grid_count,
+                                          const MegabatchKey& key,
+                                          std::size_t rounds) {
+  if (!options.scalar_engine && options.megabatch)
+    return plan_uniform_slices(pending_count, options.batch_size, rounds, key);
+  const std::size_t chunk =
+      options.scalar_engine
+          ? 1
+          : std::min(
+                options.batch_size == 0 ? grid_count : options.batch_size,
+                grid_count);
+  std::vector<MegabatchTask> tasks;
+  for (std::size_t first = 0; first < pending_count; first += chunk) {
+    MegabatchTask task;
+    task.first = first;
+    task.count = std::min(chunk, pending_count - first);
+    task.key = key;
+    tasks.push_back(task);
+  }
+  return tasks;
 }
 
 }  // namespace
@@ -134,21 +166,20 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
   }
 
   const HarmonicStep harmonic;
-  // Every attack in the grid runs the same scenario shape, so a chunk of
-  // them advances in lockstep through the batched engine; the per-attack
-  // verdicts (audits, invariants, bound domination) are then computed from
-  // each replica's metrics exactly as the scalar path would. Chunking over
-  // the pending subset is sound for the same reason chunking at all is:
-  // each replica's numbers are independent of its batch-mates.
-  const std::size_t chunk =
-      options.scalar_engine
-          ? 1
-          : std::min(options.batch_size == 0 ? grid.size() : options.batch_size,
-                     grid.size());
-  const std::size_t num_chunks = (pending.size() + chunk - 1) / chunk;
+  // A batch of attacks advances in lockstep through the batched engine;
+  // the per-attack verdicts (audits, invariants, bound domination) are
+  // then computed from each replica's metrics exactly as the scalar path
+  // would. Chunking over the pending subset is sound for the same reason
+  // chunking at all is: each replica's numbers are independent of its
+  // batch-mates.
+  const std::vector<MegabatchTask> sync_tasks = section_slices(
+      options, pending.size(), grid.size(),
+      MegabatchKey{MegabatchEngine::kSync, options.n, options.f, 1},
+      options.rounds);
+  const std::size_t num_chunks = sync_tasks.size();
   parallel_for_each(options.num_threads, num_chunks, [&](std::size_t task) {
-    const std::size_t first = task * chunk;
-    const std::size_t batch = std::min(chunk, pending.size() - first);
+    const std::size_t first = sync_tasks[task].first;
+    const std::size_t batch = sync_tasks[task].count;
     RunOptions run_options;
     run_options.record_trace = true;
     run_options.audit_witnesses = true;
@@ -286,19 +317,15 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
       }
     }
 
-    const std::size_t async_chunk =
-        options.scalar_engine
-            ? 1
-            : std::min(
-                  options.batch_size == 0 ? grid.size() : options.batch_size,
-                  grid.size());
-    const std::size_t async_chunks =
-        (async_pending.size() + async_chunk - 1) / async_chunk;
+    const std::vector<MegabatchTask> async_tasks = section_slices(
+        options, async_pending.size(), grid.size(),
+        MegabatchKey{MegabatchEngine::kAsync, options.async_n, options.async_f,
+                     1},
+        options.async_rounds);
     parallel_for_each(
-        options.num_threads, async_chunks, [&](std::size_t task) {
-          const std::size_t first = task * async_chunk;
-          const std::size_t batch =
-              std::min(async_chunk, async_pending.size() - first);
+        options.num_threads, async_tasks.size(), [&](std::size_t task) {
+          const std::size_t first = async_tasks[task].first;
+          const std::size_t batch = async_tasks[task].count;
           std::vector<AsyncScenario> replicas;
           replicas.reserve(batch);
           for (std::size_t i = 0; i < batch; ++i) {
@@ -392,19 +419,15 @@ CertificationReport certify_sbg(const CertifyOptions& options) {
       }
     }
 
-    const std::size_t vector_chunk =
-        options.scalar_engine
-            ? 1
-            : std::min(
-                  options.batch_size == 0 ? grid.size() : options.batch_size,
-                  grid.size());
-    const std::size_t vector_chunks =
-        (vector_pending.size() + vector_chunk - 1) / vector_chunk;
+    const std::vector<MegabatchTask> vector_tasks = section_slices(
+        options, vector_pending.size(), grid.size(),
+        MegabatchKey{MegabatchEngine::kVector, options.n, options.f,
+                     options.vector_dim},
+        options.vector_rounds);
     parallel_for_each(
-        options.num_threads, vector_chunks, [&](std::size_t task) {
-          const std::size_t first = task * vector_chunk;
-          const std::size_t batch =
-              std::min(vector_chunk, vector_pending.size() - first);
+        options.num_threads, vector_tasks.size(), [&](std::size_t task) {
+          const std::size_t first = vector_tasks[task].first;
+          const std::size_t batch = vector_tasks[task].count;
           std::vector<VectorScenario> replicas;
           replicas.reserve(batch);
           for (std::size_t i = 0; i < batch; ++i) {

@@ -36,6 +36,13 @@ struct CertifyOptions {
   /// Force the scalar reference engine (one run_sbg per attack).
   bool scalar_engine = false;
 
+  /// Lane-aligned megabatch slicing (sim/megabatch.hpp) for the batched
+  /// sections: pending attacks are packed into full-SIMD-register chunks
+  /// with one narrow tail instead of naive fixed-size chunks. The report
+  /// is bit-identical on or off; off runs the legacy per-chunk slicing
+  /// (the A/B baseline). Ignored under scalar_engine.
+  bool megabatch = true;
+
   /// Asynchronous-engine section (Section 7, n > 5f variant): the attack
   /// grid is re-run through the batched asynchronous engine at this size
   /// under uniform delays, and the worst final disagreement / Dist-to-Y

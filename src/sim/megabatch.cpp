@@ -1,0 +1,180 @@
+#include "sim/megabatch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "simd/simd.hpp"
+
+namespace ftmao {
+
+namespace {
+
+std::atomic<std::uint64_t> g_batches{0};
+std::atomic<std::uint64_t> g_replicas{0};
+std::atomic<std::uint64_t> g_lanes{0};
+std::atomic<std::uint64_t> g_padded{0};
+
+std::uint64_t task_cost(std::size_t count, std::size_t rounds,
+                        const MegabatchKey& key) {
+  return static_cast<std::uint64_t>(count) * rounds * key.n *
+         std::max<std::size_t>(key.dim, 1);
+}
+
+void account_task(EngineStats& stats, const MegabatchTask& task,
+                  const LaneWidthFn& width_for_lanes) {
+  const std::size_t lanes = task.count * std::max<std::size_t>(task.key.dim, 1);
+  const std::size_t w = std::max<std::size_t>(width_for_lanes(lanes), 1);
+  stats.batches += 1;
+  stats.replicas += task.count;
+  stats.lanes += lanes;
+  stats.padded_lanes += (lanes + w - 1) / w * w;
+}
+
+}  // namespace
+
+std::size_t active_lane_width(std::size_t lanes) {
+  return simd_kernels_for_lanes(std::max<std::size_t>(lanes, 1)).width;
+}
+
+MegabatchPlan plan_megabatches(std::vector<MegabatchItem> items,
+                               std::size_t batch_size, std::size_t rounds,
+                               const LaneWidthFn& width_for_lanes) {
+  const LaneWidthFn& width =
+      width_for_lanes ? width_for_lanes : LaneWidthFn(active_lane_width);
+
+  MegabatchPlan plan;
+  if (items.empty()) return plan;
+
+  // Stable-group by shape key, preserving caller order within each group;
+  // first appearance decides group order, so the plan is a pure function of
+  // the item sequence. Grids have few distinct shapes, so a linear scan per
+  // item beats hashing.
+  std::vector<MegabatchKey> group_keys;
+  std::vector<std::uint32_t> group_of(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::size_t g = 0;
+    while (g < group_keys.size() && !(group_keys[g] == items[i].key)) ++g;
+    if (g == group_keys.size()) group_keys.push_back(items[i].key);
+    group_of[i] = static_cast<std::uint32_t>(g);
+  }
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return group_of[a] < group_of[b];
+                   });
+  plan.items.reserve(items.size());
+  for (std::size_t idx : order) plan.items.push_back(items[idx]);
+
+  // Slice each group into engine calls.
+  std::size_t group_first = 0;
+  while (group_first < plan.items.size()) {
+    const MegabatchKey key = plan.items[group_first].key;
+    std::size_t group_last = group_first;
+    while (group_last < plan.items.size() &&
+           plan.items[group_last].key == key) {
+      ++group_last;
+    }
+    const std::size_t group_count = group_last - group_first;
+    const std::size_t dim = std::max<std::size_t>(key.dim, 1);
+    std::size_t chunk;
+    std::size_t full_chunk;
+    if (batch_size != 0) {
+      // Caller-pinned replica count per engine call (the --batch contract).
+      chunk = full_chunk = batch_size;
+    } else {
+      // q replicas fill whole registers: q * dim = lcm(dim, width) lanes.
+      // The width probe uses an aligned lane count (dim * 32 is a multiple
+      // of every register width) so it reports the widest backend the
+      // machine offers — probing the group's own lane total would let an
+      // awkward count like 9 answer "scalar" and defeat the chunking.
+      const std::size_t w = std::max<std::size_t>(
+          width(dim * kMegabatchAutoLaneTarget), 1);
+      const std::size_t q = w / std::gcd(dim, w);
+      const std::size_t block_lanes = q * dim;
+      const std::size_t blocks =
+          std::max<std::size_t>(1, kMegabatchAutoLaneTarget / block_lanes);
+      full_chunk = blocks * q;
+      chunk = q;
+    }
+
+    std::size_t first = group_first;
+    while (first < group_last) {
+      const std::size_t remaining = group_last - first;
+      // Largest aligned chunk that still fits; the final task carries the
+      // unaligned tail (< chunk replicas) and dispatches to a narrower
+      // backend on its own instead of padding a wide register row.
+      std::size_t count;
+      if (remaining >= full_chunk) {
+        count = full_chunk;
+      } else if (remaining >= chunk) {
+        count = (remaining / chunk) * chunk;
+      } else {
+        count = remaining;
+      }
+      MegabatchTask task;
+      task.first = first;
+      task.count = count;
+      task.key = key;
+      task.cost = task_cost(count, rounds, key);
+      account_task(plan.stats, task, width);
+      plan.tasks.push_back(task);
+      first += count;
+    }
+    FTMAO_ENSURES(group_count > 0 && first == group_last);
+    group_first = group_last;
+  }
+
+  // Deterministic cost-ordered submission: longest first so heterogeneous
+  // grids don't serialize behind a tail of large cells; ties keep input
+  // order.
+  std::stable_sort(plan.tasks.begin(), plan.tasks.end(),
+                   [](const MegabatchTask& a, const MegabatchTask& b) {
+                     if (a.cost != b.cost) return a.cost > b.cost;
+                     return a.first < b.first;
+                   });
+  return plan;
+}
+
+std::vector<MegabatchTask> plan_uniform_slices(
+    std::size_t count, std::size_t batch_size, std::size_t rounds,
+    const MegabatchKey& key, const LaneWidthFn& width_for_lanes) {
+  std::vector<MegabatchItem> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items[i].key = key;
+    items[i].cell = i;
+  }
+  MegabatchPlan plan =
+      plan_megabatches(std::move(items), batch_size, rounds, width_for_lanes);
+  // Single shape: grouping is the identity, so task ranges index [0, count)
+  // directly.
+  return std::move(plan.tasks);
+}
+
+void engine_stats_reset() {
+  g_batches.store(0, std::memory_order_relaxed);
+  g_replicas.store(0, std::memory_order_relaxed);
+  g_lanes.store(0, std::memory_order_relaxed);
+  g_padded.store(0, std::memory_order_relaxed);
+}
+
+void engine_stats_record(std::size_t replicas, std::size_t lanes,
+                         std::size_t padded_lanes) {
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_replicas.fetch_add(replicas, std::memory_order_relaxed);
+  g_lanes.fetch_add(lanes, std::memory_order_relaxed);
+  g_padded.fetch_add(padded_lanes, std::memory_order_relaxed);
+}
+
+EngineStats engine_stats_snapshot() {
+  EngineStats stats;
+  stats.batches = g_batches.load(std::memory_order_relaxed);
+  stats.replicas = g_replicas.load(std::memory_order_relaxed);
+  stats.lanes = g_lanes.load(std::memory_order_relaxed);
+  stats.padded_lanes = g_padded.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ftmao

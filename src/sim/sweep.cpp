@@ -13,6 +13,7 @@
 #include "sim/batch_async_runner.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/batch_vector_runner.hpp"
+#include "sim/megabatch.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/shard.hpp"
@@ -64,55 +65,21 @@ std::string sweep_cell_cache_spec(const SweepConfig& config,
   return os.str();
 }
 
-std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
-                                       const std::vector<CellSpec>& specs) {
-  config.validate();
+namespace {
 
+// Per-cell task path (--megabatch off, and the scalar reference engine):
+// one task per (pending cell, seed-chunk). Each chunk's replicas share a
+// shape (only the seed differs) and advance in lockstep through the
+// batched engine. Every run derives its randomness solely from its own
+// seed and writes to its own index, so the aggregate sees exactly the
+// sequence the serial scalar path would have produced, whatever the
+// thread count, batch size, engine, or cache hit pattern.
+void run_pending_per_cell(const SweepConfig& config,
+                          const std::vector<CellSpec>& specs,
+                          const std::vector<std::size_t>& pending,
+                          std::vector<double>& disagreements,
+                          std::vector<double>& dists) {
   const std::size_t num_seeds = config.seeds.size();
-  std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
-  std::vector<double> dists(specs.size() * num_seeds, 0.0);
-
-  // Cache pre-pass: cells whose canonical key resolves fill their result
-  // slots from the payload's bit-exact per-seed doubles; the rest land on
-  // the pending list and are simulated exactly as without a cache. A
-  // payload that fails to decode (truncated, wrong seed count, trailing
-  // bytes) is discarded and the cell recomputed.
-  std::vector<std::size_t> pending;
-  pending.reserve(specs.size());
-  std::vector<CellKey> keys;
-  if (config.cache != nullptr) {
-    keys.reserve(specs.size());
-    for (std::size_t c = 0; c < specs.size(); ++c) {
-      keys.push_back(make_cell_key(sweep_cell_cache_spec(config, specs[c])));
-      bool filled = false;
-      if (const std::optional<std::string> payload =
-              config.cache->lookup(keys[c])) {
-        try {
-          PayloadReader reader(*payload);
-          if (reader.get_u64() == num_seeds) {
-            for (std::size_t i = 0; i < num_seeds; ++i)
-              disagreements[c * num_seeds + i] = reader.get_double();
-            for (std::size_t i = 0; i < num_seeds; ++i)
-              dists[c * num_seeds + i] = reader.get_double();
-            filled = reader.exhausted();
-          }
-        } catch (const ContractViolation&) {
-          filled = false;
-        }
-      }
-      if (!filled) pending.push_back(c);
-    }
-  } else {
-    pending.resize(specs.size());
-    std::iota(pending.begin(), pending.end(), std::size_t{0});
-  }
-
-  // One task per (pending cell, seed-chunk): each chunk's replicas share
-  // a shape (only the seed differs) and advance in lockstep through the
-  // batched engine. Every run derives its randomness solely from its own
-  // seed and writes to its own index, so the aggregate below sees exactly
-  // the sequence the serial scalar path would have produced, whatever the
-  // thread count, batch size, engine, or cache hit pattern.
   const std::size_t chunk =
       config.scalar_engine
           ? 1
@@ -208,6 +175,171 @@ std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
           }
         }
       });
+}
+
+// Megabatch path: pack pending (cell, seed) replicas that share an engine
+// shape — any attack, any seed — into lane-filling batches
+// (sim/megabatch.hpp) and submit them cost-ordered, longest first. Every
+// replica still derives its randomness solely from its own seed and
+// scatters into its own pre-assigned slot, and the batch engines are
+// bit-identical to the scalar reference per replica regardless of batch
+// composition, so the aggregate cannot tell the paths apart.
+void run_pending_megabatched(const SweepConfig& config,
+                             const std::vector<CellSpec>& specs,
+                             const std::vector<std::size_t>& pending,
+                             std::vector<double>& disagreements,
+                             std::vector<double>& dists) {
+  const std::size_t num_seeds = config.seeds.size();
+  std::vector<MegabatchItem> items;
+  items.reserve(pending.size() * num_seeds);
+  for (std::size_t c : pending) {
+    const CellSpec& spec = specs[c];
+    MegabatchKey key;
+    key.engine = config.async_engine ? MegabatchEngine::kAsync
+                 : spec.dim >= 2     ? MegabatchEngine::kVector
+                                     : MegabatchEngine::kSync;
+    key.n = spec.n;
+    key.f = spec.f;
+    key.dim = spec.dim;
+    for (std::size_t i = 0; i < num_seeds; ++i) items.push_back({key, c, i});
+  }
+  const MegabatchPlan plan =
+      plan_megabatches(std::move(items), config.batch_size, config.rounds);
+  parallel_for_each(
+      config.num_threads, plan.tasks.size(), [&](std::size_t ti) {
+        const MegabatchTask& task = plan.tasks[ti];
+        const std::span<const MegabatchItem> batch(
+            plan.items.data() + task.first, task.count);
+        switch (task.key.engine) {
+          case MegabatchEngine::kAsync: {
+            std::vector<AsyncScenario> replicas;
+            replicas.reserve(batch.size());
+            for (const MegabatchItem& it : batch) {
+              const CellSpec& spec = specs[it.cell];
+              AsyncScenario s = make_standard_async_scenario(
+                  spec.n, spec.f, config.spread, spec.attack, config.rounds,
+                  config.seeds[it.seed]);
+              s.step = config.step;
+              s.delay_kind = config.delay_kind;
+              s.delay_lo = config.delay_lo;
+              s.delay_hi = config.delay_hi;
+              replicas.push_back(std::move(s));
+            }
+            const std::vector<AsyncRunMetrics> ms =
+                run_async_sbg_batch(replicas);
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              const std::size_t slot =
+                  batch[i].cell * num_seeds + batch[i].seed;
+              disagreements[slot] = ms[i].disagreement.back();
+              dists[slot] = ms[i].max_dist_to_y.back();
+            }
+            break;
+          }
+          case MegabatchEngine::kVector: {
+            // One proto per cell run: the plan keeps same-cell replicas
+            // adjacent, so seed copies share the proto's cost vector and
+            // the engine's optimum memoization fires exactly as on the
+            // per-cell path.
+            std::vector<VectorScenario> replicas;
+            replicas.reserve(batch.size());
+            std::size_t i = 0;
+            while (i < batch.size()) {
+              const std::size_t cell = batch[i].cell;
+              const CellSpec& spec = specs[cell];
+              VectorScenario proto = make_standard_vector_scenario(
+                  spec.n, spec.f, config.spread, spec.attack, config.rounds,
+                  config.seeds[batch[i].seed], spec.dim);
+              proto.step = config.step;
+              for (; i < batch.size() && batch[i].cell == cell; ++i) {
+                VectorScenario s = proto;
+                s.seed = config.seeds[batch[i].seed];
+                replicas.push_back(std::move(s));
+              }
+            }
+            const std::vector<VectorRunResult> ms =
+                run_vector_sbg_batch(replicas);
+            for (std::size_t r = 0; r < batch.size(); ++r) {
+              const std::size_t slot =
+                  batch[r].cell * num_seeds + batch[r].seed;
+              disagreements[slot] = ms[r].disagreement.back();
+              dists[slot] = ms[r].dist_to_average_optimum.back();
+            }
+            break;
+          }
+          case MegabatchEngine::kSync: {
+            std::vector<Scenario> replicas;
+            replicas.reserve(batch.size());
+            for (const MegabatchItem& it : batch) {
+              const CellSpec& spec = specs[it.cell];
+              Scenario s = make_standard_scenario(
+                  spec.n, spec.f, config.spread, spec.attack, config.rounds,
+                  config.seeds[it.seed]);
+              s.step = config.step;
+              replicas.push_back(std::move(s));
+            }
+            const std::vector<RunMetrics> ms = run_sbg_batch(replicas);
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              const std::size_t slot =
+                  batch[i].cell * num_seeds + batch[i].seed;
+              disagreements[slot] = ms[i].final_disagreement();
+              dists[slot] = ms[i].final_max_dist();
+            }
+            break;
+          }
+        }
+      });
+}
+
+}  // namespace
+
+std::vector<SweepCell> run_sweep_cells(const SweepConfig& config,
+                                       const std::vector<CellSpec>& specs) {
+  config.validate();
+
+  const std::size_t num_seeds = config.seeds.size();
+  std::vector<double> disagreements(specs.size() * num_seeds, 0.0);
+  std::vector<double> dists(specs.size() * num_seeds, 0.0);
+
+  // Cache pre-pass: cells whose canonical key resolves fill their result
+  // slots from the payload's bit-exact per-seed doubles; the rest land on
+  // the pending list and are simulated exactly as without a cache. A
+  // payload that fails to decode (truncated, wrong seed count, trailing
+  // bytes) is discarded and the cell recomputed.
+  std::vector<std::size_t> pending;
+  pending.reserve(specs.size());
+  std::vector<CellKey> keys;
+  if (config.cache != nullptr) {
+    keys.reserve(specs.size());
+    for (std::size_t c = 0; c < specs.size(); ++c) {
+      keys.push_back(make_cell_key(sweep_cell_cache_spec(config, specs[c])));
+      bool filled = false;
+      if (const std::optional<std::string> payload =
+              config.cache->lookup(keys[c])) {
+        try {
+          PayloadReader reader(*payload);
+          if (reader.get_u64() == num_seeds) {
+            for (std::size_t i = 0; i < num_seeds; ++i)
+              disagreements[c * num_seeds + i] = reader.get_double();
+            for (std::size_t i = 0; i < num_seeds; ++i)
+              dists[c * num_seeds + i] = reader.get_double();
+            filled = reader.exhausted();
+          }
+        } catch (const ContractViolation&) {
+          filled = false;
+        }
+      }
+      if (!filled) pending.push_back(c);
+    }
+  } else {
+    pending.resize(specs.size());
+    std::iota(pending.begin(), pending.end(), std::size_t{0});
+  }
+
+  if (config.megabatch && !config.scalar_engine) {
+    run_pending_megabatched(config, specs, pending, disagreements, dists);
+  } else {
+    run_pending_per_cell(config, specs, pending, disagreements, dists);
+  }
 
   if (config.cache != nullptr) {
     for (std::size_t c : pending) {

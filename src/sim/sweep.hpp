@@ -47,6 +47,14 @@ struct SweepConfig {
   /// benchmarking the batched path against its baseline.
   bool scalar_engine = false;
 
+  /// Cross-cell megabatching (sim/megabatch.hpp): pack pending (cell,
+  /// seed) replicas that share an engine shape — same (n, f, dim, engine),
+  /// any attack/seed — into lane-filling batches instead of one batch per
+  /// cell, with cost-ordered task submission. Like every engine knob,
+  /// results are bit-identical on or off; off runs the per-cell batches
+  /// (the A/B baseline). Ignored under scalar_engine.
+  bool megabatch = true;
+
   /// Run the asynchronous engine (Section 7, n > 5f variant) over the
   /// grid instead of the synchronous one: each (cell, seed) run is the
   /// standard async scenario under the delay model below, advanced by

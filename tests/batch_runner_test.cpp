@@ -160,6 +160,22 @@ TEST(BatchRunner, HeterogeneousReplicasMatchScalar) {
   expect_batch_matches_scalar(replicas);
 }
 
+TEST(BatchRunner, MixedSplitBrainSignFlipClassesMatchScalar) {
+  // Split-brain payloads differ per recipient half (two view classes);
+  // sign-flip and pull are recipient-uniform. A batch mixing them must
+  // resolve trims through exactly the two shared classes per round and
+  // stay bit-identical to the scalar engine — the cross-attack pack the
+  // megabatch scheduler produces.
+  std::vector<Scenario> replicas =
+      seed_axis(7, 2, AttackKind::SplitBrain, 60, 3);
+  replicas[1].attack.kind = AttackKind::SignFlip;
+  replicas[1].attack.amplification = 5.0;
+  replicas[2].attack.kind = AttackKind::PullToTarget;
+  replicas[2].attack.target = 20.0;
+  replicas[2].attack.gradient_magnitude = 10.0;
+  expect_batch_matches_scalar(replicas);
+}
+
 TEST(BatchRunner, MismatchedShapeThrows) {
   std::vector<Scenario> replicas = seed_axis(7, 2, AttackKind::None, 20, 1);
   replicas.push_back(make_standard_scenario(10, 3, 8.0, AttackKind::None, 20, 2));

@@ -142,6 +142,20 @@ TEST(BatchVectorRunner, HeterogeneousReplicasMatchScalar) {
   expect_batch_matches_scalar(replicas);
 }
 
+TEST(BatchVectorRunner, MixedSplitBrainSignFlipClassesMatchScalar) {
+  // Cross-attack pack: split-brain (per-recipient-half payloads, two view
+  // classes) mixed with sign-flip and pull in one lane-packed batch must
+  // stay bit-identical to the scalar engine.
+  auto replicas = seed_axis(7, 2, 3, AttackKind::SplitBrain, 40, 4);
+  replicas[1].attack.kind = AttackKind::SignFlip;
+  replicas[1].attack.amplification = 4.0;
+  replicas[2].attack.kind = AttackKind::PullToTarget;
+  replicas[2].attack.target = 20.0;
+  replicas[2].attack.gradient_magnitude = 10.0;
+  replicas[3].seed = 77;
+  expect_batch_matches_scalar(replicas);
+}
+
 TEST(BatchVectorRunner, SpecialValuesMatchScalar) {
   // Signed zeros, denormals, and huge coordinates flow through the trim
   // networks and fused step with the same bits on every backend.
